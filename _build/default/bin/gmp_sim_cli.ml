@@ -1,0 +1,349 @@
+(* Command-line driver: run membership scenarios, dump traces, check the
+   GMP specification.
+
+   Examples:
+     gmp-sim run -n 8 --crash 4@20 --crash 0@50 --join 10@80 --trace
+     gmp-sim scenario mgr-crash -n 16
+     gmp-sim sweep --seeds 500
+     gmp-sim table1 *)
+
+open Gmp_base
+open Gmp_core
+open Cmdliner
+
+(* ---- shared options ---- *)
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_term =
+  Arg.(
+    value
+    & opt int 6
+    & info [ "n" ] ~docv:"N" ~doc:"Initial group size (p0 .. p(N-1)).")
+
+let until_term =
+  Arg.(
+    value
+    & opt float 500.0
+    & info [ "until" ] ~docv:"T" ~doc:"Virtual-time horizon for the run.")
+
+let trace_term =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+
+let timeline_term =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:"Print an ASCII space-time diagram of the run.")
+
+let json_term =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Dump the whole run (states, stats, checker verdicts, trace) as JSON.")
+
+(* "4@20" -> (pid 4, time 20.0); "3#1@70" -> incarnation 1 of host 3. *)
+let parse_at s =
+  match String.split_on_char '@' s with
+  | [ who; at ] ->
+    let time = float_of_string at in
+    let pid =
+      match String.split_on_char '#' who with
+      | [ id ] -> Pid.make (int_of_string id)
+      | [ id; inc ] ->
+        Pid.make ~incarnation:(int_of_string inc) (int_of_string id)
+      | _ -> failwith "bad pid"
+    in
+    (pid, time)
+  | _ -> failwith "expected PID@TIME"
+
+let at_conv what =
+  let parse s =
+    match parse_at s with
+    | pair -> Ok pair
+    | exception _ -> Error (`Msg (Fmt.str "%s expects PID@TIME, got %S" what s))
+  in
+  let print ppf (pid, t) = Fmt.pf ppf "%a@%g" Pid.pp pid t in
+  Arg.conv (parse, print)
+
+let crashes_term =
+  Arg.(
+    value
+    & opt_all (at_conv "--crash") []
+    & info [ "crash" ] ~docv:"PID@TIME" ~doc:"Crash process PID at TIME.")
+
+let joins_term =
+  Arg.(
+    value
+    & opt_all (at_conv "--join") []
+    & info [ "join" ] ~docv:"PID@TIME"
+        ~doc:"Join a fresh process PID at TIME (use ID#INC for incarnations).")
+
+let suspects_term =
+  let suspicion_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ obs; rest ] ->
+        (try
+           let target, time = parse_at rest in
+           Ok (Pid.make (int_of_string obs), target, time)
+         with _ -> Error (`Msg "expected OBS:TARGET@TIME"))
+      | _ -> Error (`Msg "expected OBS:TARGET@TIME")
+    in
+    let print ppf (o, t, at) = Fmt.pf ppf "%a:%a@%g" Pid.pp o Pid.pp t at in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt_all suspicion_conv []
+    & info [ "suspect" ] ~docv:"OBS:TARGET@TIME"
+        ~doc:"Inject a (possibly spurious) suspicion.")
+
+let report_text ?(timeline = false) group ~show_trace =
+  if show_trace then Fmt.pr "--- trace ---@.%a@." Trace.pp (Group.trace group);
+  if timeline then
+    Fmt.pr "--- timeline ---@.%a@." Trace.pp_timeline (Group.trace group);
+  Fmt.pr "--- final states ---@.%a@." Group.pp_summary group;
+  (match Group.agreed_view group with
+   | Some (ver, members) ->
+     Fmt.pr "agreed view: v%d {%s}@." ver
+       (String.concat "," (List.map Pid.to_string members))
+   | None -> Fmt.pr "agreed view: NONE@.");
+  Fmt.pr "--- message statistics ---@.%a@." Gmp_net.Stats.pp (Group.stats group);
+  Fmt.pr "protocol messages (s7.2 accounting): %d@."
+    (Group.protocol_messages group);
+  let violations = Checker.check_group group in
+  if violations = [] then begin
+    Fmt.pr "GMP-0..GMP-5 + convergence: all hold@.";
+    0
+  end
+  else begin
+    Fmt.pr "VIOLATIONS (%d):@." (List.length violations);
+    List.iter (fun v -> Fmt.pr "  %a@." Checker.pp_violation v) violations;
+    1
+  end
+
+let report ?(json = false) ?timeline group ~show_trace =
+  if json then begin
+    Fmt.pr "%a@." Gmp_base.Json.pp (Export.json_of_group group);
+    if Checker.check_group group = [] then 0 else 1
+  end
+  else report_text ?timeline group ~show_trace
+
+(* ---- run: free-form scenario ---- *)
+
+let run_cmd =
+  let go seed n until crashes joins suspects show_trace json timeline =
+    let group = Group.create ~seed ~n () in
+    List.iter (fun (pid, t) -> Group.crash_at group t pid) crashes;
+    List.iter
+      (fun (pid, t) -> Group.join_at group t pid ~contact:(Pid.make 0))
+      joins;
+    List.iter
+      (fun (observer, target, t) -> Group.suspect_at group t ~observer ~target)
+      suspects;
+    Group.run ~until group;
+    report ~json ~timeline group ~show_trace
+  in
+  let term =
+    Term.(
+      const go $ seed_term $ n_term $ until_term $ crashes_term $ joins_term
+      $ suspects_term $ trace_term $ json_term $ timeline_term)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a custom crash/join/suspicion schedule.")
+    term
+
+(* ---- scenario: named experiments ---- *)
+
+let scenario_cmd =
+  let scenarios =
+    [ ("single-crash", `Single);
+      ("compressed-pair", `Pair);
+      ("mgr-crash", `Mgr);
+      ("cascade", `Cascade);
+      ("sequence", `Sequence);
+      ("split", `Split);
+      ("fig11", `Fig11);
+      ("getstable", `Getstable);
+      ("partitioned", `Partitioned) ]
+  in
+  let name_term =
+    Arg.(
+      required
+      & pos 0 (some (enum scenarios)) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            (Fmt.str "One of: %s."
+               (String.concat ", " (List.map fst scenarios))))
+  in
+  let go which seed n show_trace =
+    let module S = Gmp_workload.Scenario in
+    let finish (m : S.measurement) group =
+      Fmt.pr "n=%d protocol=%d update=%d reconf=%d views=%d violations=%d@."
+        m.S.n m.S.protocol_msgs m.S.update_msgs m.S.reconf_msgs
+        m.S.views_installed
+        (List.length m.S.violations);
+      report group ~show_trace
+    in
+    match which with
+    | `Single ->
+      let m, g = S.single_crash ~seed ~n () in
+      finish m g
+    | `Pair ->
+      let m, g = S.compressed_pair ~seed ~n () in
+      finish m g
+    | `Mgr ->
+      let m, g = S.mgr_crash ~seed ~n () in
+      finish m g
+    | `Cascade ->
+      let m, g = S.cascade ~seed ~n ~kills:((n / 2) - 1) () in
+      finish m g
+    | `Sequence ->
+      let m, g = S.sequence_all ~seed ~n () in
+      finish m g
+    | `Split ->
+      let violations, g = S.real_protocol_split ~seed ~n () in
+      Fmt.pr "safety violations: %d@." (List.length violations);
+      report g ~show_trace
+    | `Fig11 ->
+      let violations, g = S.real_protocol_fig11 ~seed () in
+      Fmt.pr "safety violations: %d@." (List.length violations);
+      report g ~show_trace
+    | `Getstable ->
+      let violations, g = S.real_protocol_two_proposals ~seed () in
+      Fmt.pr "safety violations: %d@." (List.length violations);
+      report g ~show_trace
+    | `Partitioned ->
+      (* The s8 variation: both sides of a partition keep their own views;
+         the divergence the checker reports is the expected observation. *)
+      let group =
+        Group.create ~config:Gmp_core.Config.partitionable ~seed ~n ()
+      in
+      let island = List.filteri (fun i _ -> i < (n - 1) / 2) (Group.initial group) in
+      Group.partition_at group 10.0 [ island ];
+      Group.run ~until:400.0 group;
+      Fmt.pr
+        "partitioned mode: divergence below is the point (views are not unique)@.";
+      report group ~show_trace
+  in
+  let term =
+    Term.(const go $ name_term $ seed_term $ n_term $ trace_term)
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Run one of the paper's named experiment scenarios.")
+    term
+
+(* ---- sweep: many random churn runs through the checker ---- *)
+
+let sweep_cmd =
+  let seeds_term =
+    Arg.(
+      value & opt int 200
+      & info [ "seeds" ] ~docv:"K" ~doc:"Number of randomized runs.")
+  in
+  let go seeds =
+    let bad = ref 0 in
+    for seed = 1 to seeds do
+      let m, _ = Gmp_workload.Scenario.random_churn ~seed () in
+      if m.Gmp_workload.Scenario.violations <> [] then begin
+        incr bad;
+        Fmt.pr "seed %d: %d violations@." seed
+          (List.length m.Gmp_workload.Scenario.violations)
+      end
+    done;
+    Fmt.pr "%d/%d runs satisfy GMP-0..GMP-5 + convergence@." (seeds - !bad)
+      seeds;
+    if !bad = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Check the GMP spec over many randomized runs.")
+    Term.(const go $ seeds_term)
+
+(* ---- fuzz: adversarial schedule search ---- *)
+
+let fuzz_cmd =
+  let iterations_term =
+    Arg.(
+      value & opt int 300
+      & info [ "iterations" ] ~docv:"K" ~doc:"Schedules to try.")
+  in
+  let weaken_term =
+    Arg.(
+      value & flag
+      & info [ "weaken" ]
+          ~doc:
+            "Drop the majority requirement (Config.basic): the search should \
+             then find the known partition divergence.")
+  in
+  let go iterations weaken seed n =
+    let config =
+      if weaken then Gmp_core.Config.basic else Gmp_core.Config.default
+    in
+    let outcome = Gmp_workload.Fuzz.search ~config ~n ~iterations ~seed () in
+    match outcome.Gmp_workload.Fuzz.counterexample with
+    | None ->
+      Fmt.pr "no GMP violation in %d schedules@."
+        outcome.Gmp_workload.Fuzz.iterations_run;
+      0
+    | Some (schedule, violations) ->
+      Fmt.pr "COUNTEREXAMPLE after %d schedules:@.  %a@."
+        outcome.Gmp_workload.Fuzz.iterations_run Gmp_workload.Fuzz.pp_schedule
+        schedule;
+      List.iter (fun v -> Fmt.pr "  %a@." Checker.pp_violation v) violations;
+      1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Hunt for GMP violations with random schedules.")
+    Term.(const go $ iterations_term $ weaken_term $ seed_term $ n_term)
+
+(* ---- table1 ---- *)
+
+let table1_cmd =
+  let go () =
+    let row ~p_failed ~q_thinks =
+      let group = Group.create ~seed:30 ~n:4 () in
+      Group.crash_at group 5.0 (Pid.make 0);
+      if p_failed then Group.crash_at group 6.0 (Pid.make 1);
+      if q_thinks then
+        Group.suspect_at group 16.0 ~observer:(Pid.make 2) ~target:(Pid.make 1);
+      Group.run ~until:400.0 group;
+      let initiated who =
+        List.exists
+          (fun (e : Trace.event) ->
+            Pid.equal e.Trace.owner who
+            &&
+            match e.Trace.kind with
+            | Trace.Initiated_reconf _ -> true
+            | _ -> false)
+          (Trace.events (Group.trace group))
+      in
+      (initiated (Pid.make 1), initiated (Pid.make 2))
+    in
+    Fmt.pr "p actual | q thinks p | p initiates | q initiates@.";
+    List.iter
+      (fun (pf, qt) ->
+        let p_init, q_init = row ~p_failed:pf ~q_thinks:qt in
+        Fmt.pr "%-8s | %-10s | %-11b | %b@."
+          (if pf then "Failed" else "Up")
+          (if qt then "Failed" else "Up")
+          p_init q_init)
+      [ (false, false); (true, false); (false, true); (true, true) ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce Table 1 (who initiates reconfiguration).")
+    Term.(const go $ const ())
+
+let main_cmd =
+  let doc =
+    "Group membership / failure detection for asynchronous systems \
+     (Ricciardi & Birman, 1991)"
+  in
+  Cmd.group
+    (Cmd.info "gmp-sim" ~version:"1.0.0" ~doc)
+    [ run_cmd; scenario_cmd; sweep_cmd; fuzz_cmd; table1_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

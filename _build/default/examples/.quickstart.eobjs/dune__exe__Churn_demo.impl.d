@@ -1,0 +1,1 @@
+examples/churn_demo.ml: Checker Fmt Gmp_base Gmp_core Gmp_runtime Group List Member Pid String View

@@ -1,0 +1,1 @@
+examples/lock_service.ml: Checker Fmt Gmp_base Gmp_core Gmp_runtime Group Hashtbl List Member Pid View Wire

@@ -1,0 +1,1 @@
+examples/monitor.ml: Checker Fmt Gmp_base Gmp_core Gmp_runtime Group List Member Pid String View

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Checker Fmt Gmp_base Gmp_core Group List Member Pid String View

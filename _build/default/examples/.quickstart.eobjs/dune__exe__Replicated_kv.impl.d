@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Checker Fmt Gmp_base Gmp_core Gmp_sim Group Hashtbl List Member Pid String Wire

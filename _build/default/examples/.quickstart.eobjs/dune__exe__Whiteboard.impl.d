@@ -1,0 +1,1 @@
+examples/whiteboard.ml: Checker Fmt Gmp_base Gmp_core Gmp_vsync Group List Member Pid String

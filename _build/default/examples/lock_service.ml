@@ -1,0 +1,158 @@
+(* A fault-tolerant lock service - the textbook reason failure detection
+   must be AGREED upon: a lock held by a crashed process must be revoked and
+   re-granted, but only if every server agrees the holder is gone, or two
+   clients end up inside the critical section.
+
+   The lock table is replicated across the member group (coordinator
+   sequences grants over the application channel). Revocation is driven by
+   the membership view itself: when the view excludes the holder, the lock
+   returns to the queue and the next waiter gets it. Because views are
+   1-copy (GMP-2/3), all surviving servers revoke at the same view
+   boundary - no split-brain grants.
+
+   Run: dune exec examples/lock_service.exe *)
+
+open Gmp_base
+open Gmp_core
+
+type Wire.app +=
+  | Lk_acquire of { lock : string; who : Pid.t }
+  | Lk_release of { lock : string; who : Pid.t }
+  | Lk_commit of { lseq : int; lock : string; holder : Pid.t option; queue : Pid.t list }
+
+type lock_state = { holder : Pid.t option; queue : Pid.t list }
+
+type server = {
+  member : Member.t;
+  table : (string, lock_state) Hashtbl.t;
+  mutable lseq : int;
+}
+
+let state server lock =
+  match Hashtbl.find_opt server.table lock with
+  | Some s -> s
+  | None -> { holder = None; queue = [] }
+
+(* Coordinator-only: compute and replicate the next state of one lock. *)
+let commit server lock next =
+  let previous = state server lock in
+  server.lseq <- server.lseq + 1;
+  Hashtbl.replace server.table lock next;
+  (if next.holder <> previous.holder then
+     match next.holder with
+     | Some holder ->
+       Fmt.pr "  t=%6.2f %s GRANTED to %s@."
+         (Gmp_runtime.Runtime.node_now (Member.node server.member))
+         lock (Pid.to_string holder)
+     | None ->
+       Fmt.pr "  t=%6.2f %s is free@."
+         (Gmp_runtime.Runtime.node_now (Member.node server.member))
+         lock);
+  Member.broadcast_app server.member
+    (Lk_commit { lseq = server.lseq; lock; holder = next.holder; queue = next.queue })
+
+let grant_next server lock st =
+  match (st.holder, st.queue) with
+  | None, next :: rest -> commit server lock { holder = Some next; queue = rest }
+  | _, _ -> commit server lock st
+
+let coordinate server msg =
+  match msg with
+  | Lk_acquire { lock; who } ->
+    let st = state server lock in
+    if st.holder = Some who || List.exists (Pid.equal who) st.queue then ()
+    else grant_next server lock { st with queue = st.queue @ [ who ] }
+  | Lk_release { lock; who } ->
+    let st = state server lock in
+    if st.holder = Some who then
+      grant_next server lock { holder = None; queue = st.queue }
+  | _ -> ()
+
+(* Every server: revoke locks whose holders (or waiters) left the view. *)
+let sweep_departed server =
+  if Member.is_mgr server.member then begin
+    let view = Member.view server.member in
+    Hashtbl.iter
+      (fun lock st ->
+        let holder_gone =
+          match st.holder with
+          | Some h -> not (View.mem view h)
+          | None -> false
+        in
+        let live_queue = List.filter (View.mem view) st.queue in
+        if holder_gone then begin
+          Fmt.pr "  t=%6.2f %s REVOKED from departed %s@."
+            (Gmp_runtime.Runtime.node_now (Member.node server.member))
+            lock
+            (match st.holder with Some h -> Pid.to_string h | None -> "?");
+          grant_next server lock { holder = None; queue = live_queue }
+        end
+        else if List.length live_queue <> List.length st.queue then
+          commit server lock { st with queue = live_queue })
+      (Hashtbl.copy server.table)
+  end
+
+let attach member =
+  let server = { member; table = Hashtbl.create 8; lseq = 0 } in
+  Member.set_app_handler member (fun ~src:_ msg ->
+      match msg with
+      | Lk_acquire _ | Lk_release _ ->
+        if Member.is_mgr member then coordinate server msg
+        else if not (Pid.equal (Member.manager member) (Member.pid member))
+        then Member.send_app member ~dst:(Member.manager member) msg
+      | Lk_commit { lseq; lock; holder; queue } ->
+        if lseq > server.lseq then begin
+          server.lseq <- lseq;
+          Hashtbl.replace server.table lock { holder; queue }
+        end
+      | _ -> ());
+  Member.set_on_view_change member (fun _ -> sweep_departed server);
+  server
+
+let request server msg =
+  if Member.is_mgr server.member then coordinate server msg
+  else Member.send_app server.member ~dst:(Member.manager server.member) msg
+
+let () =
+  let group = Group.create ~seed:23 ~n:5 () in
+  let servers =
+    List.map (fun m -> (Member.pid m, attach m)) (Group.members group)
+  in
+  let server pid = List.assoc pid servers in
+  let p i = Pid.make i in
+
+  Fmt.pr "Five servers; p2 takes the lock, then crashes; p3 and p4 wait.@.";
+  Group.at group 10.0 (fun () ->
+      request (server (p 1)) (Lk_acquire { lock = "L"; who = p 2 }));
+  Group.at group 15.0 (fun () ->
+      request (server (p 1)) (Lk_acquire { lock = "L"; who = p 3 }));
+  Group.at group 18.0 (fun () ->
+      request (server (p 4)) (Lk_acquire { lock = "L"; who = p 4 }));
+  (* The holder dies while holding the lock. Membership notices, the view
+     changes, and the sweep re-grants to the first live waiter. *)
+  Group.crash_at group 30.0 (p 2);
+  (* Later the new holder releases normally. *)
+  Group.at group 80.0 (fun () ->
+      request (server (p 3)) (Lk_release { lock = "L"; who = p 3 }));
+  Group.run ~until:300.0 group;
+
+  (* All surviving servers agree on the lock table. *)
+  let live =
+    List.filter (fun (pid, _) -> Member.operational (Group.member group pid)) servers
+  in
+  let holder_of (_, s) = (state s "L").holder in
+  let holders = List.map holder_of live in
+  let agreed =
+    match holders with
+    | [] -> true
+    | h :: rest -> List.for_all (fun x -> x = h) rest
+  in
+  Fmt.pr "@.Final holder (all servers): %s - agreement: %b@."
+    (match List.nth_opt holders 0 with
+     | Some (Some h) -> Pid.to_string h
+     | _ -> "none")
+    agreed;
+  let violations = Checker.check_group group in
+  Fmt.pr "GMP specification: %s@."
+    (if violations = [] then "all hold"
+     else Fmt.str "%d violations" (List.length violations))

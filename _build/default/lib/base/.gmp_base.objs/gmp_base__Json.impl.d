@@ -1,0 +1,1 @@
+lib/base/json.ml: Buffer Char Float Fmt Printf String

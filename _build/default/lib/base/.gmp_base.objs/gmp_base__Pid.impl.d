@@ -1,0 +1,1 @@
+lib/base/pid.ml: Fmt Hashtbl Int List Map Printf Set

@@ -1,0 +1,1 @@
+lib/base/pid.mli: Fmt Hashtbl Map Set

@@ -1,0 +1,60 @@
+(* A minimal JSON document builder and printer (no external dependencies).
+
+   Used to export traces, statistics and measurements for analysis outside
+   the simulator (plotting, diffing runs). Encoding only - the repository
+   never needs to parse JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let null = Null
+let bool b = Bool b
+let int i = Int i
+let float f = Float f
+let string s = String s
+let list xs = List xs
+let obj fields = Obj fields
+
+let of_option f = function None -> Null | Some x -> f x
+
+let escape s =
+  let buffer = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else if Float.is_nan f then "null" (* JSON has no NaN *)
+  else if Float.is_integer (f *. 1e6) then Printf.sprintf "%g" f
+  else Printf.sprintf "%.9g" f
+
+let rec pp ppf = function
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.string ppf (float_literal f)
+  | String s -> Fmt.pf ppf "\"%s\"" (escape s)
+  | List xs -> Fmt.pf ppf "[@[<hv>%a@]]" Fmt.(list ~sep:(any ",@ ") pp) xs
+  | Obj fields ->
+    let pp_field ppf (k, v) = Fmt.pf ppf "\"%s\":@ %a" (escape k) pp v in
+    Fmt.pf ppf "{@[<hv>%a@]}" Fmt.(list ~sep:(any ",@ ") pp_field) fields
+
+let to_string t = Fmt.str "%a" pp t

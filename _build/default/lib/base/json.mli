@@ -1,0 +1,21 @@
+(** Minimal dependency-free JSON builder and printer (encoding only). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val string : string -> t
+val list : t list -> t
+val obj : (string * t) list -> t
+val of_option : ('a -> t) -> 'a option -> t
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,52 @@
+(* Process identifiers. The paper treats a recovered process as "a new and
+   different process instance"; the incarnation number realizes that: p3#0 and
+   p3#1 are different processes sharing a host name. *)
+
+module T = struct
+  type t = { id : int; incarnation : int }
+
+  let compare a b =
+    match Int.compare a.id b.id with
+    | 0 -> Int.compare a.incarnation b.incarnation
+    | c -> c
+end
+
+include T
+
+let make ?(incarnation = 0) id =
+  if id < 0 then invalid_arg "Pid.make: negative id";
+  if incarnation < 0 then invalid_arg "Pid.make: negative incarnation";
+  { id; incarnation }
+
+let id t = t.id
+let incarnation t = t.incarnation
+
+let reincarnate t = { t with incarnation = t.incarnation + 1 }
+
+let equal a b = compare a b = 0
+
+let to_string t =
+  if t.incarnation = 0 then Printf.sprintf "p%d" t.id
+  else Printf.sprintf "p%d#%d" t.id t.incarnation
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+module Set = struct
+  include Set.Make (T)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") pp) (elements s)
+end
+
+module Map = Map.Make (T)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash t = (t.id * 65599) + t.incarnation
+end)
+
+let group ?(incarnation = 0) n =
+  if n < 0 then invalid_arg "Pid.group: negative size";
+  List.init n (fun i -> make ~incarnation i)

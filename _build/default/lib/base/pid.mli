@@ -1,0 +1,31 @@
+(** Process identifiers with incarnation numbers.
+
+    Following the paper's model, a recovered process is a {e new and different
+    process instance}: [reincarnate p] names the next instance of the same
+    host. Identifiers order first by id, then by incarnation. *)
+
+type t
+
+val make : ?incarnation:int -> int -> t
+val id : t -> int
+val incarnation : t -> int
+
+val reincarnate : t -> t
+(** Next instance of the same host. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : t Fmt.t
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : t Fmt.t
+end
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t
+
+val group : ?incarnation:int -> int -> t list
+(** [group n] is the initial group [p0 … p(n-1)]. *)

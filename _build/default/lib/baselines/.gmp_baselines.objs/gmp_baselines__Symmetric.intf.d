@@ -1,0 +1,1 @@
+lib/baselines/symmetric.mli: Gmp_base Gmp_core Gmp_net Pid

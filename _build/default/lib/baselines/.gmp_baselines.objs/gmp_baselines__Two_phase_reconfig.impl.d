@@ -1,0 +1,1 @@
+lib/baselines/two_phase_reconfig.ml: Gmp_base Gmp_core Gmp_net Gmp_runtime Gmp_sim List Pid

@@ -1,0 +1,1 @@
+lib/baselines/two_phase_reconfig.mli: Gmp_base Gmp_core Gmp_net Pid

@@ -1,0 +1,23 @@
+(** One-phase membership baseline (Claim 7.1).
+
+    The coordinator broadcasts removals directly, with no acknowledgement
+    round; whoever believes all higher-ranked processes faulty takes over.
+    The paper proves this cannot solve GMP when the coordinator can fail:
+    under the proof's split schedule the two sides install different views
+    for the same version (GMP-3 violated), which the shared
+    {!Gmp_core.Checker} flags on the recorded trace. *)
+
+open Gmp_base
+
+type t
+
+val create : ?delay:Gmp_net.Delay.t -> ?seed:int -> n:int -> unit -> t
+val trace : t -> Gmp_core.Trace.t
+val initial : t -> Pid.t list
+
+val suspect_at : t -> float -> observer:Pid.t -> target:Pid.t -> unit
+val partition_at : t -> float -> Pid.t list list -> unit
+val run : ?until:float -> t -> unit
+
+val views : t -> (Pid.t * int * Pid.t list) list
+(** Final [(pid, version, members)] of every process. *)

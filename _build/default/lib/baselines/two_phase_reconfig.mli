@@ -1,0 +1,34 @@
+(** Two-phase reconfiguration baseline (Claim 7.2, Figure 11).
+
+    The real update algorithm, but reconfiguration is Interrogate then
+    Commit - no Propose round. Without the proposal phase an initiator's
+    concrete plan never registers in the survivors' [next()] lists, so a
+    later reconfigurer that detects two possible in-flight changes cannot
+    tell which one may have been committed invisibly and must guess (here:
+    trust the highest-ranked proposer). The Figure 11 schedule makes the
+    guess wrong - a GMP-3 violation the shared {!Gmp_core.Checker} flags -
+    while the identical schedule through the real three-phase protocol
+    stays consistent. *)
+
+open Gmp_base
+
+type t
+
+val create : ?delay:Gmp_net.Delay.t -> ?seed:int -> n:int -> unit -> t
+val trace : t -> Gmp_core.Trace.t
+val initial : t -> Pid.t list
+
+val crash_at : t -> float -> Pid.t -> unit
+val suspect_at : t -> float -> observer:Pid.t -> target:Pid.t -> unit
+
+val exclusion_at : t -> float -> coordinator:Pid.t -> victim:Pid.t -> unit
+(** Have the coordinator start a two-phase exclusion. *)
+
+val reconf_at : t -> float -> Pid.t -> unit
+(** Have a process start the (two-phase) reconfiguration. *)
+
+val partition_at : t -> float -> Pid.t list list -> unit
+val run : ?until:float -> t -> unit
+
+val views : t -> (Pid.t * int * Pid.t list) list
+(** Final [(pid, version, members)] of every process. *)

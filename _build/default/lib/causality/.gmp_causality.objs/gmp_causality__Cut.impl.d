@@ -1,0 +1,1 @@
+lib/causality/cut.ml: Fmt Gmp_base Hashtbl List Pid Vector_clock

@@ -1,0 +1,1 @@
+lib/causality/cut.mli: Fmt Gmp_base Pid Vector_clock

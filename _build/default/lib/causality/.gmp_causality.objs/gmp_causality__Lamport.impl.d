@@ -1,0 +1,1 @@
+lib/causality/lamport.ml: Fmt Int

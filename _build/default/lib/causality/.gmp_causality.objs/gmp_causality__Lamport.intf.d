@@ -1,0 +1,1 @@
+lib/causality/lamport.mli: Fmt

@@ -1,0 +1,1 @@
+lib/causality/vector_clock.ml: Fmt Gmp_base Int List Pid

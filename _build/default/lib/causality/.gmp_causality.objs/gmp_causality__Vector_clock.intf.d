@@ -1,0 +1,1 @@
+lib/causality/vector_clock.mli: Fmt Gmp_base Pid

@@ -1,0 +1,14 @@
+(* Lamport scalar clocks (Lamport 1978). *)
+
+type t = int
+
+let zero = 0
+
+let tick t = t + 1
+
+let merge local remote = (max local remote) + 1
+
+let compare = Int.compare
+let to_int t = t
+let of_int t = if t < 0 then invalid_arg "Lamport.of_int: negative" else t
+let pp = Fmt.int

@@ -1,0 +1,15 @@
+(** Lamport scalar clocks.
+
+    [merge local remote] is the receive rule: [max local remote + 1]. Scalar
+    clocks are consistent with happens-before but do not characterize it; use
+    {!Vector_clock} for that. *)
+
+type t
+
+val zero : t
+val tick : t -> t
+val merge : t -> t -> t
+val compare : t -> t -> int
+val to_int : t -> int
+val of_int : int -> t
+val pp : t Fmt.t

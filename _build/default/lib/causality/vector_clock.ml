@@ -1,0 +1,43 @@
+(* Vector clocks over dynamic process sets. Entries absent from the map are
+   implicitly zero, so clocks over different membership generations compare
+   soundly. *)
+
+open Gmp_base
+
+type t = int Pid.Map.t
+
+let empty = Pid.Map.empty
+
+let get t pid = match Pid.Map.find_opt pid t with None -> 0 | Some n -> n
+
+let tick t pid = Pid.Map.add pid (get t pid + 1) t
+
+let merge a b =
+  Pid.Map.union (fun _pid x y -> Some (max x y)) a b
+
+let leq a b = Pid.Map.for_all (fun pid n -> n <= get b pid) a
+
+let equal a b = leq a b && leq b a
+
+let lt a b = leq a b && not (leq b a)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let compare_total a b =
+  (* Arbitrary total order extending nothing in particular; for use as map
+     keys only. *)
+  Pid.Map.compare Int.compare a b
+
+let of_list entries =
+  List.fold_left
+    (fun acc (pid, n) ->
+      if n < 0 then invalid_arg "Vector_clock.of_list: negative entry"
+      else if n = 0 then acc
+      else Pid.Map.add pid n acc)
+    empty entries
+
+let to_list t = Pid.Map.bindings t
+
+let pp ppf t =
+  let entry ppf (pid, n) = Fmt.pf ppf "%a:%d" Pid.pp pid n in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") entry) (to_list t)

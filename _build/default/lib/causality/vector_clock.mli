@@ -1,0 +1,30 @@
+(** Vector clocks over dynamic process sets.
+
+    Entries absent from the underlying map read as zero, so clocks taken
+    before and after membership changes remain comparable. [lt] characterizes
+    Lamport's happens-before exactly: [e -> e'] iff [lt (vc e) (vc e')]. *)
+
+open Gmp_base
+
+type t
+
+val empty : t
+val get : t -> Pid.t -> int
+val tick : t -> Pid.t -> t
+
+val merge : t -> t -> t
+(** Pointwise maximum (receive rule, before the local tick). *)
+
+val leq : t -> t -> bool
+val lt : t -> t -> bool
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val compare_total : t -> t -> int
+(** An arbitrary total order (for containers); unrelated to causality. *)
+
+val of_list : (Pid.t * int) list -> t
+val to_list : t -> (Pid.t * int) list
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Fmt Gmp_base Group Hashtbl List Member Pid Trace

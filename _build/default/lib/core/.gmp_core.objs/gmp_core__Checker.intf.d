@@ -1,0 +1,1 @@
+lib/core/checker.mli: Fmt Gmp_base Group Pid Trace

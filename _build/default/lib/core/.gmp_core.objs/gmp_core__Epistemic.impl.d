@@ -1,0 +1,1 @@
+lib/core/epistemic.ml: Cut Fmt Gmp_base Gmp_causality Int List Pid Trace Vector_clock

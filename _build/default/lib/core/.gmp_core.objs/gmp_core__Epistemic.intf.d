@@ -1,0 +1,1 @@
+lib/core/epistemic.mli: Fmt Trace

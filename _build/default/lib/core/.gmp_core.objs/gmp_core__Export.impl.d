@@ -1,0 +1,1 @@
+lib/core/export.ml: Checker Gmp_base Gmp_net Group Json List Member Pid Trace Types View

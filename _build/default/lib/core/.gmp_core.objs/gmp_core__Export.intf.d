@@ -1,0 +1,1 @@
+lib/core/export.mli: Checker Gmp_base Gmp_net Group Json Member Pid Trace Types

@@ -1,0 +1,1 @@
+lib/core/group.ml: Config Fmt Gmp_base Gmp_net Gmp_runtime Gmp_sim List Member Pid Trace View Wire

@@ -1,0 +1,1 @@
+lib/core/group.mli: Config Fmt Gmp_base Gmp_net Gmp_runtime Gmp_sim Member Pid Trace Wire

@@ -1,0 +1,1 @@
+lib/core/knowledge.ml: Array Float Fmt Gmp_base List Pid Trace

@@ -1,0 +1,1 @@
+lib/core/knowledge.mli: Fmt Gmp_base Pid Trace

@@ -1,0 +1,1 @@
+lib/core/member.ml: Config Fmt Gmp_base Gmp_detector Gmp_runtime List Pid Trace Types View Wire

@@ -1,0 +1,1 @@
+lib/core/member.mli: Config Fmt Gmp_base Gmp_runtime Pid Trace Types View Wire

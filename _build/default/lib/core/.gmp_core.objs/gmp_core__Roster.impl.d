@@ -1,0 +1,1 @@
+lib/core/roster.ml: Fmt Gmp_base Member Pid Wire

@@ -1,0 +1,1 @@
+lib/core/roster.mli: Fmt Gmp_base Member Pid

@@ -1,0 +1,1 @@
+lib/core/trace.ml: Fmt Gmp_base Gmp_causality List Pid String Types Vector_clock

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Fmt Gmp_base Gmp_causality Pid Types Vector_clock

@@ -1,0 +1,1 @@
+lib/core/types.mli: Fmt Gmp_base Pid

@@ -1,0 +1,1 @@
+lib/core/view.ml: Fmt Gmp_base List Pid Types

@@ -1,0 +1,1 @@
+lib/core/view.mli: Fmt Gmp_base Pid Types

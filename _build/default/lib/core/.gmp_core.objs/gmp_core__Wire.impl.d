@@ -1,0 +1,1 @@
+lib/core/wire.ml: Fmt Gmp_base Pid Types

@@ -1,0 +1,1 @@
+lib/core/wire.mli: Fmt Gmp_base Pid Types

@@ -1,0 +1,44 @@
+(** Executable checkers for the GMP specification (§2.3) over recorded
+    runs. Every test and experiment pipes its trace through these. *)
+
+open Gmp_base
+
+type violation = { property : string; detail : string }
+
+val pp_violation : violation Fmt.t
+
+val check_gmp0 : Trace.t -> initial:Pid.t list -> violation list
+(** GMP-0: every initial process installs version 0 = Proc. *)
+
+val check_gmp1 : Trace.t -> violation list
+(** GMP-1: no capricious removals - every [Removed] is preceded (in its
+    owner's history) by a [Faulty] for the same target. *)
+
+val check_gmp23 : Trace.t -> violation list
+(** GMP-2/GMP-3: any two installs of the same version carry the same
+    membership, and no process skips a version. *)
+
+val check_gmp4 : Trace.t -> violation list
+(** GMP-4: once removed from a local view, a pid (same incarnation) never
+    reappears in it. *)
+
+val check_gmp5 : Trace.t -> final_view:Pid.t list -> violation list
+(** GMP-5: every detection is eventually resolved - no suspicion pair
+    survives together into the final view of a quiescent run. *)
+
+val check_convergence :
+  surviving_views:(Pid.t * int * Pid.t list) list ->
+  dead:Pid.t list ->
+  violation list
+(** Liveness on a quiescent run: operational processes agree on one view
+    that contains them all and none of the dead. *)
+
+val check_internal : Trace.t -> violation list
+(** Runtime-detected invariant breaks ([Trace.Violation] events). *)
+
+val check_safety : Trace.t -> initial:Pid.t list -> violation list
+(** GMP-0, 1, 2/3, 4 + internal (no liveness / finality assumptions). *)
+
+val check_group : ?liveness:bool -> Group.t -> violation list
+(** Full check for a quiescent {!Group} run; [~liveness:false] restricts to
+    safety. *)

@@ -1,0 +1,129 @@
+(* Executable fragments of the paper's Appendix: epistemic analysis of GMP.
+
+   We cannot run a modal logic, but on a recorded trace with vector clocks
+   the knowledge claims become decidable:
+
+   - Equation 4: when p receives "!x" (installs version x), p knows that
+     Sys^{x-1} *was* defined. Operationally: for every install of version x
+     by p there must exist, for every member q of view x-1 that ever reached
+     version x-1, an install of x-1 by q that happens-before p's install of
+     x - unless q was deemed faulty (never reached x-1) or is the
+     coordinator's own removal target.
+
+   - Concurrent common knowledge (no-coordinator-failure runs): the installs
+     of each version x form a set of events whose happens-before closure is
+     a consistent cut - the paper's locally-distinguishable cut c_x. *)
+
+open Gmp_base
+open Gmp_causality
+
+type report = {
+  eq4_checked : int;
+  eq4_failures : string list;
+  cuts_checked : int;
+  cut_failures : string list;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "eq4: %d checked, %d failed; cuts: %d checked, %d failed"
+    r.eq4_checked
+    (List.length r.eq4_failures)
+    r.cuts_checked
+    (List.length r.cut_failures)
+
+let ok r = r.eq4_failures = [] && r.cut_failures = []
+
+(* All install events, as (owner, ver, members, trace event). *)
+let install_events trace =
+  List.filter_map
+    (fun (e, ver, members) -> Some (e.Trace.owner, ver, members, e))
+    (Trace.installs trace)
+
+let find_install installs ~owner ~ver =
+  List.find_opt
+    (fun (o, x, _, _) -> Pid.equal o owner && x = ver)
+    installs
+
+(* Equation 4: (ver(p) = x) => Kp <past> IsSysView(x-1). *)
+let check_eq4 trace =
+  let installs = install_events trace in
+  let checked = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (p, x, _members, (e : Trace.event)) ->
+      if x >= 1 then begin
+        (* members of view x-1 as recorded by whoever installed it *)
+        match
+          List.find_opt (fun (_, ver, _, _) -> ver = x - 1) installs
+        with
+        | None -> () (* x-1 never visible: nothing checkable *)
+        | Some (_, _, prev_members, _) ->
+          List.iter
+            (fun q ->
+              if not (Pid.equal q p) then begin
+                match find_install installs ~owner:q ~ver:(x - 1) with
+                | None -> () (* q never reached x-1: deemed faulty *)
+                | Some (_, _, _, eq) ->
+                  incr checked;
+                  if not (Vector_clock.leq eq.Trace.vc e.Trace.vc) then
+                    failures :=
+                      Fmt.str
+                        "%a's install of v%d does not causally dominate %a's \
+                         install of v%d"
+                        Pid.pp p x Pid.pp q (x - 1)
+                      :: !failures
+              end)
+            prev_members
+      end)
+    installs;
+  (!checked, List.rev !failures)
+
+(* The cut c_x (Theorem 6.1): the happens-before closure of the installs of
+   version x is a consistent cut. *)
+let check_cuts trace =
+  let log =
+    List.map
+      (fun (e : Trace.event) ->
+        Cut.
+          { owner = e.owner;
+            index = e.index;
+            time = e.time;
+            vc = e.vc;
+            data = e.kind })
+      (Trace.events trace)
+  in
+  let installs = install_events trace in
+  let versions =
+    List.sort_uniq Int.compare (List.map (fun (_, v, _, _) -> v) installs)
+  in
+  let checked = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun ver ->
+      let events =
+        List.filter_map
+          (fun (_, x, _, (e : Trace.event)) ->
+            if x = ver then
+              Some
+                Cut.
+                  { owner = e.owner;
+                    index = e.index;
+                    time = e.time;
+                    vc = e.vc;
+                    data = e.kind }
+            else None)
+          installs
+      in
+      if events <> [] then begin
+        incr checked;
+        let frontier = Cut.closure log events in
+        if not (Cut.is_consistent log frontier) then
+          failures := Fmt.str "closure of installs of v%d is inconsistent" ver :: !failures
+      end)
+    versions;
+  (!checked, List.rev !failures)
+
+let analyze ?(eq4 = true) trace =
+  let eq4_checked, eq4_failures = if eq4 then check_eq4 trace else (0, []) in
+  let cuts_checked, cut_failures = check_cuts trace in
+  { eq4_checked; eq4_failures; cuts_checked; cut_failures }

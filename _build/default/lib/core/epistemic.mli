@@ -1,0 +1,26 @@
+(** Executable fragments of the paper's Appendix (epistemic analysis).
+
+    On a vector-clock-stamped trace the knowledge claims become decidable:
+
+    - {b Equation 4}: when [p] installs version [x] it knows [Sys^(x-1)]
+      {e was} defined - operationally, every member's install of [x-1]
+      happens-before [p]'s install of [x] (members that never reached [x-1]
+      were deemed faulty and are exempt);
+    - {b Theorem 6.1's cuts}: the happens-before closure of the installs of
+      each version is a consistent cut (the locally-distinguishable cut
+      [c_x] that makes the view's existence concurrent common knowledge in
+      no-coordinator-failure runs). *)
+
+type report = {
+  eq4_checked : int;
+  eq4_failures : string list;
+  cuts_checked : int;
+  cut_failures : string list;
+}
+
+val pp_report : report Fmt.t
+val ok : report -> bool
+
+val analyze : ?eq4:bool -> Trace.t -> report
+(** [~eq4:false] skips the Equation-4 pass (use on coordinator-failure runs,
+    where stragglers synchronize late and only the cut check applies). *)

@@ -1,0 +1,94 @@
+(* JSON export of runs: traces, statistics, final states. Lets external
+   tooling (plots, diffs, dashboards) consume simulation results. *)
+
+open Gmp_base
+module J = Json
+
+let json_of_pid p = J.string (Pid.to_string p)
+
+let json_of_op = function
+  | Types.Add p -> J.obj [ ("add", json_of_pid p) ]
+  | Types.Remove p -> J.obj [ ("remove", json_of_pid p) ]
+
+let json_of_kind = function
+  | Trace.Faulty q -> J.obj [ ("faulty", json_of_pid q) ]
+  | Trace.Operating q -> J.obj [ ("operating", json_of_pid q) ]
+  | Trace.Removed { target; new_ver } ->
+    J.obj [ ("removed", json_of_pid target); ("ver", J.int new_ver) ]
+  | Trace.Added { target; new_ver } ->
+    J.obj [ ("added", json_of_pid target); ("ver", J.int new_ver) ]
+  | Trace.Installed { ver; view_members } ->
+    J.obj
+      [ ("installed", J.int ver);
+        ("view", J.list (List.map json_of_pid view_members)) ]
+  | Trace.Quit reason -> J.obj [ ("quit", J.string reason) ]
+  | Trace.Crashed -> J.obj [ ("crashed", J.bool true) ]
+  | Trace.Initiated_reconf { at_ver } -> J.obj [ ("initiated_reconf", J.int at_ver) ]
+  | Trace.Proposed { target_ver; ops } ->
+    J.obj
+      [ ("proposed", J.int target_ver);
+        ("ops", J.list (List.map json_of_op ops)) ]
+  | Trace.Committed { ver; commit_kind } ->
+    J.obj
+      [ ("committed", J.int ver);
+        ( "kind",
+          J.string
+            (match commit_kind with `Update -> "update" | `Reconf -> "reconf") )
+      ]
+  | Trace.Became_mgr { at_ver } -> J.obj [ ("became_mgr", J.int at_ver) ]
+  | Trace.Violation v -> J.obj [ ("violation", J.string v) ]
+
+let json_of_event (e : Trace.event) =
+  J.obj
+    [ ("owner", json_of_pid e.Trace.owner);
+      ("index", J.int e.Trace.index);
+      ("time", J.float e.Trace.time);
+      ("event", json_of_kind e.Trace.kind) ]
+
+let json_of_trace trace =
+  J.list (List.map json_of_event (Trace.events trace))
+
+let json_of_stats stats =
+  J.obj
+    (List.map
+       (fun (category, sent, delivered, dropped) ->
+         ( category,
+           J.obj
+             [ ("sent", J.int sent);
+               ("delivered", J.int delivered);
+               ("dropped", J.int dropped) ] ))
+       (Gmp_net.Stats.snapshot stats))
+
+let json_of_member m =
+  J.obj
+    [ ("pid", json_of_pid (Member.pid m));
+      ("version", J.int (Member.version m));
+      ("view", J.list (List.map json_of_pid (View.members (Member.view m))));
+      ("manager", json_of_pid (Member.manager m));
+      ("joined", J.bool (Member.joined m));
+      ("quit", J.bool (Member.has_quit m));
+      ("crashed", J.bool (Member.crashed m && not (Member.has_quit m))) ]
+
+let json_of_violation (v : Checker.violation) =
+  J.obj
+    [ ("property", J.string v.Checker.property);
+      ("detail", J.string v.Checker.detail) ]
+
+let json_of_group ?(include_trace = true) group =
+  let violations = Checker.check_group group in
+  J.obj
+    [ ("initial", J.list (List.map json_of_pid (Group.initial group)));
+      ("members", J.list (List.map json_of_member (Group.members group)));
+      ( "agreed_view",
+        match Group.agreed_view group with
+        | Some (ver, members) ->
+          J.obj
+            [ ("version", J.int ver);
+              ("members", J.list (List.map json_of_pid members)) ]
+        | None -> J.null );
+      ("protocol_messages", J.int (Group.protocol_messages group));
+      ("stats", json_of_stats (Group.stats group));
+      ("violations", J.list (List.map json_of_violation violations));
+      ( "trace",
+        if include_trace then json_of_trace (Group.trace group) else J.null )
+    ]

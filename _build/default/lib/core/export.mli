@@ -1,0 +1,16 @@
+(** JSON export of runs (traces, statistics, final states) for external
+    tooling. *)
+
+open Gmp_base
+
+val json_of_pid : Pid.t -> Json.t
+val json_of_op : Types.op -> Json.t
+val json_of_event : Trace.event -> Json.t
+val json_of_trace : Trace.t -> Json.t
+val json_of_stats : Gmp_net.Stats.t -> Json.t
+val json_of_member : Member.t -> Json.t
+val json_of_violation : Checker.violation -> Json.t
+
+val json_of_group : ?include_trace:bool -> Group.t -> Json.t
+(** Full run dump: members, agreed view, statistics, checker verdicts and
+    (optionally) the complete trace. *)

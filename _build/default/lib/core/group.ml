@@ -1,0 +1,125 @@
+(* Simulation harness: builds a process group on the simulated network,
+   injects failures / suspicions / joins / partitions on schedule, runs the
+   engine, and hands back the trace, statistics and final states. *)
+
+open Gmp_base
+module Runtime = Gmp_runtime.Runtime
+
+type t = {
+  runtime : Wire.t Runtime.t;
+  trace : Trace.t;
+  config : Config.t;
+  initial : Pid.t list;
+  mutable members : Member.t Pid.Map.t; (* all ever spawned *)
+}
+
+let create ?(config = Config.default) ?delay ?(seed = 1) ~n () =
+  if n <= 0 then invalid_arg "Group.create: need at least one process";
+  let runtime = Runtime.create ?delay ~seed () in
+  let trace = Trace.create () in
+  let initial = Pid.group n in
+  let members =
+    List.fold_left
+      (fun acc pid ->
+        let m = Member.create ~runtime ~trace ~config ~initial pid in
+        Pid.Map.add pid m acc)
+      Pid.Map.empty initial
+  in
+  { runtime; trace; config; initial; members }
+
+let runtime t = t.runtime
+let engine t = Runtime.engine t.runtime
+let trace t = t.trace
+let stats t = Runtime.stats t.runtime
+let initial t = t.initial
+let pids t = List.map fst (Pid.Map.bindings t.members)
+
+let member t pid =
+  match Pid.Map.find_opt pid t.members with
+  | Some m -> m
+  | None ->
+    invalid_arg (Fmt.str "Group.member: unknown pid %a" Pid.pp pid)
+
+let members t = List.map snd (Pid.Map.bindings t.members)
+
+let nth t i = member t (Pid.make i)
+
+(* ---- schedule injections ---- *)
+
+let at t time f =
+  ignore
+    (Gmp_sim.Engine.schedule_at (engine t) ~time f : Gmp_sim.Engine.handle)
+
+let crash_at t time pid =
+  at t time (fun () -> Member.inject_crash (member t pid))
+
+let suspect_at t time ~observer ~target =
+  at t time (fun () -> Member.inject_suspicion (member t observer) target)
+
+let join_at ?contacts t time pid ~contact =
+  at t time (fun () ->
+      if Pid.Map.mem pid t.members then
+        invalid_arg (Fmt.str "Group.join_at: pid %a already exists" Pid.pp pid);
+      let m =
+        Member.create ~joiner:true ~runtime:t.runtime ~trace:t.trace
+          ~config:t.config ~initial:t.initial pid
+      in
+      t.members <- Pid.Map.add pid m t.members;
+      let contacts =
+        match contacts with
+        | Some cs -> contact :: cs
+        | None ->
+          contact :: List.filter (fun p -> not (Pid.equal p contact)) t.initial
+      in
+      Member.start_join m ~contacts)
+
+let partition_at t time groups =
+  at t time (fun () -> Gmp_net.Network.partition (Runtime.network t.runtime) groups)
+
+let heal_at t time =
+  at t time (fun () -> Gmp_net.Network.heal (Runtime.network t.runtime))
+
+(* ---- running ---- *)
+
+let run ?max_steps ?(until = 500.0) t =
+  Runtime.run ?max_steps ~until t.runtime
+
+let run_to_quiescence ?max_steps t = Runtime.run ?max_steps t.runtime
+
+(* ---- inspection ---- *)
+
+let operational_members t =
+  (* Never-joined joiners hold no view; they do not participate in view
+     agreement. *)
+  List.filter
+    (fun m -> Member.operational m && Member.joined m)
+    (members t)
+
+let surviving_views t =
+  List.map
+    (fun m -> (Member.pid m, Member.version m, View.members (Member.view m)))
+    (operational_members t)
+
+(* The final system view, if the operational processes agree on one. *)
+let agreed_view t =
+  match operational_members t with
+  | [] -> None
+  | m :: rest ->
+    let ver = Member.version m and v = Member.view m in
+    if
+      List.for_all
+        (fun m' -> Member.version m' = ver && View.equal (Member.view m') v)
+        rest
+    then Some (ver, View.members v)
+    else None
+
+(* Count of protocol messages, per the paper's accounting (§7.2). *)
+let protocol_messages t =
+  let stats = stats t in
+  List.fold_left
+    (fun acc category -> acc + Gmp_net.Stats.sent stats ~category)
+    0 Wire.protocol_categories
+
+let pp_summary ppf t =
+  let member ppf m = Member.pp ppf m in
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@\n") member) (members t)

@@ -1,0 +1,63 @@
+(** Simulation harness: a process group on the simulated network.
+
+    Builds the members, schedules fault/join/partition injections, runs the
+    engine and exposes the trace, statistics and final states that the
+    checkers and benches consume. *)
+
+open Gmp_base
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?delay:Gmp_net.Delay.t ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  t
+(** A group of [n] processes [p0 .. p(n-1)], [p0] most senior. *)
+
+val runtime : t -> Wire.t Gmp_runtime.Runtime.t
+val engine : t -> Gmp_sim.Engine.t
+val trace : t -> Trace.t
+val stats : t -> Gmp_net.Stats.t
+val initial : t -> Pid.t list
+val pids : t -> Pid.t list
+val member : t -> Pid.t -> Member.t
+val members : t -> Member.t list
+val nth : t -> int -> Member.t
+
+(** {1 Scheduled injections} *)
+
+val at : t -> float -> (unit -> unit) -> unit
+val crash_at : t -> float -> Pid.t -> unit
+val suspect_at : t -> float -> observer:Pid.t -> target:Pid.t -> unit
+
+val join_at : ?contacts:Pid.t list -> t -> float -> Pid.t -> contact:Pid.t -> unit
+(** Spawn a fresh process at the given time and have it request admission
+    through [contact] (retrying through [contacts], default the initial
+    group). *)
+
+val partition_at : t -> float -> Pid.t list list -> unit
+val heal_at : t -> float -> unit
+
+(** {1 Running and inspecting} *)
+
+val run : ?max_steps:int -> ?until:float -> t -> unit
+(** Default horizon 500 virtual time units. *)
+
+val run_to_quiescence : ?max_steps:int -> t -> unit
+(** Only terminates when no timers recur (e.g. heartbeats off). *)
+
+val operational_members : t -> Member.t list
+(** Alive, not quit, and holding a view. *)
+
+val surviving_views : t -> (Pid.t * int * Pid.t list) list
+
+val agreed_view : t -> (int * Pid.t list) option
+(** The final system view, if all operational members agree on one. *)
+
+val protocol_messages : t -> int
+(** Messages sent in the protocol categories (§7.2 accounting). *)
+
+val pp_summary : t Fmt.t

@@ -1,0 +1,249 @@
+(* An executable fragment of the paper's epistemic machinery (Appendix, and
+   Ricciardi's tense logic [18]).
+
+   The model: a recorded run induces a chain of consistent cuts - after
+   each trace event, the set of events so far is causally closed (every
+   receive's send was already recorded), so the i-th prefix of the trace IS
+   the i-th cut of a linearization of the run. Formulas are evaluated at
+   cut indices:
+
+   - atoms inspect the cut's state (local versions, views, down-ness);
+   - sometime_past / always_past quantify over earlier cuts of the chain,
+     eventually / henceforth over later ones (the tense modalities);
+   - [knows p phi] is run-local knowledge: phi holds at every cut of this
+     run that p cannot distinguish from the current one (same local
+     history length). This is the standard within-run approximation -
+     sound for refuting knowledge claims and for checking the paper's
+     positive claims on generated runs, though weaker than quantifying
+     over all runs (a documented limitation);
+   - [everyone g phi] is E_G phi; nesting it walks towards common
+     knowledge, as in the Appendix's E^y unwinding.
+
+   The paper's formulas (IsSysView, Equation 4, the E^y chain) are provided
+   as combinators and checked on real protocol runs by the test suite. *)
+
+open Gmp_base
+
+(* ---- per-cut state, precomputed cumulatively ---- *)
+
+type proc_state = {
+  events_seen : int; (* p's local history length at this cut *)
+  version : int option; (* latest installed version, if any *)
+  view_members : Pid.t list option;
+  down : bool; (* quit or crashed by this cut *)
+}
+
+type state = {
+  cut_index : int;
+  cut_time : float;
+  procs : proc_state Pid.Map.t;
+}
+
+type run = { states : state array; run_pids : Pid.t list }
+
+let initial_proc_state =
+  { events_seen = 0; version = None; view_members = None; down = false }
+
+let proc_state_at state p =
+  match Pid.Map.find_opt p state.procs with
+  | Some ps -> ps
+  | None -> initial_proc_state
+
+let of_trace trace =
+  let events = Trace.events trace in
+  let pids = Trace.owners trace in
+  let apply procs (e : Trace.event) =
+    let ps = match Pid.Map.find_opt e.Trace.owner procs with
+      | Some ps -> ps
+      | None -> initial_proc_state
+    in
+    (* The trace index is the owner's true runtime history position (it
+       counts sends and receives too), giving the finest run-local
+       indistinguishability classes available. *)
+    let ps = { ps with events_seen = max (ps.events_seen + 1) e.Trace.index } in
+    let ps =
+      match e.Trace.kind with
+      | Trace.Installed { ver; view_members } ->
+        { ps with version = Some ver; view_members = Some view_members }
+      | Trace.Quit _ | Trace.Crashed -> { ps with down = true }
+      | Trace.Faulty _ | Trace.Operating _ | Trace.Removed _ | Trace.Added _
+      | Trace.Initiated_reconf _ | Trace.Proposed _ | Trace.Committed _
+      | Trace.Became_mgr _ | Trace.Violation _ ->
+        ps
+    in
+    Pid.Map.add e.Trace.owner ps procs
+  in
+  let states =
+    let rec go i procs time acc = function
+      | [] -> List.rev acc
+      | (e : Trace.event) :: rest ->
+        let procs = apply procs e in
+        let time = Float.max time e.Trace.time in
+        let state = { cut_index = i; cut_time = time; procs } in
+        go (i + 1) procs time (state :: acc) rest
+    in
+    let zero = { cut_index = 0; cut_time = 0.0; procs = Pid.Map.empty } in
+    zero :: go 1 Pid.Map.empty 0.0 [] events
+  in
+  { states = Array.of_list states; run_pids = pids }
+
+let length run = Array.length run.states
+let state_at run i = run.states.(i)
+let pids run = run.run_pids
+
+(* state accessors *)
+let version_of state p = (proc_state_at state p).version
+let view_of state p = (proc_state_at state p).view_members
+let is_down state p = (proc_state_at state p).down
+let events_seen state p = (proc_state_at state p).events_seen
+let time state = state.cut_time
+
+(* ---- formulas ---- *)
+
+type formula =
+  | Atom of string * (state -> bool)
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Implies of formula * formula
+  | Sometime_past of formula
+  | Always_past of formula
+  | Eventually of formula
+  | Henceforth of formula
+  | Knows of Pid.t * formula
+  | Everyone of Pid.t list * formula
+
+let atom name f = Atom (name, f)
+let neg f = Not f
+let conj fs = And fs
+let disj fs = Or fs
+let implies a b = Implies (a, b)
+let sometime_past f = Sometime_past f
+let always_past f = Always_past f
+let eventually f = Eventually f
+let henceforth f = Henceforth f
+let knows p f = Knows (p, f)
+let everyone g f = Everyone (g, f)
+
+let rec pp ppf = function
+  | Atom (name, _) -> Fmt.string ppf name
+  | Not f -> Fmt.pf ppf "~%a" pp f
+  | And fs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " & ") pp) fs
+  | Or fs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " | ") pp) fs
+  | Implies (a, b) -> Fmt.pf ppf "(%a => %a)" pp a pp b
+  | Sometime_past f -> Fmt.pf ppf "<P>%a" pp f
+  | Always_past f -> Fmt.pf ppf "[P]%a" pp f
+  | Eventually f -> Fmt.pf ppf "<>%a" pp f
+  | Henceforth f -> Fmt.pf ppf "[]%a" pp f
+  | Knows (p, f) -> Fmt.pf ppf "K_%a %a" Pid.pp p pp f
+  | Everyone (g, f) ->
+    Fmt.pf ppf "E_{%a} %a" Fmt.(list ~sep:(any ",") Pid.pp) g pp f
+
+(* ---- evaluation ---- *)
+
+let rec eval run ~at formula =
+  let state = run.states.(at) in
+  match formula with
+  | Atom (_, f) -> f state
+  | Not f -> not (eval run ~at f)
+  | And fs -> List.for_all (fun f -> eval run ~at f) fs
+  | Or fs -> List.exists (fun f -> eval run ~at f) fs
+  | Implies (a, b) -> (not (eval run ~at a)) || eval run ~at b
+  | Sometime_past f ->
+    let rec scan i = i >= 0 && (eval run ~at:i f || scan (i - 1)) in
+    scan at
+  | Always_past f ->
+    let rec scan i = i < 0 || (eval run ~at:i f && scan (i - 1)) in
+    scan at
+  | Eventually f ->
+    let n = Array.length run.states in
+    let rec scan i = i < n && (eval run ~at:i f || scan (i + 1)) in
+    scan at
+  | Henceforth f ->
+    let n = Array.length run.states in
+    let rec scan i = i >= n || (eval run ~at:i f && scan (i + 1)) in
+    scan at
+  | Knows (p, f) ->
+    (* phi at every cut p cannot distinguish from this one: same local
+       history length. *)
+    let here = events_seen state p in
+    let n = Array.length run.states in
+    let rec scan i =
+      i >= n
+      || ((events_seen run.states.(i) p <> here || eval run ~at:i f)
+          && scan (i + 1))
+    in
+    scan 0
+  | Everyone (g, f) ->
+    List.for_all (fun p -> eval run ~at (Knows (p, f))) g
+
+let valid run formula =
+  let n = Array.length run.states in
+  let rec scan i = i >= n || (eval run ~at:i formula && scan (i + 1)) in
+  scan 0
+
+let satisfiable run formula =
+  let n = Array.length run.states in
+  let rec scan i = i < n && (eval run ~at:i formula || scan (i + 1)) in
+  scan 0
+
+(* ---- the paper's formulas ---- *)
+
+let ver_eq p x =
+  atom (Fmt.str "ver(%a)=%d" Pid.pp p x) (fun s -> version_of s p = Some x)
+
+let down p = atom (Fmt.str "down(%a)" Pid.pp p) (fun s -> is_down s p)
+
+(* IsSysView(x): every process has either installed version x (and all
+   installed x-views agree) or is down. Processes that never produced an
+   event (e.g. unjoined) count as down for this purpose. *)
+let is_sys_view run x =
+  let ps = pids run in
+  atom
+    (Fmt.str "IsSysView(%d)" x)
+    (fun s ->
+      let views =
+        List.filter_map
+          (fun p -> if is_down s p then None else Some (p, version_of s p, view_of s p))
+          ps
+      in
+      views <> []
+      && List.for_all (fun (_, v, _) -> v = Some x) views
+      &&
+      match views with
+      | [] -> false
+      | (_, _, first) :: rest ->
+        List.for_all (fun (_, _, mv) -> mv = first) rest)
+
+(* Members of the x-th system view as recorded in the run (if anyone
+   installed it). *)
+let members_of_version run x =
+  let n = Array.length run.states in
+  let rec scan i =
+    if i >= n then None
+    else
+      let s = run.states.(i) in
+      let found =
+        List.find_map
+          (fun p ->
+            if version_of s p = Some x then view_of s p else None)
+          (pids run)
+      in
+      match found with Some m -> Some m | None -> scan (i + 1)
+  in
+  scan 0
+
+(* Equation 4: (ver(p) = x) => K_p <past> IsSysView(x-1). *)
+let equation_4 run ~p ~x =
+  implies (ver_eq p x) (knows p (sometime_past (is_sys_view run (x - 1))))
+
+(* The Appendix's general unwinding: IsSysView(x) => (E <past>)^y
+   IsSysView(x - y), over the members of view x. *)
+let unwinding run ~x ~y =
+  match members_of_version run x with
+  | None -> None
+  | Some group ->
+    let rec nest k f =
+      if k = 0 then f else nest (k - 1) (everyone group (sometime_past f))
+    in
+    Some (implies (is_sys_view run x) (nest y (is_sys_view run (x - y))))

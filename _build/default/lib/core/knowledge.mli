@@ -1,0 +1,79 @@
+(** Executable fragment of the paper's epistemic machinery (Appendix;
+    Ricciardi's tense logic [18]).
+
+    A recorded trace induces a chain of consistent cuts (each trace prefix
+    is causally closed); formulas are evaluated at cut indices. [knows] is
+    {e run-local} knowledge — the formula holds at every cut of this run
+    the process cannot distinguish from the current one (same local history
+    length). That approximation is sound for refuting knowledge claims and
+    for checking the paper's positive claims on generated runs, but weaker
+    than quantifying over all runs. *)
+
+open Gmp_base
+
+type run
+type state
+type formula
+
+val of_trace : Trace.t -> run
+val length : run -> int
+val state_at : run -> int -> state
+val pids : run -> Pid.t list
+
+(** {1 State accessors (for atoms)} *)
+
+val version_of : state -> Pid.t -> int option
+val view_of : state -> Pid.t -> Pid.t list option
+val is_down : state -> Pid.t -> bool
+val events_seen : state -> Pid.t -> int
+val time : state -> float
+
+(** {1 Formula constructors} *)
+
+val atom : string -> (state -> bool) -> formula
+val neg : formula -> formula
+val conj : formula list -> formula
+val disj : formula list -> formula
+val implies : formula -> formula -> formula
+
+val sometime_past : formula -> formula
+(** The paper's diamond-past: held at some earlier (or this) cut. *)
+
+val always_past : formula -> formula
+val eventually : formula -> formula
+val henceforth : formula -> formula
+
+val knows : Pid.t -> formula -> formula
+(** Run-local K_p. *)
+
+val everyone : Pid.t list -> formula -> formula
+(** E_G; nest towards common knowledge. *)
+
+val pp : formula Fmt.t
+
+(** {1 Evaluation} *)
+
+val eval : run -> at:int -> formula -> bool
+val valid : run -> formula -> bool
+(** Holds at every cut. *)
+
+val satisfiable : run -> formula -> bool
+(** Holds at some cut. *)
+
+(** {1 The paper's formulas} *)
+
+val ver_eq : Pid.t -> int -> formula
+val down : Pid.t -> formula
+
+val is_sys_view : run -> int -> formula
+(** IsSysView(x): every non-down process has installed version x, with
+    agreeing views. *)
+
+val members_of_version : run -> int -> Pid.t list option
+
+val equation_4 : run -> p:Pid.t -> x:int -> formula
+(** (ver(p) = x) => K_p <past> IsSysView(x-1). *)
+
+val unwinding : run -> x:int -> y:int -> formula option
+(** The Appendix's chain: IsSysView(x) => (E <past>)^y IsSysView(x-y),
+    over the members of view x ([None] if nobody installed x). *)

@@ -1,0 +1,157 @@
+(* Run traces. Every protocol-relevant step of every process is recorded
+   with its owner, local history index and vector clock, so the Checker can
+   decide the GMP properties and the Epistemic module can reason about
+   consistent cuts. *)
+
+open Gmp_base
+open Gmp_causality
+
+type kind =
+  | Faulty of Pid.t (* owner executed faulty(target) *)
+  | Operating of Pid.t (* owner learnt target is joining *)
+  | Removed of { target : Pid.t; new_ver : int }
+  | Added of { target : Pid.t; new_ver : int }
+  | Installed of { ver : int; view_members : Pid.t list }
+  | Quit of string (* protocol-mandated quit, with reason *)
+  | Crashed (* injected real crash *)
+  | Initiated_reconf of { at_ver : int }
+  | Proposed of { target_ver : int; ops : Types.op list }
+  | Committed of { ver : int; commit_kind : [ `Update | `Reconf ] }
+  | Became_mgr of { at_ver : int }
+  | Violation of string (* internal invariant broken; checkers flag these *)
+
+type event = {
+  owner : Pid.t;
+  index : int; (* owner's local history position *)
+  time : float;
+  vc : Vector_clock.t;
+  kind : kind;
+}
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let record t ~owner ~index ~time ~vc kind =
+  t.count <- t.count + 1;
+  t.rev_events <- { owner; index; time; vc; kind } :: t.rev_events
+
+let events t = List.rev t.rev_events
+
+let length t = t.count
+
+(* ---- Queries used by the checkers ---- *)
+
+let by_owner t pid =
+  List.filter (fun e -> Pid.equal e.owner pid) (events t)
+
+let installs t =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Installed { ver; view_members } -> Some (e, ver, view_members)
+      | _ -> None)
+    (events t)
+
+let installs_of t pid =
+  List.filter_map
+    (fun (e, ver, view_members) ->
+      if Pid.equal e.owner pid then Some (ver, view_members) else None)
+    (installs t)
+
+let detections t =
+  List.filter_map
+    (fun e -> match e.kind with Faulty q -> Some (e.owner, q, e) | _ -> None)
+    (events t)
+
+let quits t =
+  List.filter_map
+    (fun e ->
+      match e.kind with
+      | Quit reason -> Some (e.owner, `Quit reason)
+      | Crashed -> Some (e.owner, `Crashed)
+      | _ -> None)
+    (events t)
+
+let violations t =
+  List.filter_map
+    (fun e -> match e.kind with Violation v -> Some (e.owner, v) | _ -> None)
+    (events t)
+
+let owners t =
+  List.fold_left
+    (fun acc e -> if List.exists (Pid.equal e.owner) acc then acc else e.owner :: acc)
+    [] (events t)
+  |> List.rev
+
+let pp_kind ppf = function
+  | Faulty q -> Fmt.pf ppf "faulty(%a)" Pid.pp q
+  | Operating q -> Fmt.pf ppf "operating(%a)" Pid.pp q
+  | Removed { target; new_ver } ->
+    Fmt.pf ppf "removed(%a)->v%d" Pid.pp target new_ver
+  | Added { target; new_ver } -> Fmt.pf ppf "added(%a)->v%d" Pid.pp target new_ver
+  | Installed { ver; view_members } ->
+    Fmt.pf ppf "installed v%d {%a}" ver
+      Fmt.(list ~sep:(any ",") Pid.pp)
+      view_members
+  | Quit reason -> Fmt.pf ppf "quit(%s)" reason
+  | Crashed -> Fmt.string ppf "crashed"
+  | Initiated_reconf { at_ver } -> Fmt.pf ppf "initiated-reconf@v%d" at_ver
+  | Proposed { target_ver; ops } ->
+    Fmt.pf ppf "proposed v%d %a" target_ver
+      Fmt.(list ~sep:(any ",") Types.pp_op)
+      ops
+  | Committed { ver; commit_kind } ->
+    Fmt.pf ppf "committed v%d (%s)" ver
+      (match commit_kind with `Update -> "update" | `Reconf -> "reconf")
+  | Became_mgr { at_ver } -> Fmt.pf ppf "became-mgr@v%d" at_ver
+  | Violation v -> Fmt.pf ppf "VIOLATION: %s" v
+
+let pp_event ppf e =
+  Fmt.pf ppf "%8.3f %-6s %a" e.time (Pid.to_string e.owner) pp_kind e.kind
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_event) ppf (events t)
+
+(* ---- ASCII space-time diagram ---- *)
+
+let cell_of_kind = function
+  | Faulty q -> Some (Fmt.str "!%s" (Pid.to_string q))
+  | Operating _ -> None
+  | Removed { target; _ } -> Some (Fmt.str "-%s" (Pid.to_string target))
+  | Added { target; _ } -> Some (Fmt.str "+%s" (Pid.to_string target))
+  | Installed { ver; _ } -> Some (Fmt.str "V%d" ver)
+  | Quit _ -> Some "QUIT"
+  | Crashed -> Some "CRASH"
+  | Initiated_reconf _ -> Some "RECONF"
+  | Proposed { target_ver; _ } -> Some (Fmt.str "prop%d" target_ver)
+  | Committed { ver; _ } -> Some (Fmt.str "!%d" ver)
+  | Became_mgr _ -> Some "MGR"
+  | Violation _ -> Some "VIOL!"
+
+(* One row per protocol-milestone event, one column per process: a compact
+   space-time diagram of the run (the textual analogue of the paper's
+   figures). *)
+let pp_timeline ppf t =
+  let owners = owners t in
+  let width = 9 in
+  let pad s =
+    let len = String.length s in
+    if len >= width then String.sub s 0 width
+    else s ^ String.make (width - len) ' '
+  in
+  Fmt.pf ppf "%s" (pad "time");
+  List.iter (fun p -> Fmt.pf ppf "%s" (pad (Pid.to_string p))) owners;
+  Fmt.pf ppf "@\n";
+  List.iter
+    (fun e ->
+      match cell_of_kind e.kind with
+      | None -> ()
+      | Some cell ->
+        Fmt.pf ppf "%s" (pad (Fmt.str "%.2f" e.time));
+        List.iter
+          (fun p ->
+            if Pid.equal p e.owner then Fmt.pf ppf "%s" (pad cell)
+            else Fmt.pf ppf "%s" (pad "."))
+          owners;
+        Fmt.pf ppf "@\n")
+    (events t)

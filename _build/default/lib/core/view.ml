@@ -1,0 +1,77 @@
+(* Membership views with seniority ranking.
+
+   Members are kept in seniority order: the head is the most senior process -
+   the coordinator, Mgr - with rank |view|; the most recent joiner has rank 1.
+   Removing a process implicitly raises the rank of everyone junior to it, as
+   in §4.2; relative ranks of surviving members never change. *)
+
+open Gmp_base
+
+type t = { members : Pid.t list }
+
+let of_list members =
+  let rec check_distinct = function
+    | [] -> ()
+    | p :: rest ->
+      if List.exists (Pid.equal p) rest then
+        invalid_arg "View.of_list: duplicate member"
+      else check_distinct rest
+  in
+  check_distinct members;
+  { members }
+
+let initial pids = of_list pids
+
+let members t = t.members
+let size t = List.length t.members
+let is_empty t = t.members = []
+
+let mem t p = List.exists (Pid.equal p) t.members
+
+let mgr t =
+  match t.members with
+  | [] -> invalid_arg "View.mgr: empty view"
+  | head :: _ -> head
+
+let rank t p =
+  (* rank(head) = |view|, rank(last) = 1. *)
+  let n = size t in
+  let rec find i = function
+    | [] -> raise Not_found
+    | q :: rest -> if Pid.equal p q then n - i else find (i + 1) rest
+  in
+  find 0 t.members
+
+let higher_ranked t p =
+  (* Members strictly senior to p, i.e. listed before it. *)
+  let rec go acc = function
+    | [] -> raise Not_found
+    | q :: rest ->
+      if Pid.equal p q then List.rev acc else go (q :: acc) rest
+  in
+  go [] t.members
+
+let remove t p = { members = List.filter (fun q -> not (Pid.equal p q)) t.members }
+
+let add t p =
+  if mem t p then invalid_arg "View.add: already a member"
+  else { members = t.members @ [ p ] }
+
+let apply t = function
+  | Types.Remove p -> remove t p
+  | Types.Add p -> add t p
+
+let apply_all t ops = List.fold_left apply t ops
+
+let of_seq ~initial:pids seq = apply_all (of_list pids) seq
+
+let majority t =
+  (* The paper's mu: floor(|view| / 2) + 1. *)
+  (size t / 2) + 1
+
+let equal a b =
+  List.length a.members = List.length b.members
+  && List.for_all2 Pid.equal a.members b.members
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") Pid.pp) t.members

@@ -1,0 +1,48 @@
+(** Membership views with seniority ranking (§4.2).
+
+    Members are ordered by seniority: the head is the coordinator (Mgr) with
+    rank [size t]; the most recent joiner has rank 1. Removal implicitly
+    promotes everyone junior; relative ranks of survivors never change. *)
+
+open Gmp_base
+
+type t
+
+val of_list : Pid.t list -> t
+(** Seniority order, head most senior. Raises on duplicates. *)
+
+val initial : Pid.t list -> t
+val members : t -> Pid.t list
+val size : t -> int
+val is_empty : t -> bool
+val mem : t -> Pid.t -> bool
+
+val mgr : t -> Pid.t
+(** Most senior member. Raises [Invalid_argument] on the empty view. *)
+
+val rank : t -> Pid.t -> int
+(** [rank t mgr = size t]; newest member has rank 1. Raises [Not_found] for
+    non-members (the paper: "the rank of an excluded process is
+    undefined"). *)
+
+val higher_ranked : t -> Pid.t -> Pid.t list
+(** Members strictly senior to the given one. Raises [Not_found] for
+    non-members. *)
+
+val remove : t -> Pid.t -> t
+(** Idempotent. *)
+
+val add : t -> Pid.t -> t
+(** Appends with the lowest rank. Raises if already a member. *)
+
+val apply : t -> Types.op -> t
+val apply_all : t -> Types.op list -> t
+
+val of_seq : initial:Pid.t list -> Types.seq -> t
+(** View of version [List.length seq]. *)
+
+val majority : t -> int
+(** The paper's mu: [size/2 + 1]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

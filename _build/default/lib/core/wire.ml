@@ -1,0 +1,110 @@
+(* Wire messages of the protocol.
+
+   Update algorithm (Figures 8, 9): Invite / Invite_ok / Commit, where the
+   Commit carries a contingent invitation for the next change (the compressed
+   rounds of §3.1) and the coordinator's suspicion sets (gossip, F2).
+
+   Reconfiguration (Figure 10): Interrogate / Interrogate_ok / Propose /
+   Propose_ok / Reconf_commit. Proposals carry the canonical committed
+   operation sequence up to the proposed version; receivers apply the suffix
+   they are missing (see DESIGN.md - this realizes "the cumulative system
+   progress" with unchanged message counts). *)
+
+open Gmp_base
+
+type commit = {
+  op : Types.op;
+  commit_ver : int; (* version that applying [op] produces *)
+  contingent : Types.op option; (* compressed invitation for commit_ver+1 *)
+  faulty : Pid.t list; (* Faulty(Mgr): gossiped suspicions *)
+  recovered : Pid.t list; (* Recovered(Mgr): pending joiners *)
+}
+
+type interrogate_reply = {
+  reply_ver : int;
+  reply_seq : Types.seq;
+  reply_next : Types.expectation list;
+}
+
+type proposal = {
+  target_ver : int;
+  canonical_seq : Types.seq; (* length = target_ver *)
+  invis : Types.op option; (* first change after reconfiguration *)
+  prop_faulty : Pid.t list; (* Faulty(r) *)
+}
+
+(* Application payloads (for example programs built on the membership
+   service); extensible so examples define their own constructors. *)
+type app = ..
+
+type t =
+  | Heartbeat
+  | Faulty_report of Pid.t (* outer -> Mgr: please start an exclusion *)
+  | Join_request (* joiner -> contact *)
+  | Join_forward of Pid.t (* contact -> Mgr *)
+  | Invite of { op : Types.op; invite_ver : int }
+  | Invite_ok of { ok_ver : int }
+  | Commit of commit
+  | Welcome of { w_members : Pid.t list; w_ver : int; w_seq : Types.seq }
+  | Interrogate
+  | Interrogate_ok of interrogate_reply
+  | Propose of proposal
+  | Propose_ok of { pok_ver : int }
+  | Reconf_commit of proposal
+  | App of { app_ver : int; payload : app }
+      (* [app_ver]: sender's view version, for the paper's "no messages from
+         future views" buffering rule. *)
+
+(* Message categories for Stats accounting. *)
+let category = function
+  | Heartbeat -> "heartbeat"
+  | Faulty_report _ -> "report"
+  | Join_request -> "join-request"
+  | Join_forward _ -> "join-forward"
+  | Invite _ -> "invite"
+  | Invite_ok _ -> "invite-ok"
+  | Commit _ -> "commit"
+  | Welcome _ -> "welcome"
+  | Interrogate -> "interrogate"
+  | Interrogate_ok _ -> "interrogate-ok"
+  | Propose _ -> "propose"
+  | Propose_ok _ -> "propose-ok"
+  | Reconf_commit _ -> "reconf-commit"
+  | App _ -> "app"
+
+(* The categories §7.2 counts: the membership protocol proper. Heartbeats,
+   reports, joins and state transfer are the detection mechanism / plumbing
+   the paper does not charge. *)
+let protocol_categories =
+  [ "invite"; "invite-ok"; "commit"; "interrogate"; "interrogate-ok";
+    "propose"; "propose-ok"; "reconf-commit" ]
+
+let update_categories = [ "invite"; "invite-ok"; "commit" ]
+
+let reconf_categories =
+  [ "interrogate"; "interrogate-ok"; "propose"; "propose-ok"; "reconf-commit" ]
+
+let pp ppf = function
+  | Heartbeat -> Fmt.string ppf "heartbeat"
+  | Faulty_report p -> Fmt.pf ppf "faulty-report(%a)" Pid.pp p
+  | Join_request -> Fmt.string ppf "join-request"
+  | Join_forward p -> Fmt.pf ppf "join-forward(%a)" Pid.pp p
+  | Invite { op; invite_ver } ->
+    Fmt.pf ppf "invite(%a,v%d)" Types.pp_op op invite_ver
+  | Invite_ok { ok_ver } -> Fmt.pf ppf "invite-ok(v%d)" ok_ver
+  | Commit { op; commit_ver; contingent; faulty; recovered } ->
+    Fmt.pf ppf "commit(%a,v%d,next=%a,F=%a,R=%a)" Types.pp_op op commit_ver
+      Fmt.(option Types.pp_op)
+      contingent
+      Fmt.(list ~sep:(any ",") Pid.pp)
+      faulty
+      Fmt.(list ~sep:(any ",") Pid.pp)
+      recovered
+  | Welcome { w_ver; _ } -> Fmt.pf ppf "welcome(v%d)" w_ver
+  | Interrogate -> Fmt.string ppf "interrogate"
+  | Interrogate_ok { reply_ver; _ } -> Fmt.pf ppf "interrogate-ok(v%d)" reply_ver
+  | Propose { target_ver; invis; _ } ->
+    Fmt.pf ppf "propose(v%d,invis=%a)" target_ver Fmt.(option Types.pp_op) invis
+  | Propose_ok { pok_ver } -> Fmt.pf ppf "propose-ok(v%d)" pok_ver
+  | Reconf_commit { target_ver; _ } -> Fmt.pf ppf "reconf-commit(v%d)" target_ver
+  | App { app_ver; _ } -> Fmt.pf ppf "app(v%d)" app_ver

@@ -1,0 +1,70 @@
+(** Wire messages of the protocol.
+
+    Update algorithm (Figures 8-9): {!constructor:Invite} /
+    {!constructor:Invite_ok} / {!constructor:Commit}, where the commit
+    carries a contingent invitation for the next change (compressed rounds,
+    §3.1) and the coordinator's suspicion sets (F2 gossip).
+
+    Reconfiguration (Figure 10): {!constructor:Interrogate} /
+    {!constructor:Interrogate_ok} / {!constructor:Propose} /
+    {!constructor:Propose_ok} / {!constructor:Reconf_commit}. Proposals
+    carry the canonical committed sequence up to the proposed version;
+    receivers apply the suffix they are missing ("the cumulative system
+    progress"). *)
+
+open Gmp_base
+
+type commit = {
+  op : Types.op;
+  commit_ver : int;  (** version that applying [op] produces *)
+  contingent : Types.op option;  (** compressed invitation for the next change *)
+  faulty : Pid.t list;  (** Faulty(Mgr): gossiped suspicions *)
+  recovered : Pid.t list;  (** Recovered(Mgr): pending joiners *)
+}
+
+type interrogate_reply = {
+  reply_ver : int;
+  reply_seq : Types.seq;
+  reply_next : Types.expectation list;
+}
+
+type proposal = {
+  target_ver : int;
+  canonical_seq : Types.seq;  (** length = [target_ver] *)
+  invis : Types.op option;  (** first change of the new regime *)
+  prop_faulty : Pid.t list;  (** Faulty(r) *)
+}
+
+type app = ..
+(** Application payloads (for programs built on the membership service);
+    extensible so each example defines its own constructors. *)
+
+type t =
+  | Heartbeat
+  | Faulty_report of Pid.t  (** outer -> Mgr: please start an exclusion *)
+  | Join_request  (** joiner -> contact *)
+  | Join_forward of Pid.t  (** contact -> Mgr *)
+  | Invite of { op : Types.op; invite_ver : int }
+  | Invite_ok of { ok_ver : int }
+  | Commit of commit
+  | Welcome of { w_members : Pid.t list; w_ver : int; w_seq : Types.seq }
+      (** state transfer to an admitted joiner *)
+  | Interrogate
+  | Interrogate_ok of interrogate_reply
+  | Propose of proposal
+  | Propose_ok of { pok_ver : int }
+  | Reconf_commit of proposal
+  | App of { app_ver : int; payload : app }
+      (** [app_ver] is the sender's view version, for the paper's "no
+          messages from future views" buffering rule *)
+
+val category : t -> string
+(** Stats category of a message. *)
+
+val protocol_categories : string list
+(** The categories §7.2 counts: the membership protocol proper (heartbeats,
+    reports, joins and state transfer are not charged). *)
+
+val update_categories : string list
+val reconf_categories : string list
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/detector/heartbeat.ml: Gmp_base Gmp_sim List Pid

@@ -1,0 +1,1 @@
+lib/detector/heartbeat.mli: Gmp_base Gmp_sim Pid

@@ -1,0 +1,1 @@
+lib/detector/scripted.ml: Gmp_base Gmp_sim List Pid

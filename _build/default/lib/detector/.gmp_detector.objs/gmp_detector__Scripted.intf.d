@@ -1,0 +1,1 @@
+lib/detector/scripted.mli: Gmp_base Gmp_sim Pid

@@ -1,0 +1,86 @@
+(* Heartbeat failure detector: the paper's F1 (Observation) source.
+
+   Each process periodically beats to its peers; silence past the timeout
+   triggers [suspect]. The paper is agnostic about the mechanism and only
+   needs it to fire in finite time after a real crash; this one does (beats
+   from a crashed process stop, so its peers' timeouts expire). Like any
+   timeout detector in an asynchronous system it can also fire spuriously
+   under long delays - exactly the "perceived failures" the protocol is
+   designed to tolerate. *)
+
+open Gmp_base
+
+type t = {
+  engine : Gmp_sim.Engine.t;
+  interval : float;
+  timeout : float;
+  send_beat : Pid.t -> unit;
+  peers : unit -> Pid.t list;
+  suspect : Pid.t -> unit;
+  last_heard : float Pid.Tbl.t; (* peer -> time of last beat (or enrolment) *)
+  mutable running : bool;
+  mutable suspects_fired : Pid.Set.t;
+}
+
+let create ~engine ~interval ~timeout ~send_beat ~peers ~suspect () =
+  if interval <= 0.0 then invalid_arg "Heartbeat.create: bad interval";
+  if timeout <= interval then
+    invalid_arg "Heartbeat.create: timeout must exceed interval";
+  { engine;
+    interval;
+    timeout;
+    send_beat;
+    peers;
+    suspect;
+    last_heard = Pid.Tbl.create 16;
+    running = false;
+    suspects_fired = Pid.Set.empty }
+
+let beat_received t ~from =
+  Pid.Tbl.replace t.last_heard from (Gmp_sim.Engine.now t.engine)
+
+let forget t pid =
+  Pid.Tbl.remove t.last_heard pid;
+  t.suspects_fired <- Pid.Set.remove pid t.suspects_fired
+
+let check_peer t now pid =
+  let deadline_start =
+    match Pid.Tbl.find_opt t.last_heard pid with
+    | Some heard -> heard
+    | None ->
+      (* First sighting: grant a full timeout's grace. *)
+      Pid.Tbl.replace t.last_heard pid now;
+      now
+  in
+  if now -. deadline_start > t.timeout
+     && not (Pid.Set.mem pid t.suspects_fired)
+  then begin
+    t.suspects_fired <- Pid.Set.add pid t.suspects_fired;
+    t.suspect pid
+  end
+
+let tick t =
+  if t.running then begin
+    let now = Gmp_sim.Engine.now t.engine in
+    let peers = t.peers () in
+    List.iter t.send_beat peers;
+    List.iter (check_peer t now) peers
+  end
+
+let start t =
+  if not t.running then begin
+    t.running <- true;
+    let rec loop () =
+      if t.running then begin
+        tick t;
+        ignore (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop
+                : Gmp_sim.Engine.handle)
+      end
+    in
+    ignore (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop
+            : Gmp_sim.Engine.handle)
+  end
+
+let stop t = t.running <- false
+
+let is_running t = t.running

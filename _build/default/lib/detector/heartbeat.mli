@@ -1,0 +1,33 @@
+(** Heartbeat failure detector — the paper's F1 (Observation) source.
+
+    Emits a beat to every current peer each [interval] and fires [suspect]
+    once per peer whose last beat is older than [timeout]. Guarantees the
+    paper's liveness assumption (a real crash is suspected in finite time);
+    may fire spuriously under delay — the protocol must tolerate that. *)
+
+open Gmp_base
+
+type t
+
+val create :
+  engine:Gmp_sim.Engine.t ->
+  interval:float ->
+  timeout:float ->
+  send_beat:(Pid.t -> unit) ->
+  peers:(unit -> Pid.t list) ->
+  suspect:(Pid.t -> unit) ->
+  unit ->
+  t
+(** [peers] is consulted on every tick, so the monitored set tracks the
+    current view. [timeout] must exceed [interval]. *)
+
+val start : t -> unit
+val stop : t -> unit
+val is_running : t -> bool
+
+val beat_received : t -> from:Pid.t -> unit
+(** Call when a heartbeat message arrives. *)
+
+val forget : t -> Pid.t -> unit
+(** Drop state about a departed peer (allows a reincarnation to be
+    monitored afresh). *)

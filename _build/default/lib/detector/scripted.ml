@@ -1,0 +1,27 @@
+(* Scripted failure-detection oracle.
+
+   Experiments that reproduce a specific figure need exact control over who
+   suspects whom and when; this module schedules those faultyp(q) events
+   directly, bypassing timeouts. It composes with Heartbeat: both feed the
+   same suspicion entry point of the protocol layer. *)
+
+open Gmp_base
+
+type entry = { at : float; observer : Pid.t; suspect : Pid.t }
+
+let entry ~at ~observer ~suspect = { at; observer; suspect }
+
+let install engine entries ~fire =
+  List.iter
+    (fun { at; observer; suspect } ->
+      ignore (Gmp_sim.Engine.schedule_at engine ~time:at (fun () ->
+                  fire ~observer ~suspect)
+              : Gmp_sim.Engine.handle))
+    entries
+
+let crash_script engine entries ~crash =
+  List.iter
+    (fun (at, pid) ->
+      ignore (Gmp_sim.Engine.schedule_at engine ~time:at (fun () -> crash pid)
+              : Gmp_sim.Engine.handle))
+    entries

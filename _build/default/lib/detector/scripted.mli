@@ -1,0 +1,20 @@
+(** Scripted failure-detection oracle for reproducing exact scenarios.
+
+    Schedules [faultyp(q)] events at chosen instants, bypassing timeouts.
+    Table 1 and the figure-specific experiments are driven this way. *)
+
+open Gmp_base
+
+type entry
+
+val entry : at:float -> observer:Pid.t -> suspect:Pid.t -> entry
+
+val install :
+  Gmp_sim.Engine.t ->
+  entry list ->
+  fire:(observer:Pid.t -> suspect:Pid.t -> unit) ->
+  unit
+
+val crash_script :
+  Gmp_sim.Engine.t -> (float * Pid.t) list -> crash:(Pid.t -> unit) -> unit
+(** Schedule real crashes. *)

@@ -1,0 +1,1 @@
+lib/net/arq.ml: Gmp_base Gmp_sim Hashtbl Lossy Pid Queue

@@ -1,0 +1,1 @@
+lib/net/arq.mli: Delay Gmp_base Gmp_sim Pid

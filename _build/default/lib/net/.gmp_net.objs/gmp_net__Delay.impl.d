@@ -1,0 +1,1 @@
+lib/net/delay.ml: Fmt Gmp_sim

@@ -1,0 +1,1 @@
+lib/net/lossy.ml: Delay Float Gmp_base Gmp_sim Hashtbl Pid

@@ -1,0 +1,1 @@
+lib/net/lossy.mli: Delay Gmp_base Gmp_sim Pid

@@ -1,0 +1,1 @@
+lib/net/network.ml: Delay Float Gmp_base Gmp_sim Hashtbl List Pid Queue Stats

@@ -1,0 +1,1 @@
+lib/net/network.mli: Delay Gmp_base Gmp_sim Pid Stats

@@ -1,0 +1,1 @@
+lib/net/stats.ml: Fmt Hashtbl List String

@@ -1,0 +1,36 @@
+(** The paper's footnoted channel implementation: reliable FIFO over a
+    lossy medium via "a (1-bit) sequence number on each message and an
+    acknowledgement protocol" — the alternating-bit / stop-and-wait
+    protocol, one instance per ordered process pair.
+
+    Messages handed to {!send} reach the upper layer exactly once, in
+    order, despite loss and duplication underneath — provided the medium
+    is FIFO per channel (a physical link; the default). Over arbitrarily
+    reordering links the 1-bit protocol is provably unsound (a stale frame
+    or ack can cross two bit flips); create with [~fifo:false] to
+    demonstrate it. *)
+
+open Gmp_base
+
+type 'm t
+
+val create :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?rto:float ->
+  ?fifo:bool ->
+  engine:Gmp_sim.Engine.t ->
+  rng:Gmp_sim.Rng.t ->
+  delay:Delay.t ->
+  unit ->
+  'm t
+(** Defaults: 20% loss, 5% duplication, retransmit every 5 time units. *)
+
+val set_handler : 'm t -> (dst:Pid.t -> src:Pid.t -> 'm -> unit) -> unit
+(** Upper-layer delivery: exactly once, per-channel FIFO. *)
+
+val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
+
+val retransmissions : 'm t -> int
+val datagrams_sent : 'm t -> int
+val datagrams_lost : 'm t -> int

@@ -1,0 +1,35 @@
+(* Message-delay models. The asynchronous model places no bound on delays;
+   experiments pick a distribution and the protocol must be correct under all
+   of them. *)
+
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+
+let constant d =
+  if d < 0.0 then invalid_arg "Delay.constant: negative" else Constant d
+
+let uniform ~lo ~hi =
+  if lo < 0.0 || hi < lo then invalid_arg "Delay.uniform: bad range"
+  else Uniform { lo; hi }
+
+let exponential ~mean =
+  if mean <= 0.0 then invalid_arg "Delay.exponential: non-positive mean"
+  else Exponential { mean }
+
+let sample t rng =
+  match t with
+  | Constant d -> d
+  | Uniform { lo; hi } -> Gmp_sim.Rng.uniform rng ~lo ~hi
+  | Exponential { mean } -> Gmp_sim.Rng.exponential rng ~mean
+
+let mean = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean
+
+let pp ppf = function
+  | Constant d -> Fmt.pf ppf "constant(%g)" d
+  | Uniform { lo; hi } -> Fmt.pf ppf "uniform(%g,%g)" lo hi
+  | Exponential { mean } -> Fmt.pf ppf "exp(mean=%g)" mean

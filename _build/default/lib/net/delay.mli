@@ -1,0 +1,11 @@
+(** Message-delay models for the simulated network. *)
+
+type t
+
+val constant : float -> t
+val uniform : lo:float -> hi:float -> t
+val exponential : mean:float -> t
+
+val sample : t -> Gmp_sim.Rng.t -> float
+val mean : t -> float
+val pp : t Fmt.t

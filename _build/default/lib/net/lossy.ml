@@ -1,0 +1,83 @@
+(* A raw datagram layer: unreliable and duplicating; FIFO per channel by
+   default (like a physical link), optionally fully reordering.
+
+   The paper's model assumes reliable FIFO channels and notes they are
+   "easily implemented: a (1-bit) sequence number on each message and an
+   acknowledgement protocol". This module is the hostile medium underneath
+   that footnote; Arq builds the assumed channel on top of it. The 1-bit
+   protocol is sound over lossy-duplicating FIFO links; over arbitrarily
+   reordering links it provably is not (stale frames can cross two bit
+   flips) - the test suite demonstrates both. *)
+
+open Gmp_base
+
+type 'm t = {
+  engine : Gmp_sim.Engine.t;
+  rng : Gmp_sim.Rng.t;
+  delay : Delay.t;
+  loss : float; (* probability a datagram vanishes *)
+  duplicate : float; (* probability a datagram is delivered twice *)
+  fifo : bool; (* per-channel in-order delivery (physical link) *)
+  last_delivery : (Pid.t * Pid.t, float) Hashtbl.t;
+  mutable handler : dst:Pid.t -> src:Pid.t -> 'm -> unit;
+  mutable sent : int;
+  mutable lost : int;
+  mutable duplicated : int;
+}
+
+let create ?(loss = 0.0) ?(duplicate = 0.0) ?(fifo = true) ~engine ~rng ~delay
+    () =
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Lossy.create: loss must be in [0,1)";
+  if duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Lossy.create: duplicate must be in [0,1]";
+  { engine;
+    rng;
+    delay;
+    loss;
+    duplicate;
+    fifo;
+    last_delivery = Hashtbl.create 32;
+    handler = (fun ~dst:_ ~src:_ _ -> failwith "Lossy: no handler");
+    sent = 0;
+    lost = 0;
+    duplicated = 0 }
+
+let set_handler t handler = t.handler <- handler
+
+let datagrams_sent t = t.sent
+let datagrams_lost t = t.lost
+let datagrams_duplicated t = t.duplicated
+
+let deliver_once t ~src ~dst payload =
+  let sampled = Delay.sample t.delay t.rng in
+  let now = Gmp_sim.Engine.now t.engine in
+  let at =
+    if t.fifo then begin
+      let earliest =
+        match Hashtbl.find_opt t.last_delivery (src, dst) with
+        | None -> 0.0
+        | Some last -> last +. 1e-6
+      in
+      let at = Float.max (now +. sampled) earliest in
+      Hashtbl.replace t.last_delivery (src, dst) at;
+      at
+    end
+    else now +. sampled
+  in
+  ignore
+    (Gmp_sim.Engine.schedule_at t.engine ~time:at (fun () ->
+         t.handler ~dst ~src payload)
+      : Gmp_sim.Engine.handle)
+
+let send t ~src ~dst payload =
+  if Pid.equal src dst then invalid_arg "Lossy.send: src = dst";
+  t.sent <- t.sent + 1;
+  if Gmp_sim.Rng.float t.rng 1.0 < t.loss then t.lost <- t.lost + 1
+  else begin
+    deliver_once t ~src ~dst payload;
+    if Gmp_sim.Rng.float t.rng 1.0 < t.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      deliver_once t ~src ~dst payload
+    end
+  end

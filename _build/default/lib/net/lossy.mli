@@ -1,0 +1,31 @@
+(** Raw datagram layer: lossy and duplicating; FIFO per channel by default
+    (a physical link), optionally fully reordering.
+
+    The hostile medium underneath the paper's channel assumption; {!Arq}
+    builds the assumed reliable FIFO channel on top of it. The 1-bit
+    protocol is sound over lossy-duplicating FIFO links and provably not
+    over reordering ones — pass [~fifo:false] to see it break. *)
+
+open Gmp_base
+
+type 'm t
+
+val create :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?fifo:bool ->
+  engine:Gmp_sim.Engine.t ->
+  rng:Gmp_sim.Rng.t ->
+  delay:Delay.t ->
+  unit ->
+  'm t
+(** [loss] in [\[0,1)]: probability a datagram vanishes; [duplicate] in
+    [\[0,1\]]: probability of a second copy; [fifo] (default true):
+    per-channel in-order delivery. *)
+
+val set_handler : 'm t -> (dst:Pid.t -> src:Pid.t -> 'm -> unit) -> unit
+val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
+
+val datagrams_sent : 'm t -> int
+val datagrams_lost : 'm t -> int
+val datagrams_duplicated : 'm t -> int

@@ -1,0 +1,176 @@
+(* Simulated network: a complete graph of reliable (lossless, non-generating)
+   FIFO channels with unbounded random delays.
+
+   FIFO is enforced per ordered pair: a message's delivery time is at least
+   epsilon after the previous delivery on the same channel.
+
+   Three ways a message can fail to be processed, all consistent with the
+   paper's model:
+   - the destination crashed (messages to down processes vanish);
+   - the destination disconnected its incoming channel from the source
+     (system property S1: once p believes q faulty, p never receives from q);
+   - a partition separates the endpoints: delivery is *parked*, not lost, and
+     resumes in order if the partition heals (channels stay reliable). *)
+
+open Gmp_base
+
+type 'm t = {
+  engine : Gmp_sim.Engine.t;
+  rng : Gmp_sim.Rng.t;
+  mutable delay : Delay.t;
+  stats : Stats.t;
+  fifo_epsilon : float;
+  (* Per ordered pair (src,dst): virtual time of the latest scheduled
+     delivery, to enforce FIFO. *)
+  last_delivery : (Pid.t * Pid.t, float) Hashtbl.t;
+  (* dst -> set of sources whose incoming channel dst has cut (S1). *)
+  disconnected : Pid.Set.t Pid.Tbl.t;
+  mutable crashed : Pid.Set.t;
+  (* Partition: pids mapped to a group label; absent pids are in group 0.
+     None = fully connected. *)
+  mutable partition : int Pid.Map.t option;
+  mutable handler : dst:Pid.t -> src:Pid.t -> 'm -> unit;
+  (* Messages parked because of a partition, per ordered pair, FIFO. *)
+  parked : (Pid.t * Pid.t, 'm parked_msg Queue.t) Hashtbl.t;
+  mutable monitor : ('m send_record -> unit) option;
+}
+
+and 'm parked_msg = { category : string; payload : 'm }
+
+and 'm send_record = {
+  record_src : Pid.t;
+  record_dst : Pid.t;
+  record_category : string;
+  record_payload : 'm;
+  record_time : float;
+}
+
+let default_handler ~dst:_ ~src:_ _ =
+  failwith "Network: no handler installed (call Network.set_handler)"
+
+let create ?(fifo_epsilon = 1e-6) ~engine ~rng ~delay () =
+  { engine;
+    rng;
+    delay;
+    stats = Stats.create ();
+    fifo_epsilon;
+    last_delivery = Hashtbl.create 64;
+    disconnected = Pid.Tbl.create 16;
+    crashed = Pid.Set.empty;
+    partition = None;
+    handler = default_handler;
+    parked = Hashtbl.create 16;
+    monitor = None }
+
+let set_handler t handler = t.handler <- handler
+let set_monitor t monitor = t.monitor <- Some monitor
+let set_delay t delay = t.delay <- delay
+
+let stats t = t.stats
+let engine t = t.engine
+
+let crashed t pid = Pid.Set.mem pid t.crashed
+
+let crash t pid = t.crashed <- Pid.Set.add pid t.crashed
+
+let is_disconnected t ~at ~from =
+  match Pid.Tbl.find_opt t.disconnected at with
+  | None -> false
+  | Some sources -> Pid.Set.mem from sources
+
+let disconnect t ~at ~from =
+  let sources =
+    match Pid.Tbl.find_opt t.disconnected at with
+    | None -> Pid.Set.empty
+    | Some s -> s
+  in
+  Pid.Tbl.replace t.disconnected at (Pid.Set.add from sources)
+
+let group_of t pid =
+  match t.partition with
+  | None -> 0
+  | Some groups ->
+    (match Pid.Map.find_opt pid groups with None -> 0 | Some g -> g)
+
+let reachable t a b = group_of t a = group_of t b
+
+let partition t groups =
+  let table =
+    List.fold_left
+      (fun acc (group, pids) ->
+        List.fold_left (fun acc pid -> Pid.Map.add pid group acc) acc pids)
+      Pid.Map.empty
+      (List.mapi (fun i pids -> (i + 1, pids)) groups)
+  in
+  t.partition <- Some table
+
+let deliver t ~src ~dst ~category payload =
+  if Pid.Set.mem dst t.crashed then
+    Stats.record_dropped t.stats ~category
+  else if is_disconnected t ~at:dst ~from:src then
+    (* S1: silently discarded at the receiver. *)
+    Stats.record_dropped t.stats ~category
+  else if not (reachable t src dst) then begin
+    (* Parked until the partition heals; channels stay reliable. *)
+    let queue =
+      match Hashtbl.find_opt t.parked (src, dst) with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.parked (src, dst) q;
+        q
+    in
+    Queue.add { category; payload } queue
+  end
+  else begin
+    Stats.record_delivered t.stats ~category;
+    t.handler ~dst ~src payload
+  end
+
+let schedule_delivery t ~src ~dst ~category ~extra_delay payload =
+  let sample = Delay.sample t.delay t.rng +. extra_delay in
+  let now = Gmp_sim.Engine.now t.engine in
+  let earliest =
+    match Hashtbl.find_opt t.last_delivery (src, dst) with
+    | None -> 0.0
+    | Some last -> last +. t.fifo_epsilon
+  in
+  let at = Float.max (now +. sample) earliest in
+  Hashtbl.replace t.last_delivery (src, dst) at;
+  let (_ : Gmp_sim.Engine.handle) =
+    Gmp_sim.Engine.schedule_at t.engine ~time:at (fun () ->
+        deliver t ~src ~dst ~category payload)
+  in
+  ()
+
+let send ?(extra_delay = 0.0) t ~src ~dst ~category payload =
+  if Pid.equal src dst then invalid_arg "Network.send: src = dst";
+  if not (Pid.Set.mem src t.crashed) then begin
+    Stats.record_sent t.stats ~category;
+    (match t.monitor with
+     | None -> ()
+     | Some monitor ->
+       monitor
+         { record_src = src;
+           record_dst = dst;
+           record_category = category;
+           record_payload = payload;
+           record_time = Gmp_sim.Engine.now t.engine });
+    schedule_delivery t ~src ~dst ~category ~extra_delay payload
+  end
+
+let heal t =
+  t.partition <- None;
+  (* Flush parked traffic in channel order with fresh delays. *)
+  let pending = Hashtbl.fold (fun key q acc -> (key, q) :: acc) t.parked [] in
+  Hashtbl.reset t.parked;
+  List.iter
+    (fun ((src, dst), queue) ->
+      Queue.iter
+        (fun { category; payload } ->
+          schedule_delivery t ~src ~dst ~category ~extra_delay:0.0 payload)
+        queue)
+    pending
+
+let parked_count t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.parked 0

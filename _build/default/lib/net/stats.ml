@@ -1,0 +1,67 @@
+(* Per-category message accounting. The paper's complexity analysis counts
+   protocol messages and ignores the detection mechanism, so categories let
+   benches exclude heartbeats from the tallies. *)
+
+type t = {
+  sent : (string, int) Hashtbl.t;
+  delivered : (string, int) Hashtbl.t;
+  dropped : (string, int) Hashtbl.t; (* dst crashed, disconnected (S1), … *)
+}
+
+let create () =
+  { sent = Hashtbl.create 16;
+    delivered = Hashtbl.create 16;
+    dropped = Hashtbl.create 16 }
+
+let bump table category =
+  let current = match Hashtbl.find_opt table category with
+    | None -> 0
+    | Some n -> n
+  in
+  Hashtbl.replace table category (current + 1)
+
+let record_sent t ~category = bump t.sent category
+let record_delivered t ~category = bump t.delivered category
+let record_dropped t ~category = bump t.dropped category
+
+let get table category =
+  match Hashtbl.find_opt table category with None -> 0 | Some n -> n
+
+let sent t ~category = get t.sent category
+let delivered t ~category = get t.delivered category
+let dropped t ~category = get t.dropped category
+
+let fold_table table = Hashtbl.fold (fun _ n acc -> acc + n) table 0
+
+let total_sent t = fold_table t.sent
+let total_delivered t = fold_table t.delivered
+let total_dropped t = fold_table t.dropped
+
+let categories t =
+  let add table acc =
+    Hashtbl.fold (fun k _ acc -> if List.mem k acc then acc else k :: acc)
+      table acc
+  in
+  List.sort String.compare (add t.sent (add t.delivered (add t.dropped [])))
+
+let sent_excluding t ~categories:excluded =
+  Hashtbl.fold
+    (fun category n acc -> if List.mem category excluded then acc else acc + n)
+    t.sent 0
+
+let reset t =
+  Hashtbl.reset t.sent;
+  Hashtbl.reset t.delivered;
+  Hashtbl.reset t.dropped
+
+let snapshot t =
+  List.map
+    (fun category ->
+      (category, sent t ~category, delivered t ~category, dropped t ~category))
+    (categories t)
+
+let pp ppf t =
+  let row ppf (category, s, d, x) =
+    Fmt.pf ppf "%-18s sent=%-6d delivered=%-6d dropped=%d" category s d x
+  in
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any "@\n") row) (snapshot t)

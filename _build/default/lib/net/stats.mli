@@ -1,0 +1,31 @@
+(** Per-category message statistics.
+
+    The paper's §7.2 counts protocol messages only (the failure-detection
+    mechanism is an oracle); tagging every send with a category lets the
+    benches count exactly what the paper counts. *)
+
+type t
+
+val create : unit -> t
+
+val record_sent : t -> category:string -> unit
+val record_delivered : t -> category:string -> unit
+val record_dropped : t -> category:string -> unit
+
+val sent : t -> category:string -> int
+val delivered : t -> category:string -> int
+val dropped : t -> category:string -> int
+
+val total_sent : t -> int
+val total_delivered : t -> int
+val total_dropped : t -> int
+
+val sent_excluding : t -> categories:string list -> int
+(** Total sends outside the given categories (e.g. excluding heartbeats). *)
+
+val categories : t -> string list
+val snapshot : t -> (string * int * int * int) list
+(** [(category, sent, delivered, dropped)] rows. *)
+
+val reset : t -> unit
+val pp : t Fmt.t

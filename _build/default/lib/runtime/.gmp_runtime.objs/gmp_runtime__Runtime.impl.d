@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Gmp_base Gmp_causality Gmp_net Gmp_sim List Pid Printf Vector_clock

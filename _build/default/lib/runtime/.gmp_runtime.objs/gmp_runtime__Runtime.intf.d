@@ -1,0 +1,1 @@
+lib/runtime/runtime.mli: Gmp_base Gmp_causality Gmp_net Gmp_sim Pid Vector_clock

@@ -1,0 +1,149 @@
+(* Process runtime: wires nodes onto the simulated network and engine.
+
+   Every message carries the sender's vector clock; the runtime maintains
+   each node's clock (tick on send, merge+tick on receive, tick on explicit
+   local events) so that protocol layers can stamp trace events with causal
+   timestamps and the analysis layer can reason about consistent cuts. *)
+
+open Gmp_base
+open Gmp_causality
+
+type 'm wrapped = { payload : 'm; sender_vc : Vector_clock.t }
+
+type 'm node = {
+  pid : Pid.t;
+  runtime : 'm t;
+  mutable alive : bool;
+  mutable vc : Vector_clock.t;
+  mutable events : int; (* length of this process's history *)
+  mutable on_recv : src:Pid.t -> 'm -> unit;
+  mutable on_crash : unit -> unit;
+}
+
+and 'm t = {
+  engine : Gmp_sim.Engine.t;
+  net : 'm wrapped Gmp_net.Network.t;
+  nodes : 'm node Pid.Tbl.t;
+  rng : Gmp_sim.Rng.t;
+}
+
+let ignore_recv ~src:_ _ = ()
+
+let dispatch t ~dst ~src wrapped =
+  match Pid.Tbl.find_opt t.nodes dst with
+  | None -> ()
+  | Some node ->
+    if node.alive then begin
+      node.vc <- Vector_clock.tick (Vector_clock.merge node.vc wrapped.sender_vc) dst;
+      node.events <- node.events + 1;
+      node.on_recv ~src wrapped.payload
+    end
+
+let create ?(delay = Gmp_net.Delay.uniform ~lo:0.5 ~hi:1.5) ~seed () =
+  let engine = Gmp_sim.Engine.create () in
+  let rng = Gmp_sim.Rng.create seed in
+  let net_rng = Gmp_sim.Rng.split rng in
+  let net = Gmp_net.Network.create ~engine ~rng:net_rng ~delay () in
+  let t = { engine; net; nodes = Pid.Tbl.create 32; rng } in
+  Gmp_net.Network.set_handler net (fun ~dst ~src wrapped ->
+      dispatch t ~dst ~src wrapped);
+  t
+
+let engine t = t.engine
+let network t = t.net
+let stats t = Gmp_net.Network.stats t.net
+let rng t = t.rng
+let now t = Gmp_sim.Engine.now t.engine
+
+let spawn t pid =
+  if Pid.Tbl.mem t.nodes pid then
+    invalid_arg (Printf.sprintf "Runtime.spawn: %s exists" (Pid.to_string pid));
+  let node =
+    { pid;
+      runtime = t;
+      alive = true;
+      vc = Vector_clock.empty;
+      events = 0;
+      on_recv = ignore_recv;
+      on_crash = (fun () -> ()) }
+  in
+  Pid.Tbl.replace t.nodes pid node;
+  node
+
+let find t pid = Pid.Tbl.find_opt t.nodes pid
+
+let nodes t = Pid.Tbl.fold (fun _ node acc -> node :: acc) t.nodes []
+
+let set_receiver node on_recv = node.on_recv <- on_recv
+let set_on_crash node on_crash = node.on_crash <- on_crash
+
+let pid node = node.pid
+let alive node = node.alive
+let clock node = node.vc
+let node_now node = Gmp_sim.Engine.now node.runtime.engine
+let node_runtime node = node.runtime
+
+let local_event node =
+  (* Record a local step in the node's history; returns (index, vc) for
+     trace stamping. *)
+  node.vc <- Vector_clock.tick node.vc node.pid;
+  node.events <- node.events + 1;
+  (node.events, node.vc)
+
+let send ?extra_delay node ~dst ~category payload =
+  if node.alive then begin
+    node.vc <- Vector_clock.tick node.vc node.pid;
+    node.events <- node.events + 1;
+    Gmp_net.Network.send ?extra_delay node.runtime.net ~src:node.pid ~dst
+      ~category
+      { payload; sender_vc = node.vc }
+  end
+
+let broadcast ?extra_delay node ~dsts ~category payload =
+  (* Indivisible in the paper's sense: all sends share the engine instant;
+     not failure-atomic (a concurrent crash event can sit between
+     deliveries). One vc tick for the whole broadcast. *)
+  if node.alive then begin
+    node.vc <- Vector_clock.tick node.vc node.pid;
+    node.events <- node.events + 1;
+    List.iter
+      (fun dst ->
+        if not (Pid.equal dst node.pid) then
+          Gmp_net.Network.send ?extra_delay node.runtime.net ~src:node.pid
+            ~dst ~category
+            { payload; sender_vc = node.vc })
+      dsts
+  end
+
+let crash node =
+  if node.alive then begin
+    node.alive <- false;
+    Gmp_net.Network.crash node.runtime.net node.pid;
+    node.on_crash ()
+  end
+
+let disconnect_from node ~from =
+  Gmp_net.Network.disconnect node.runtime.net ~at:node.pid ~from
+
+type timer = Gmp_sim.Engine.handle
+
+let set_timer node ~delay f =
+  Gmp_sim.Engine.schedule node.runtime.engine ~delay (fun () ->
+      if node.alive then f ())
+
+let cancel_timer node timer = Gmp_sim.Engine.cancel node.runtime.engine timer
+
+let every node ~interval f =
+  if interval <= 0.0 then invalid_arg "Runtime.every: non-positive interval";
+  let rec loop () =
+    if node.alive then begin
+      f ();
+      if node.alive then
+        ignore (Gmp_sim.Engine.schedule node.runtime.engine ~delay:interval loop
+                : Gmp_sim.Engine.handle)
+    end
+  in
+  ignore (Gmp_sim.Engine.schedule node.runtime.engine ~delay:interval loop
+          : Gmp_sim.Engine.handle)
+
+let run ?max_steps ?until t = Gmp_sim.Engine.run ?max_steps ?until t.engine

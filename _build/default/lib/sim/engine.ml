@@ -1,0 +1,95 @@
+(* Discrete-event simulation engine. Time is virtual: [now] jumps to the
+   timestamp of each fired event. Handles are cancellable so that timers can
+   be reset cheaply (cancelled events stay in the queue but are skipped). *)
+
+type handle = { mutable cancelled : bool; fire_at : float }
+
+type event = { handle : handle; action : unit -> unit }
+
+type t = {
+  queue : event Event_queue.t;
+  mutable now : float;
+  mutable fired : int;
+  mutable live : int; (* scheduled and not cancelled *)
+}
+
+exception Stop
+
+let create () = { queue = Event_queue.create (); now = 0.0; fired = 0; live = 0 }
+
+let now t = t.now
+
+let fired_events t = t.fired
+
+let pending_events t = t.live
+
+let schedule_at t ~time action =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
+         time t.now);
+  let handle = { cancelled = false; fire_at = time } in
+  Event_queue.add t.queue ~time { handle; action };
+  t.live <- t.live + 1;
+  handle
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) action
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let is_cancelled handle = handle.cancelled
+
+let fire_time handle = handle.fire_at
+
+let step t =
+  let rec next () =
+    match Event_queue.pop t.queue with
+    | None -> false
+    | Some (time, ev) ->
+      if ev.handle.cancelled then next ()
+      else begin
+        t.now <- time;
+        t.live <- t.live - 1;
+        t.fired <- t.fired + 1;
+        ev.action ();
+        true
+      end
+  in
+  next ()
+
+let default_max_steps = 10_000_000
+
+let run ?(max_steps = default_max_steps) ?until t =
+  let horizon_reached () =
+    match until with
+    | None -> false
+    | Some horizon ->
+      (match Event_queue.peek_time t.queue with
+       | None -> false
+       | Some time -> time > horizon)
+  in
+  let rec loop steps =
+    if steps >= max_steps then
+      failwith
+        (Printf.sprintf
+           "Engine.run: exceeded %d steps at t=%g - likely a livelock"
+           max_steps t.now)
+    else if horizon_reached () then
+      (match until with Some horizon when horizon > t.now -> t.now <- horizon | _ -> ())
+    else
+      match step t with
+      | exception Stop -> ()
+      | true -> loop (steps + 1)
+      | false ->
+        (* Queue drained: quiescent. *)
+        (match until with Some horizon when horizon > t.now -> t.now <- horizon | _ -> ())
+  in
+  loop 0
+
+let run_until t horizon = run ~until:horizon t

@@ -1,0 +1,48 @@
+(** Discrete-event simulation engine.
+
+    Virtual time advances only when events fire; the simulated system is
+    otherwise infinitely fast. This realizes the paper's asynchronous model:
+    "time" exists only as an approximate tool for triggering detections, never
+    for reasoning about state. *)
+
+type t
+
+type handle
+(** A scheduled event, cancellable. *)
+
+exception Stop
+(** Raise from inside an event action to stop [run] immediately. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val fired_events : t -> int
+(** Number of events fired so far (cancelled events excluded). *)
+
+val pending_events : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** Schedule an action [delay] time units from now. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Schedule at an absolute time; raises [Invalid_argument] if in the past. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a scheduled event (idempotent). *)
+
+val is_cancelled : handle -> bool
+val fire_time : handle -> float
+
+val step : t -> bool
+(** Fire the next event; [false] when the queue is empty. *)
+
+val run : ?max_steps:int -> ?until:float -> t -> unit
+(** Fire events until quiescence, the [until] horizon, or [max_steps]
+    (default 10 million, at which point it fails — a livelock guard). When the
+    horizon stops the run, [now] is advanced to the horizon. *)
+
+val run_until : t -> float -> unit
+(** [run_until t horizon] is [run ~until:horizon t]. *)

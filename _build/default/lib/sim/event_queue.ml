@@ -1,0 +1,94 @@
+(* Binary min-heap keyed by (time, seq). The sequence number breaks ties so
+   that simultaneous events fire in insertion order, which keeps runs
+   deterministic regardless of heap internals. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap.(0 .. size-1)] is a valid min-heap; slots beyond hold junk. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let capacity = Array.length t.heap in
+  let new_capacity = if capacity = 0 then 16 else capacity * 2 in
+  (* The dummy element is immediately overwritten by the caller. *)
+  let fresh = Array.make new_capacity t.heap.(0) in
+  Array.blit t.heap 0 fresh 0 t.size;
+  t.heap <- fresh
+
+let add t ~time payload =
+  if time < 0.0 || Float.is_nan time then
+    invalid_arg "Event_queue.add: bad time";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry
+  else if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let peek_time t = match peek t with None -> None | Some e -> Some e.time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let clear t = t.size <- 0
+
+let to_sorted_list t =
+  (* Non-destructive drain: copy and pop. Used in tests only. *)
+  if t.size = 0 then []
+  else begin
+    let copy = { heap = Array.copy t.heap; size = t.size; next_seq = t.next_seq } in
+    let rec drain acc =
+      match pop copy with
+      | None -> List.rev acc
+      | Some pair -> drain (pair :: acc)
+    in
+    drain []
+  end

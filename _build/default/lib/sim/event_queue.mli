@@ -1,0 +1,25 @@
+(** Priority queue of timestamped events.
+
+    Keyed by [(time, insertion sequence)]: events with equal timestamps fire
+    in insertion order, so simulations are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Raises [Invalid_argument] on negative or NaN time. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest event, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive snapshot in firing order (for tests). *)

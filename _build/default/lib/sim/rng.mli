@@ -1,0 +1,37 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every source of randomness in a simulation is derived from a single seed,
+    making runs exactly replayable: the same seed yields the same schedule of
+    delays, crashes and choices. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. Use one split
+    stream per concern (delays, churn, …) so adding draws to one concern does
+    not perturb the others. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. Raises [Invalid_argument] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list

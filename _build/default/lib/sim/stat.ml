@@ -1,0 +1,55 @@
+(* Summary statistics for multi-seed sweeps. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then sorted.(lo)
+    else begin
+      let w = rank -. float_of_int lo in
+      (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+    end
+  end
+
+let of_list values =
+  match values with
+  | [] -> invalid_arg "Stat.of_list: empty"
+  | _ ->
+    let sorted = Array.of_list values in
+    Array.sort Float.compare sorted;
+    let n = Array.length sorted in
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    let mean = sum /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 sorted
+      /. float_of_int n
+    in
+    { count = n;
+      mean;
+      stddev = sqrt var;
+      min = sorted.(0);
+      p50 = percentile sorted 0.5;
+      p90 = percentile sorted 0.9;
+      p99 = percentile sorted 0.99;
+      max = sorted.(n - 1) }
+
+let of_ints values = of_list (List.map float_of_int values)
+
+let pp ppf t =
+  Fmt.pf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f"
+    t.count t.mean t.stddev t.min t.p50 t.p90 t.p99 t.max

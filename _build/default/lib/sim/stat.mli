@@ -1,0 +1,18 @@
+(** Summary statistics for multi-seed sweeps. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val of_list : float list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val of_ints : int list -> t
+val pp : t Fmt.t

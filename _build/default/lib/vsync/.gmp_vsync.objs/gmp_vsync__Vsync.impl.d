@@ -1,0 +1,1 @@
+lib/vsync/vsync.ml: Fmt Gmp_base Gmp_core Int List Map Pid

@@ -1,0 +1,1 @@
+lib/vsync/vsync.mli: Fmt Gmp_base Gmp_core Pid

@@ -1,0 +1,226 @@
+(* View-synchronous multicast on top of the membership service.
+
+   The paper's membership protocol is the foundation of the ISIS-style
+   virtual synchrony the authors' group built ([3], [4]): application
+   messages are delivered "within the view they were sent in", and all
+   processes that survive a view change deliver the same set of messages
+   before moving on. This module provides that discipline over Member's
+   application channel:
+
+   - every multicast is tagged with the epoch (app-level view) it was sent
+     in, and receivers deliver it only while in that epoch;
+   - when the membership layer installs a new view, the epoch does NOT
+     advance immediately: the (new) coordinator runs a flush - every
+     survivor reports the messages it delivered in the closing epoch
+     (ids and bodies), the coordinator takes the union, retransmits it,
+     and only then announces the epoch switch;
+   - consequently, any two processes that leave epoch e delivered the same
+     multicast set in e (the view-synchrony property), which the test
+     suite checks on every run.
+
+   Epoch numbers reuse the membership version: epoch e corresponds to
+   membership view version e; a straggler synchronized across several
+   versions jumps its epoch accordingly (delivering nothing in the
+   skipped epochs). New multicasts are refused while an epoch is closing
+   (the application retries after the switch). *)
+
+open Gmp_base
+module Member = Gmp_core.Member
+module Wire = Gmp_core.Wire
+
+type msg_id = { origin : Pid.t; msg_seq : int }
+
+let msg_id_equal a b = Pid.equal a.origin b.origin && a.msg_seq = b.msg_seq
+
+let msg_id_compare a b =
+  match Pid.compare a.origin b.origin with
+  | 0 -> Int.compare a.msg_seq b.msg_seq
+  | c -> c
+
+let pp_msg_id ppf id = Fmt.pf ppf "%a:%d" Pid.pp id.origin id.msg_seq
+
+module Id_map = Map.Make (struct
+  type t = msg_id
+
+  let compare = msg_id_compare
+end)
+
+type Wire.app +=
+  | Vs_cast of { cast_epoch : int; id : msg_id; body : string }
+  | Vs_flush_req of { closing : int; new_epoch : int }
+      (* coordinator -> members: report your deliveries for [closing] *)
+  | Vs_flush_rep of {
+      rep_closing : int;
+      have : (msg_id * string) list; (* ids AND bodies: the coordinator may
+                                        itself be missing some *)
+    }
+  | Vs_retransmit of { re_epoch : int; id : msg_id; body : string }
+  | Vs_epoch of { new_epoch : int }
+
+type flush_state = {
+  closing : int;
+  fs_new_epoch : int;
+  mutable replies : Pid.t list; (* responders, including self *)
+}
+
+type t = {
+  member : Member.t;
+  mutable epoch : int;
+  mutable next_seq : int;
+  mutable delivered : string Id_map.t; (* current epoch's deliveries *)
+  mutable delivery_log : (int * msg_id * string) list; (* newest first *)
+  mutable flush : flush_state option; (* coordinator side *)
+  mutable pending_epoch : int option; (* an epoch switch is in progress *)
+  mutable on_deliver : t -> src:Pid.t -> string -> unit;
+  mutable chained : src:Pid.t -> Wire.app -> unit;
+}
+
+let member t = t.member
+let epoch t = t.epoch
+let flushing t = t.pending_epoch <> None
+let set_on_deliver t f = t.on_deliver <- f
+
+let deliveries_in t e =
+  List.rev
+    (List.filter_map
+       (fun (ep, id, body) -> if ep = e then Some (id, body) else None)
+       t.delivery_log)
+
+let delivered_ids t e = List.map fst (deliveries_in t e)
+
+let deliver t ~id ~body =
+  if not (Id_map.mem id t.delivered) then begin
+    t.delivered <- Id_map.add id body t.delivered;
+    t.delivery_log <- (t.epoch, id, body) :: t.delivery_log;
+    t.on_deliver t ~src:id.origin body
+  end
+
+(* ---- multicasting ---- *)
+
+let cast t body =
+  if Member.operational t.member && Member.joined t.member && not (flushing t)
+  then begin
+    let id = { origin = Member.pid t.member; msg_seq = t.next_seq } in
+    t.next_seq <- t.next_seq + 1;
+    deliver t ~id ~body;
+    Member.broadcast_app t.member (Vs_cast { cast_epoch = t.epoch; id; body });
+    Some id
+  end
+  else None (* the epoch is closing (or we are not a member): retry later *)
+
+(* ---- the flush protocol ---- *)
+
+let rec advance_epoch t new_epoch =
+  if new_epoch > t.epoch then begin
+    t.epoch <- new_epoch;
+    t.pending_epoch <- None;
+    t.flush <- None;
+    t.delivered <- Id_map.empty
+  end
+
+and finish_flush t fs =
+  (* Everything this coordinator now holds for the closing epoch is the
+     union of the survivors' deliveries; re-broadcast it so every survivor
+     closes the epoch with the same set, then announce the switch. *)
+  List.iter
+    (fun (id, body) ->
+      Member.broadcast_app t.member
+        (Vs_retransmit { re_epoch = fs.closing; id; body }))
+    (deliveries_in t fs.closing);
+  Member.broadcast_app t.member (Vs_epoch { new_epoch = fs.fs_new_epoch });
+  advance_epoch t fs.fs_new_epoch
+
+and flush_complete t fs =
+  let faulty = Member.faulty_set t.member in
+  List.for_all
+    (fun p ->
+      Pid.equal p (Member.pid t.member)
+      || Pid.Set.mem p faulty
+      || List.exists (Pid.equal p) fs.replies)
+    (Gmp_core.View.members (Member.view t.member))
+
+and maybe_finish_flush t =
+  match t.flush with
+  | Some fs when flush_complete t fs -> finish_flush t fs
+  | Some _ | None -> ()
+
+and start_flush t =
+  (* On the coordinator, whenever the membership version is ahead of the
+     epoch. Restarts (with the newest target) if the view changed again
+     mid-flush. *)
+  let new_epoch = Member.version t.member in
+  if new_epoch > t.epoch then begin
+    let restart =
+      match t.flush with
+      | None -> true
+      | Some fs -> fs.fs_new_epoch < new_epoch
+    in
+    if restart then begin
+      let fs =
+        { closing = t.epoch;
+          fs_new_epoch = new_epoch;
+          replies = [ Member.pid t.member ] }
+      in
+      t.flush <- Some fs;
+      t.pending_epoch <- Some new_epoch;
+      Member.broadcast_app t.member
+        (Vs_flush_req { closing = t.epoch; new_epoch });
+      maybe_finish_flush t
+    end
+    else maybe_finish_flush t
+  end
+
+(* ---- handlers ---- *)
+
+let handle t ~src msg =
+  match msg with
+  | Vs_cast { cast_epoch; id; body } ->
+    (* Deliverable while we are still in the epoch it was sent in (a flush
+       in progress does not end the epoch until Vs_epoch arrives). *)
+    if cast_epoch = t.epoch then deliver t ~id ~body
+  | Vs_flush_req { closing; new_epoch } ->
+    if closing = t.epoch then t.pending_epoch <- Some new_epoch;
+    Member.send_app t.member ~dst:src
+      (Vs_flush_rep { rep_closing = closing; have = deliveries_in t closing })
+  | Vs_flush_rep { rep_closing; have } -> (
+    match t.flush with
+    | Some fs when fs.closing = rep_closing ->
+      (* Absorb bodies the coordinator itself missed (they become part of
+         the union it re-broadcasts). *)
+      List.iter (fun (id, body) -> deliver t ~id ~body) have;
+      if not (List.exists (Pid.equal src) fs.replies) then
+        fs.replies <- src :: fs.replies;
+      maybe_finish_flush t
+    | Some _ | None -> ())
+  | Vs_retransmit { re_epoch; id; body } ->
+    if re_epoch = t.epoch then deliver t ~id ~body
+  | Vs_epoch { new_epoch } -> advance_epoch t new_epoch
+  | other -> t.chained ~src other
+
+let attach member =
+  let t =
+    { member;
+      epoch = Member.version member;
+      next_seq = 0;
+      delivered = Id_map.empty;
+      delivery_log = [];
+      flush = None;
+      pending_epoch = None;
+      on_deliver = (fun _ ~src:_ _ -> ());
+      chained = (fun ~src:_ _ -> ()) }
+  in
+  Member.set_app_handler member (fun ~src msg -> handle t ~src msg);
+  Member.set_on_view_change member (fun m ->
+      if Member.is_mgr m then start_flush t
+      else if Member.version m > t.epoch then
+        t.pending_epoch <- Some (Member.version m);
+      (* Survivors becoming aware of failures can complete a pending
+         coordinator-side flush. *)
+      maybe_finish_flush t);
+  t
+
+let pp ppf t =
+  Fmt.pf ppf "vsync@%a epoch=%d delivered=%d%s" Pid.pp (Member.pid t.member)
+    t.epoch
+    (Id_map.cardinal t.delivered)
+    (if flushing t then " (flushing)" else "")

@@ -1,0 +1,40 @@
+(** View-synchronous multicast over the membership service.
+
+    The ISIS-style discipline this membership protocol was built to
+    support: multicasts are delivered within the epoch (app-level view)
+    they were sent in, and a coordinator-driven flush at every view change
+    guarantees that any two processes leaving epoch [e] delivered the same
+    message set in [e]. Epochs track membership versions. *)
+
+open Gmp_base
+
+type t
+
+type msg_id = { origin : Pid.t; msg_seq : int }
+
+val msg_id_equal : msg_id -> msg_id -> bool
+val msg_id_compare : msg_id -> msg_id -> int
+val pp_msg_id : msg_id Fmt.t
+
+val attach : Gmp_core.Member.t -> t
+(** Installs the vsync app handler and view-change hook. Attach to every
+    member. *)
+
+val member : t -> Gmp_core.Member.t
+val epoch : t -> int
+
+val flushing : t -> bool
+(** An epoch switch is in progress; {!cast} is refused meanwhile. *)
+
+val cast : t -> string -> msg_id option
+(** Multicast to the current epoch; delivered to self immediately. [None]
+    while an epoch is closing (retry after the switch) or when not an
+    operational member. *)
+
+val set_on_deliver : t -> (t -> src:Pid.t -> string -> unit) -> unit
+
+val deliveries_in : t -> int -> (msg_id * string) list
+(** Messages delivered in a given epoch, oldest first. *)
+
+val delivered_ids : t -> int -> msg_id list
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/workload/fuzz.ml: Fmt Gmp_base Gmp_core Gmp_sim List Pid

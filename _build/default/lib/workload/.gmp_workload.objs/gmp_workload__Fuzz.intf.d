@@ -1,0 +1,1 @@
+lib/workload/fuzz.mli: Fmt Gmp_core Gmp_sim

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Gmp_base Gmp_baselines Gmp_core Gmp_net Gmp_sim List Pid

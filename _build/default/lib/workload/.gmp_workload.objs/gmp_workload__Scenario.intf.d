@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Checker Gmp_base Gmp_core Group Pid

@@ -1,0 +1,181 @@
+(* Adversarial schedule search.
+
+   Random schedules (crashes, spurious suspicions, joins, partitions,
+   heals) are run through the protocol and scored; mutation hill-climbing
+   hunts for GMP violations. Two uses:
+
+   - assurance: on the final algorithm the search must come back
+     empty-handed (the test suite runs it on every `dune runtest`);
+   - sensitivity: on deliberately weakened configurations it must FIND the
+     known holes - e.g. without the majority requirement (Config.basic) a
+     partitioned coordinator commits exclusions concurrently with the
+     majority side's reconfiguration and GMP-2/3 breaks. A fuzzer that
+     cannot rediscover that bug would prove nothing about the absence of
+     others. *)
+
+open Gmp_base
+module Group = Gmp_core.Group
+module Checker = Gmp_core.Checker
+module Config = Gmp_core.Config
+
+type action =
+  | Crash of { at : float; victim : int }
+  | Suspect of { at : float; observer : int; target : int }
+  | Join of { at : float; joiner : int; contact : int }
+  | Partition of { at : float; mask : int } (* bit i set: p_i in the island *)
+  | Heal of { at : float }
+
+type schedule = { sched_n : int; actions : action list }
+
+let pp_action ppf = function
+  | Crash { at; victim } -> Fmt.pf ppf "crash p%d @%.1f" victim at
+  | Suspect { at; observer; target } ->
+    Fmt.pf ppf "suspect p%d->p%d @%.1f" observer target at
+  | Join { at; joiner; contact } ->
+    Fmt.pf ppf "join p%d via p%d @%.1f" joiner contact at
+  | Partition { at; mask } -> Fmt.pf ppf "partition %x @%.1f" mask at
+  | Heal { at } -> Fmt.pf ppf "heal @%.1f" at
+
+let pp_schedule ppf s =
+  Fmt.pf ppf "n=%d [%a]" s.sched_n
+    Fmt.(list ~sep:(any "; ") pp_action)
+    s.actions
+
+(* ---- generation and mutation ---- *)
+
+let random_action rng ~n =
+  let t () = 5.0 +. Gmp_sim.Rng.float rng 120.0 in
+  match Gmp_sim.Rng.int rng 10 with
+  | 0 | 1 | 2 ->
+    Crash { at = t (); victim = Gmp_sim.Rng.int rng n }
+  | 3 | 4 ->
+    let observer = Gmp_sim.Rng.int rng n in
+    let target = Gmp_sim.Rng.int rng n in
+    Suspect { at = t (); observer; target }
+  | 5 ->
+    Join
+      { at = t ();
+        joiner = 100 + Gmp_sim.Rng.int rng 4;
+        contact = Gmp_sim.Rng.int rng n }
+  | 6 | 7 | 8 ->
+    (* Non-trivial island: at least one, not everyone. *)
+    let mask = 1 + Gmp_sim.Rng.int rng ((1 lsl n) - 2) in
+    Partition { at = t (); mask }
+  | _ -> Heal { at = t () }
+
+let random_schedule rng ~n =
+  let count = 1 + Gmp_sim.Rng.int rng 6 in
+  { sched_n = n; actions = List.init count (fun _ -> random_action rng ~n) }
+
+let mutate rng s =
+  let n = s.sched_n in
+  match Gmp_sim.Rng.int rng 3 with
+  | 0 ->
+    (* add an action *)
+    { s with actions = random_action rng ~n :: s.actions }
+  | 1 when s.actions <> [] ->
+    (* drop one *)
+    let i = Gmp_sim.Rng.int rng (List.length s.actions) in
+    { s with actions = List.filteri (fun j _ -> j <> i) s.actions }
+  | _ when s.actions <> [] ->
+    (* replace one *)
+    let i = Gmp_sim.Rng.int rng (List.length s.actions) in
+    { s with
+      actions =
+        List.mapi (fun j a -> if j = i then random_action rng ~n else a) s.actions
+    }
+  | _ -> { s with actions = [ random_action rng ~n ] }
+
+(* ---- execution ---- *)
+
+let apply_schedule group s =
+  let pid i = Pid.make i in
+  let initial = Group.initial group in
+  let joiners_used = ref [] in
+  List.iter
+    (function
+      | Crash { at; victim } ->
+        if victim < s.sched_n then Group.crash_at group at (pid victim)
+      | Suspect { at; observer; target } ->
+        if observer <> target && observer < s.sched_n && target < s.sched_n
+        then Group.suspect_at group at ~observer:(pid observer) ~target:(pid target)
+      | Join { at; joiner; contact } ->
+        (* The genome may repeat a joiner id; only the first one counts
+           (join_at spawns the node at fire time and pids are unique). *)
+        if contact < s.sched_n && not (List.mem joiner !joiners_used) then begin
+          joiners_used := joiner :: !joiners_used;
+          Group.join_at group at (pid joiner) ~contact:(pid contact)
+        end
+      | Partition { at; mask } ->
+        let island =
+          List.filteri (fun i _ -> mask land (1 lsl i) <> 0) initial
+        in
+        if island <> [] && List.length island < List.length initial then
+          Group.partition_at group at [ island ]
+      | Heal { at } -> Group.heal_at group at)
+    s.actions
+
+let run_schedule ?(config = Config.default) ~seed s =
+  let group = Group.create ~config ~seed ~n:s.sched_n () in
+  apply_schedule group s;
+  Group.run ~until:700.0 group;
+  let violations = Checker.check_safety (Group.trace group)
+      ~initial:(Group.initial group) in
+  (violations, group)
+
+(* ---- search ---- *)
+
+(* Greedy delta-debugging: drop actions one at a time while the schedule
+   still violates, to a fixpoint. The returned counterexample is usually
+   down to the one or two actions that matter. *)
+let shrink ?(config = Config.default) ~seed s =
+  let still_fails candidate =
+    let violations, _ = run_schedule ~config ~seed candidate in
+    violations <> []
+  in
+  let rec pass s =
+    let n = List.length s.actions in
+    let rec try_drop i =
+      if i >= n then None
+      else begin
+        let candidate =
+          { s with actions = List.filteri (fun j _ -> j <> i) s.actions }
+        in
+        if candidate.actions <> [] && still_fails candidate then Some candidate
+        else try_drop (i + 1)
+      end
+    in
+    match try_drop 0 with Some smaller -> pass smaller | None -> s
+  in
+  if still_fails s then pass s else s
+
+type outcome = {
+  iterations_run : int;
+  counterexample : (schedule * Gmp_core.Checker.violation list) option;
+}
+
+let search ?(config = Config.default) ?(n = 5) ?(iterations = 200) ~seed () =
+  let rng = Gmp_sim.Rng.create seed in
+  let best = ref None in
+  let iters = ref 0 in
+  (try
+     (* Fresh random schedules, each hill-climbed for a few mutations. *)
+     while !iters < iterations do
+       let candidate = ref (random_schedule rng ~n) in
+       let depth = 4 in
+       for _ = 0 to depth do
+         if !iters < iterations then begin
+           incr iters;
+           let violations, _ = run_schedule ~config ~seed:!iters !candidate in
+           if violations <> [] then begin
+             let minimal = shrink ~config ~seed:!iters !candidate in
+             let violations', _ = run_schedule ~config ~seed:!iters minimal in
+             best := Some (minimal, violations');
+             raise Exit
+           end;
+           candidate := mutate rng !candidate
+         end
+       done
+     done
+   with Exit -> ());
+  { iterations_run = !iters; counterexample = !best }

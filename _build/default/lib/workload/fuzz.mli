@@ -1,0 +1,50 @@
+(** Adversarial schedule search.
+
+    Random crash/suspicion/join/partition schedules, hill-climbed towards
+    GMP violations. On the final algorithm the search must come back empty;
+    on deliberately weakened configurations (e.g. {!Gmp_core.Config.basic}
+    without the majority requirement) it must rediscover the known
+    divergences — the test suite asserts both. *)
+
+type action =
+  | Crash of { at : float; victim : int }
+  | Suspect of { at : float; observer : int; target : int }
+  | Join of { at : float; joiner : int; contact : int }
+  | Partition of { at : float; mask : int }
+      (** bit [i] set: [p_i] belongs to the partitioned island *)
+  | Heal of { at : float }
+
+type schedule = { sched_n : int; actions : action list }
+
+val pp_action : action Fmt.t
+val pp_schedule : schedule Fmt.t
+
+val random_schedule : Gmp_sim.Rng.t -> n:int -> schedule
+val mutate : Gmp_sim.Rng.t -> schedule -> schedule
+
+val run_schedule :
+  ?config:Gmp_core.Config.t ->
+  seed:int ->
+  schedule ->
+  Gmp_core.Checker.violation list * Gmp_core.Group.t
+(** Run one schedule and return the safety verdicts. *)
+
+val shrink :
+  ?config:Gmp_core.Config.t -> seed:int -> schedule -> schedule
+(** Greedy delta-debugging: drop actions while the schedule still violates.
+    Identity on non-violating schedules. *)
+
+type outcome = {
+  iterations_run : int;
+  counterexample : (schedule * Gmp_core.Checker.violation list) option;
+      (** already shrunk *)
+}
+
+val search :
+  ?config:Gmp_core.Config.t ->
+  ?n:int ->
+  ?iterations:int ->
+  seed:int ->
+  unit ->
+  outcome
+(** Stops at the first violating schedule found, if any. *)

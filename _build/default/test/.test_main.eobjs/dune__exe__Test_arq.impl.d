@@ -1,0 +1,1 @@
+test/test_arq.ml: Alcotest Arq Delay Gmp_base Gmp_net Gmp_sim List Lossy Pid QCheck QCheck_alcotest

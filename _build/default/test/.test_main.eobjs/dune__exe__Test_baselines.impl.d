@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Gmp_base Gmp_baselines Gmp_core Gmp_workload List Pid Printf

@@ -1,0 +1,1 @@
+test/test_causality.ml: Alcotest Cut Gmp_base Gmp_causality Gmp_runtime Lamport List Pid Vector_clock

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Checker Gmp_base Gmp_causality Gmp_core Gmp_workload Hashtbl List Pid Trace Vector_clock

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Gmp_base Gmp_detector Gmp_sim Heartbeat List Pid Scripted

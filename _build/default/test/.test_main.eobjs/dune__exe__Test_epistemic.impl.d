@@ -1,0 +1,1 @@
+test/test_epistemic.ml: Alcotest Epistemic Gmp_base Gmp_causality Gmp_core Group List Pid Trace Vector_clock

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Export Float Gmp_base Gmp_core Group Json Pid String

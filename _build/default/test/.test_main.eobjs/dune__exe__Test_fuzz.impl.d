@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Config Fmt Gmp_core Gmp_sim Gmp_workload Group List

@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Checker Gmp_base Gmp_causality Gmp_core Group Knowledge List Pid Printf Trace Vector_clock

@@ -1,0 +1,1 @@
+test/test_member.ml: Alcotest Checker Config Fmt Gmp_base Gmp_core Gmp_net Gmp_runtime Gmp_workload Group List Member Pid Printf Trace View

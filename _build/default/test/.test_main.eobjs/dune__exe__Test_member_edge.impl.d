@@ -1,0 +1,1 @@
+test/test_member_edge.ml: Alcotest Array Checker Config Gmp_base Gmp_core Gmp_net Gmp_sim Group Int List Member Pid Printf Trace View Wire

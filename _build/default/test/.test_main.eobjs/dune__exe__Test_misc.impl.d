@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Fmt Gmp_base Gmp_core Gmp_sim Group List Member Pid String Trace Types Wire

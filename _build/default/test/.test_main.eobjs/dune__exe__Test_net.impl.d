@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Delay Gmp_base Gmp_net Gmp_sim List Network Pid Stats

@@ -1,0 +1,1 @@
+test/test_partitionable.ml: Alcotest Checker Config Gmp_base Gmp_core Group List Member Pid View

@@ -1,0 +1,1 @@
+test/test_props.ml: Checker Fmt Fun Gmp_base Gmp_causality Gmp_core Gmp_sim Gmp_vsync Gmp_workload Group Int Knowledge List Member Pid QCheck QCheck_alcotest Roster Types Vector_clock View

@@ -1,0 +1,1 @@
+test/test_roster.ml: Alcotest Checker Gmp_base Gmp_core Group List Member Pid Roster

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Gmp_base Gmp_causality Gmp_net Gmp_runtime Int List Pid

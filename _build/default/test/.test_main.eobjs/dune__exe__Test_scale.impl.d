@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Checker Config Gmp_base Gmp_core Gmp_net Group List Pid

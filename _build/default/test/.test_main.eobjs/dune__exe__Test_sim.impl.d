@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Event_queue Float Gmp_sim List Rng

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Gmp_base Gmp_core List Pid Types View

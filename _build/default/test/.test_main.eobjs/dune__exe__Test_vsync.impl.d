@@ -1,0 +1,1 @@
+test/test_vsync.ml: Alcotest Checker Fmt Gmp_base Gmp_core Gmp_sim Gmp_vsync Group List Member Pid

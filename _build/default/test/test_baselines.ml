@@ -1,0 +1,196 @@
+(* Tests for the comparison baselines and the optimality claims (§7.3):
+   one-phase and two-phase protocols fail exactly where the paper says they
+   must; the symmetric protocol pays the predicted message bill. *)
+
+open Gmp_base
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+
+(* ---- Claim 7.1: one-phase cannot solve GMP ---- *)
+
+let test_one_phase_diverges () =
+  let violations, views = Gmp_workload.Scenario.one_phase_split ~n:5 () in
+  check bool "GMP-2/3 violated" true (violations <> []);
+  (* The two sides install the proof's two different views. *)
+  let side_of pid =
+    match List.find_opt (fun (q, _, _) -> Pid.equal q pid) views with
+    | Some (_, _, members) -> List.map Pid.to_string members
+    | None -> []
+  in
+  check bool "R removed Mgr" true (not (List.mem "p0" (side_of (p 1))));
+  check bool "S removed r" true (not (List.mem "p1" (side_of (p 0))));
+  check bool "same version number" true
+    (match views with
+     | (_, v0, _) :: rest -> List.for_all (fun (_, v, _) -> v = v0) rest
+     | [] -> false)
+
+let test_one_phase_fine_without_coordinator_failure () =
+  (* Without partitions or coordinator suspicion, one phase looks fine -
+     the claim is specifically about coordinator failure. *)
+  let module O = Gmp_baselines.One_phase in
+  let op = O.create ~seed:2 ~n:5 () in
+  O.suspect_at op 10.0 ~observer:(p 0) ~target:(p 4);
+  O.run op;
+  let violations =
+    Gmp_core.Checker.check_gmp23 (O.trace op)
+    @ Gmp_core.Checker.check_gmp1 (O.trace op)
+  in
+  check int "no divergence" 0 (List.length violations)
+
+let test_real_protocol_survives_split () =
+  let violations, group = Gmp_workload.Scenario.real_protocol_split ~n:5 () in
+  check int "safety intact" 0 (List.length violations);
+  (* Only one side can assemble a majority; version-1 views never differ. *)
+  let installs_v1 =
+    List.filter_map
+      (fun ((_ : Gmp_core.Trace.event), ver, members) ->
+        if ver = 1 then Some members else None)
+      (Gmp_core.Trace.installs (Gmp_core.Group.trace group))
+  in
+  (match installs_v1 with
+   | [] -> ()
+   | first :: rest ->
+     List.iter
+       (fun members ->
+         check bool "identical v1 views" true
+           (List.length members = List.length first
+            && List.for_all2 Pid.equal members first))
+       rest)
+
+(* ---- Claim 7.2 / Figure 11: two-phase reconfiguration fails ---- *)
+
+let test_two_phase_fig11_diverges () =
+  let violations, views = Gmp_workload.Scenario.two_phase_fig11 () in
+  check bool "GMP-3 violated" true (violations <> []);
+  (* p1 committed Proc - {Mgr}; the rest installed Proc - {q}. *)
+  let view_of pid =
+    match List.find_opt (fun (q, _, _) -> Pid.equal q pid) views with
+    | Some (_, _, members) -> List.map Pid.to_string members
+    | None -> []
+  in
+  check bool "p1's v1 removed the Mgr" true (not (List.mem "p0" (view_of (p 1))));
+  check bool "r's v1 removed q instead" true
+    (not (List.mem "p6" (view_of (p 2))));
+  check bool "r's v1 still contains the Mgr" true
+    (List.mem "p0" (view_of (p 2)))
+
+let test_three_phase_fig11_consistent () =
+  let violations, group = Gmp_workload.Scenario.real_protocol_fig11 () in
+  check int "no safety violation" 0 (List.length violations);
+  (* p1 (the would-be invisible committer) must have been blocked: it never
+     reaches version 1. *)
+  let p1_installs =
+    Gmp_core.Trace.installs_of (Gmp_core.Group.trace group) (p 1)
+  in
+  check bool "p1 blocked before commit" true
+    (List.for_all (fun (ver, _) -> ver = 0) p1_installs)
+
+(* ---- §7.2: the symmetric baseline's message bill ---- *)
+
+let test_symmetric_converges () =
+  let _msgs, views = Gmp_workload.Scenario.symmetric_single_crash ~n:8 () in
+  List.iter
+    (fun (_, ver, members) ->
+      check int "one removal" 1 ver;
+      check int "seven left" 7 (List.length members))
+    views
+
+let test_symmetric_quadratic_cost () =
+  List.iter
+    (fun n ->
+      let msgs, _ = Gmp_workload.Scenario.symmetric_single_crash ~n () in
+      check int
+        (Printf.sprintf "(n-1)^2 for n=%d" n)
+        ((n - 1) * (n - 1))
+        msgs)
+    [ 4; 8; 16 ]
+
+let test_symmetric_vs_asymmetric_ratio () =
+  (* The paper calls the symmetric approach "an order of magnitude" more
+     expensive; at n = 32 the ratio passes 10x. *)
+  let n = 32 in
+  let sym, _ = Gmp_workload.Scenario.symmetric_single_crash ~n () in
+  let ours, _ = Gmp_workload.Scenario.single_crash ~n () in
+  let ratio =
+    float_of_int sym /. float_of_int ours.Gmp_workload.Scenario.protocol_msgs
+  in
+  check bool "ratio >= 10" true (ratio >= 10.0)
+
+(* ---- scenario sanity: measured counts match the paper's formulas ---- *)
+
+let test_scenario_formulas () =
+  List.iter
+    (fun n ->
+      let m, _ = Gmp_workload.Scenario.single_crash ~n () in
+      check int "E1 exact" ((3 * n) - 5) m.Gmp_workload.Scenario.protocol_msgs;
+      let m3, _ = Gmp_workload.Scenario.mgr_crash ~n () in
+      check int "E3 exact" ((5 * n) - 9) m3.Gmp_workload.Scenario.protocol_msgs)
+    [ 4; 8; 16 ]
+
+let test_scenario_compressed_bound () =
+  List.iter
+    (fun n ->
+      let m, _ = Gmp_workload.Scenario.compressed_pair ~n () in
+      let bound = (3 * n) - 5 + ((2 * (n - 1)) - 3) in
+      check bool "E2 within bound" true
+        (m.Gmp_workload.Scenario.protocol_msgs <= bound))
+    [ 4; 8; 16 ]
+
+let test_scenario_sequence_savings () =
+  (* Compression must beat the uncompressed run on the same schedule, and
+     stay within the paper's (n-1)^2 budget. *)
+  List.iter
+    (fun n ->
+      let mc, _ = Gmp_workload.Scenario.sequence_all ~compressed:true ~n () in
+      let mu, _ = Gmp_workload.Scenario.sequence_all ~compressed:false ~n () in
+      check bool "within (n-1)^2" true
+        (mc.Gmp_workload.Scenario.protocol_msgs <= (n - 1) * (n - 1));
+      check bool "cheaper than uncompressed" true
+        (mc.Gmp_workload.Scenario.protocol_msgs
+         < mu.Gmp_workload.Scenario.protocol_msgs);
+      check int "no violations (compressed)" 0
+        (List.length mc.Gmp_workload.Scenario.violations);
+      check int "no violations (uncompressed)" 0
+        (List.length mu.Gmp_workload.Scenario.violations))
+    [ 6; 10 ]
+
+let test_scenario_cascade_quadratic () =
+  (* Successive reconfigurer failures: total cost grows quadratically and
+     stays within the paper's (5/2) n^2 envelope. *)
+  let m8, _ = Gmp_workload.Scenario.cascade ~n:8 ~kills:4 () in
+  let m16, _ = Gmp_workload.Scenario.cascade ~n:16 ~kills:8 () in
+  check bool "grows superlinearly" true
+    (m16.Gmp_workload.Scenario.protocol_msgs
+     > 3 * m8.Gmp_workload.Scenario.protocol_msgs);
+  check bool "within 5/2 n^2" true
+    (m16.Gmp_workload.Scenario.protocol_msgs <= 5 * 16 * 16 / 2);
+  check int "no violations" 0 (List.length m16.Gmp_workload.Scenario.violations)
+
+let suite =
+  [ Alcotest.test_case "claim 7.1: one-phase diverges" `Quick
+      test_one_phase_diverges;
+    Alcotest.test_case "one-phase ok without coordinator failure" `Quick
+      test_one_phase_fine_without_coordinator_failure;
+    Alcotest.test_case "real protocol survives the split" `Quick
+      test_real_protocol_survives_split;
+    Alcotest.test_case "claim 7.2: two-phase reconfig diverges (fig 11)" `Quick
+      test_two_phase_fig11_diverges;
+    Alcotest.test_case "three-phase stays consistent (fig 11)" `Quick
+      test_three_phase_fig11_consistent;
+    Alcotest.test_case "symmetric: converges" `Quick test_symmetric_converges;
+    Alcotest.test_case "symmetric: quadratic cost" `Quick
+      test_symmetric_quadratic_cost;
+    Alcotest.test_case "symmetric: order-of-magnitude ratio" `Quick
+      test_symmetric_vs_asymmetric_ratio;
+    Alcotest.test_case "scenarios: exact formulas (E1, E3)" `Quick
+      test_scenario_formulas;
+    Alcotest.test_case "scenarios: compressed bound (E2)" `Quick
+      test_scenario_compressed_bound;
+    Alcotest.test_case "scenarios: sequence savings (E5)" `Slow
+      test_scenario_sequence_savings;
+    Alcotest.test_case "scenarios: cascade quadratic (E4)" `Slow
+      test_scenario_cascade_quadratic ]

@@ -1,0 +1,200 @@
+(* Unit tests for the GMP checkers themselves: hand-built traces that do and
+   do not violate each property. A checker that cannot reject bad traces
+   proves nothing about good ones. *)
+
+open Gmp_base
+open Gmp_core
+open Gmp_causality
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let p i = Pid.make i
+
+(* Minimal trace builder: vector clocks are synthesized per owner. *)
+let build events =
+  let trace = Trace.create () in
+  let counters = Hashtbl.create 8 in
+  List.iteri
+    (fun i (owner, kind) ->
+      let idx =
+        let current =
+          match Hashtbl.find_opt counters (Pid.to_string owner) with
+          | None -> 0
+          | Some n -> n
+        in
+        Hashtbl.replace counters (Pid.to_string owner) (current + 1);
+        current + 1
+      in
+      Trace.record trace ~owner ~index:idx ~time:(float_of_int i)
+        ~vc:(Vector_clock.of_list [ (owner, idx) ])
+        kind)
+    events;
+  trace
+
+let installed ver members = Trace.Installed { ver; view_members = members }
+
+let two = [ p 0; p 1 ]
+
+let test_gmp0_ok () =
+  let trace = build [ (p 0, installed 0 two); (p 1, installed 0 two) ] in
+  check int "clean" 0 (List.length (Checker.check_gmp0 trace ~initial:two))
+
+let test_gmp0_wrong_initial_view () =
+  let trace = build [ (p 0, installed 0 [ p 0 ]); (p 1, installed 0 two) ] in
+  check int "flagged" 1 (List.length (Checker.check_gmp0 trace ~initial:two))
+
+let test_gmp0_missing_install () =
+  let trace = build [ (p 0, installed 0 two) ] in
+  check int "p1 never installed" 1
+    (List.length (Checker.check_gmp0 trace ~initial:two))
+
+let test_gmp0_joiner_exempt () =
+  (* A joiner's first install is a later version: not a GMP-0 violation
+     because it is not in the initial set. *)
+  let trace =
+    build
+      [ (p 0, installed 0 two); (p 1, installed 0 two); (p 9, installed 3 two) ]
+  in
+  check int "clean" 0 (List.length (Checker.check_gmp0 trace ~initial:two))
+
+let test_gmp1_ok () =
+  let trace =
+    build
+      [ (p 0, Trace.Faulty (p 1));
+        (p 0, Trace.Removed { target = p 1; new_ver = 1 }) ]
+  in
+  check int "clean" 0 (List.length (Checker.check_gmp1 trace))
+
+let test_gmp1_capricious_removal () =
+  let trace = build [ (p 0, Trace.Removed { target = p 1; new_ver = 1 }) ] in
+  check int "flagged" 1 (List.length (Checker.check_gmp1 trace))
+
+let test_gmp1_wrong_order () =
+  let trace =
+    build
+      [ (p 0, Trace.Removed { target = p 1; new_ver = 1 });
+        (p 0, Trace.Faulty (p 1)) ]
+  in
+  check int "faulty after removal is too late" 1
+    (List.length (Checker.check_gmp1 trace))
+
+let test_gmp23_agreement_ok () =
+  let trace =
+    build
+      [ (p 0, installed 1 [ p 0 ]); (p 1, installed 1 [ p 0 ]) ]
+  in
+  check int "clean" 0 (List.length (Checker.check_gmp23 trace))
+
+let test_gmp23_divergent_version () =
+  let trace =
+    build [ (p 0, installed 1 [ p 0 ]); (p 1, installed 1 [ p 1 ]) ] in
+  check int "flagged" 1 (List.length (Checker.check_gmp23 trace))
+
+let test_gmp23_skipped_version () =
+  let trace =
+    build [ (p 0, installed 0 two); (p 0, installed 2 [ p 0 ]) ]
+  in
+  check int "gap flagged" 1 (List.length (Checker.check_gmp23 trace))
+
+let test_gmp4_ok () =
+  let trace =
+    build
+      [ (p 0, installed 0 two);
+        (p 0, installed 1 [ p 0 ]);
+        (p 0, installed 2 [ p 0; p 2 ]) ]
+  in
+  check int "clean (p2 is new, p1 stays out)" 0
+    (List.length (Checker.check_gmp4 trace))
+
+let test_gmp4_reinstatement () =
+  let trace =
+    build
+      [ (p 0, installed 0 two);
+        (p 0, installed 1 [ p 0 ]);
+        (p 0, installed 2 two) ]
+  in
+  check int "re-instatement flagged" 1 (List.length (Checker.check_gmp4 trace))
+
+let test_gmp4_reincarnation_allowed () =
+  let p1' = Pid.reincarnate (p 1) in
+  let trace =
+    build
+      [ (p 0, installed 0 two);
+        (p 0, installed 1 [ p 0 ]);
+        (p 0, installed 2 [ p 0; p1' ]) ]
+  in
+  check int "new incarnation is a different process" 0
+    (List.length (Checker.check_gmp4 trace))
+
+let test_gmp5_ok () =
+  let trace = build [ (p 0, Trace.Faulty (p 1)) ] in
+  check int "clean when suspect is out" 0
+    (List.length (Checker.check_gmp5 trace ~final_view:[ p 0; p 2 ]))
+
+let test_gmp5_unresolved () =
+  let trace = build [ (p 0, Trace.Faulty (p 1)) ] in
+  check int "flagged when both stay" 1
+    (List.length (Checker.check_gmp5 trace ~final_view:[ p 0; p 1 ]))
+
+let test_gmp5_observer_out () =
+  let trace = build [ (p 0, Trace.Faulty (p 1)) ] in
+  check int "clean when observer is out" 0
+    (List.length (Checker.check_gmp5 trace ~final_view:[ p 1; p 2 ]))
+
+let test_convergence_checks () =
+  let sv = [ (p 0, 2, [ p 0; p 1 ]); (p 1, 2, [ p 0; p 1 ]) ] in
+  check int "agreeing views clean" 0
+    (List.length (Checker.check_convergence ~surviving_views:sv ~dead:[ p 2 ]));
+  let sv_bad = [ (p 0, 2, [ p 0; p 1 ]); (p 1, 1, [ p 0; p 1 ]) ] in
+  check bool "version disagreement flagged" true
+    (Checker.check_convergence ~surviving_views:sv_bad ~dead:[] <> []);
+  check bool "dead member in view flagged" true
+    (Checker.check_convergence ~surviving_views:sv ~dead:[ p 1 ] <> []);
+  let sv_missing = [ (p 0, 2, [ p 0 ]); (p 1, 2, [ p 0 ]) ] in
+  check bool "operational process missing from view flagged" true
+    (Checker.check_convergence ~surviving_views:sv_missing ~dead:[] <> [])
+
+let test_internal_violations_surface () =
+  let trace = build [ (p 0, Trace.Violation "boom") ] in
+  check int "surfaced" 1 (List.length (Checker.check_internal trace))
+
+let test_checkers_catch_one_phase_divergence () =
+  (* End-to-end: the one-phase baseline's proof-schedule run must be flagged
+     by the same checkers that pass the real protocol. *)
+  let violations, _views = Gmp_workload.Scenario.one_phase_split ~n:5 () in
+  check bool "divergence detected" true (violations <> [])
+
+let test_checkers_catch_two_phase_guess () =
+  let violations, _views = Gmp_workload.Scenario.two_phase_fig11 () in
+  check bool "figure 11 divergence detected" true (violations <> [])
+
+let suite =
+  [ Alcotest.test_case "gmp0: ok" `Quick test_gmp0_ok;
+    Alcotest.test_case "gmp0: wrong initial view" `Quick
+      test_gmp0_wrong_initial_view;
+    Alcotest.test_case "gmp0: missing install" `Quick test_gmp0_missing_install;
+    Alcotest.test_case "gmp0: joiner exempt" `Quick test_gmp0_joiner_exempt;
+    Alcotest.test_case "gmp1: ok" `Quick test_gmp1_ok;
+    Alcotest.test_case "gmp1: capricious removal" `Quick
+      test_gmp1_capricious_removal;
+    Alcotest.test_case "gmp1: wrong order" `Quick test_gmp1_wrong_order;
+    Alcotest.test_case "gmp2/3: agreement" `Quick test_gmp23_agreement_ok;
+    Alcotest.test_case "gmp2/3: divergent version" `Quick
+      test_gmp23_divergent_version;
+    Alcotest.test_case "gmp2/3: skipped version" `Quick test_gmp23_skipped_version;
+    Alcotest.test_case "gmp4: ok" `Quick test_gmp4_ok;
+    Alcotest.test_case "gmp4: re-instatement" `Quick test_gmp4_reinstatement;
+    Alcotest.test_case "gmp4: reincarnation allowed" `Quick
+      test_gmp4_reincarnation_allowed;
+    Alcotest.test_case "gmp5: resolved" `Quick test_gmp5_ok;
+    Alcotest.test_case "gmp5: unresolved" `Quick test_gmp5_unresolved;
+    Alcotest.test_case "gmp5: observer excluded" `Quick test_gmp5_observer_out;
+    Alcotest.test_case "convergence checks" `Quick test_convergence_checks;
+    Alcotest.test_case "internal violations surface" `Quick
+      test_internal_violations_surface;
+    Alcotest.test_case "catches one-phase divergence" `Quick
+      test_checkers_catch_one_phase_divergence;
+    Alcotest.test_case "catches two-phase guess" `Quick
+      test_checkers_catch_two_phase_guess ]

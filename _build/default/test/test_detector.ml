@@ -1,0 +1,193 @@
+(* Unit tests for the heartbeat failure detector (F1) and the scripted
+   oracle. *)
+
+open Gmp_base
+open Gmp_detector
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+
+(* A self-contained two-party setup: the engine carries beats by scheduling
+   calls directly (no network needed for unit-testing the detector). *)
+let make ~interval ~timeout ~peers =
+  let engine = Gmp_sim.Engine.create () in
+  let beats = ref [] in
+  let suspects = ref [] in
+  let d =
+    Heartbeat.create ~engine ~interval ~timeout
+      ~send_beat:(fun q -> beats := q :: !beats)
+      ~peers:(fun () -> peers ())
+      ~suspect:(fun q -> suspects := q :: !suspects)
+      ()
+  in
+  (engine, d, beats, suspects)
+
+let test_beats_sent () =
+  let engine, d, beats, _ =
+    make ~interval:1.0 ~timeout:5.0 ~peers:(fun () -> [ p 1; p 2 ])
+  in
+  Heartbeat.start d;
+  Gmp_sim.Engine.run ~until:3.5 engine;
+  (* Ticks at 1, 2, 3: two peers each. *)
+  check int "beats" 6 (List.length !beats)
+
+let test_silent_peer_suspected_once () =
+  let engine, d, _, suspects =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
+  in
+  Heartbeat.start d;
+  Gmp_sim.Engine.run ~until:20.0 engine;
+  check (Alcotest.list int) "suspected exactly once" [ 1 ]
+    (List.map Pid.id !suspects)
+
+let test_live_peer_not_suspected () =
+  let engine, d, _, suspects =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
+  in
+  Heartbeat.start d;
+  (* Feed beats every 2 time units, well within the timeout. *)
+  let rec feed t =
+    if t < 20.0 then
+      ignore
+        (Gmp_sim.Engine.schedule_at engine ~time:t (fun () ->
+             Heartbeat.beat_received d ~from:(p 1);
+             feed (t +. 2.0))
+          : Gmp_sim.Engine.handle)
+  in
+  feed 0.5;
+  Gmp_sim.Engine.run ~until:20.0 engine;
+  check int "never suspected" 0 (List.length !suspects)
+
+let test_suspicion_after_silence () =
+  let engine, d, _, suspects =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
+  in
+  Heartbeat.start d;
+  (* Beats until t = 5, then silence: suspicion must land after ~8. *)
+  List.iter
+    (fun t ->
+      ignore
+        (Gmp_sim.Engine.schedule_at engine ~time:t (fun () ->
+             Heartbeat.beat_received d ~from:(p 1))
+          : Gmp_sim.Engine.handle))
+    [ 1.0; 3.0; 5.0 ];
+  Gmp_sim.Engine.run ~until:7.9 engine;
+  check int "not yet" 0 (List.length !suspects);
+  Gmp_sim.Engine.run ~until:10.0 engine;
+  check int "suspected after timeout" 1 (List.length !suspects)
+
+let test_grace_period_for_new_peer () =
+  let current = ref [ p 1 ] in
+  let engine, d, _, suspects =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> !current)
+  in
+  Heartbeat.start d;
+  (* p1 beats fine; p2 appears at t = 10 and beats from 11. It must get a
+     full timeout of grace, not an instant suspicion. *)
+  let rec feed_p1 t =
+    if t < 20.0 then
+      ignore
+        (Gmp_sim.Engine.schedule_at engine ~time:t (fun () ->
+             Heartbeat.beat_received d ~from:(p 1);
+             feed_p1 (t +. 1.5))
+          : Gmp_sim.Engine.handle)
+  in
+  feed_p1 0.5;
+  ignore
+    (Gmp_sim.Engine.schedule_at engine ~time:10.0 (fun () ->
+         current := [ p 1; p 2 ])
+      : Gmp_sim.Engine.handle);
+  let rec feed_p2 t =
+    if t < 20.0 then
+      ignore
+        (Gmp_sim.Engine.schedule_at engine ~time:t (fun () ->
+             Heartbeat.beat_received d ~from:(p 2);
+             feed_p2 (t +. 1.5))
+          : Gmp_sim.Engine.handle)
+  in
+  feed_p2 11.0;
+  Gmp_sim.Engine.run ~until:20.0 engine;
+  check int "nobody suspected" 0 (List.length !suspects)
+
+let test_forget_allows_fresh_monitoring () =
+  let engine, d, _, suspects =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
+  in
+  Heartbeat.start d;
+  Gmp_sim.Engine.run ~until:10.0 engine;
+  check int "suspected" 1 (List.length !suspects);
+  Heartbeat.forget d (p 1);
+  (* After forgetting, the peer gets grace again and can be re-suspected
+     (used for reincarnations). *)
+  Gmp_sim.Engine.run ~until:20.0 engine;
+  check int "suspected again after forget" 2 (List.length !suspects)
+
+let test_stop () =
+  let engine, d, beats, _ =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
+  in
+  Heartbeat.start d;
+  Gmp_sim.Engine.run ~until:2.5 engine;
+  let sent = List.length !beats in
+  Heartbeat.stop d;
+  Gmp_sim.Engine.run ~until:10.0 engine;
+  check int "no beats after stop" sent (List.length !beats);
+  check bool "not running" false (Heartbeat.is_running d)
+
+let test_invalid_config () =
+  let engine = Gmp_sim.Engine.create () in
+  check bool "timeout <= interval rejected" true
+    (try
+       ignore
+         (Heartbeat.create ~engine ~interval:2.0 ~timeout:1.0
+            ~send_beat:(fun _ -> ())
+            ~peers:(fun () -> [])
+            ~suspect:(fun _ -> ())
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_scripted () =
+  let engine = Gmp_sim.Engine.create () in
+  let fired = ref [] in
+  Scripted.install engine
+    [ Scripted.entry ~at:5.0 ~observer:(p 1) ~suspect:(p 2);
+      Scripted.entry ~at:3.0 ~observer:(p 0) ~suspect:(p 1) ]
+    ~fire:(fun ~observer ~suspect ->
+      fired := (Pid.id observer, Pid.id suspect, Gmp_sim.Engine.now engine) :: !fired);
+  Gmp_sim.Engine.run engine;
+  check int "both fired" 2 (List.length !fired);
+  check bool "in time order" true
+    (match List.rev !fired with
+     | [ (0, 1, t1); (1, 2, t2) ] -> t1 = 3.0 && t2 = 5.0
+     | _ -> false)
+
+let test_crash_script () =
+  let engine = Gmp_sim.Engine.create () in
+  let crashed = ref [] in
+  Scripted.crash_script engine
+    [ (2.0, p 3); (1.0, p 1) ]
+    ~crash:(fun pid -> crashed := Pid.id pid :: !crashed);
+  Gmp_sim.Engine.run engine;
+  check (Alcotest.list int) "crash order" [ 1; 3 ] (List.rev !crashed)
+
+let suite =
+  [ Alcotest.test_case "heartbeat: beats sent per interval" `Quick
+      test_beats_sent;
+    Alcotest.test_case "heartbeat: silent peer suspected once" `Quick
+      test_silent_peer_suspected_once;
+    Alcotest.test_case "heartbeat: live peer not suspected" `Quick
+      test_live_peer_not_suspected;
+    Alcotest.test_case "heartbeat: suspicion after silence" `Quick
+      test_suspicion_after_silence;
+    Alcotest.test_case "heartbeat: grace for new peers" `Quick
+      test_grace_period_for_new_peer;
+    Alcotest.test_case "heartbeat: forget re-arms" `Quick
+      test_forget_allows_fresh_monitoring;
+    Alcotest.test_case "heartbeat: stop" `Quick test_stop;
+    Alcotest.test_case "heartbeat: invalid config" `Quick test_invalid_config;
+    Alcotest.test_case "scripted: suspicion entries" `Quick test_scripted;
+    Alcotest.test_case "scripted: crash script" `Quick test_crash_script ]

@@ -1,0 +1,74 @@
+(* Tests for the Appendix reproduction: knowledge checks over traces. *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+
+let test_eq4_clean_run () =
+  (* No coordinator failure: when any process installs version x, every
+     process's install of x-1 happened-before it (Equation 4). *)
+  let group = Group.create ~seed:50 ~n:6 () in
+  Group.crash_at group 10.0 (p 5);
+  Group.crash_at group 40.0 (p 4);
+  Group.run ~until:300.0 group;
+  let report = Epistemic.analyze (Group.trace group) in
+  check bool "some checks ran" true (report.Epistemic.eq4_checked > 0);
+  check int "no eq4 failures" 0 (List.length report.Epistemic.eq4_failures);
+  check int "no cut failures" 0 (List.length report.Epistemic.cut_failures);
+  check bool "ok" true (Epistemic.ok report)
+
+let test_cuts_consistent_across_reconfig () =
+  (* Theorem 6.1's cuts: the closure of the installs of each version is a
+     consistent cut, even across a coordinator change. *)
+  let group = Group.create ~seed:51 ~n:6 () in
+  Group.crash_at group 10.0 (p 0);
+  Group.run ~until:300.0 group;
+  let report = Epistemic.analyze ~eq4:false (Group.trace group) in
+  check bool "cuts checked" true (report.Epistemic.cuts_checked >= 2);
+  check int "all consistent" 0 (List.length report.Epistemic.cut_failures)
+
+let test_eq4_with_joins () =
+  let group = Group.create ~seed:52 ~n:5 () in
+  Group.join_at group 10.0 (p 10) ~contact:(p 1);
+  Group.crash_at group 50.0 (p 4);
+  Group.run ~until:400.0 group;
+  let report = Epistemic.analyze (Group.trace group) in
+  check bool "ok with joins" true (Epistemic.ok report)
+
+let test_eq4_detects_fabricated_violation () =
+  (* A hand-built trace where p1 installs v1 with no causal link to p0's
+     install of v0 must fail the check: the analysis is not vacuous. *)
+  let open Gmp_causality in
+  let trace = Trace.create () in
+  let record owner index vc kind =
+    Trace.record trace ~owner ~index ~time:0.0 ~vc kind
+  in
+  let two = [ p 0; p 1 ] in
+  record (p 0) 1
+    (Vector_clock.of_list [ (p 0, 1) ])
+    (Trace.Installed { ver = 0; view_members = two });
+  record (p 1) 1
+    (Vector_clock.of_list [ (p 1, 1) ])
+    (Trace.Installed { ver = 0; view_members = two });
+  (* p1 jumps to v1 concurrently with p0's v0 install - impossible in the
+     protocol (it must have received a commit causally after p0's OK). *)
+  record (p 1) 2
+    (Vector_clock.of_list [ (p 1, 2) ])
+    (Trace.Installed { ver = 1; view_members = [ p 1 ] });
+  let report = Epistemic.analyze trace in
+  check bool "violation detected" true
+    (List.length report.Epistemic.eq4_failures > 0)
+
+let suite =
+  [ Alcotest.test_case "eq4: clean run satisfies Equation 4" `Quick
+      test_eq4_clean_run;
+    Alcotest.test_case "cuts: consistent across reconfiguration" `Quick
+      test_cuts_consistent_across_reconfig;
+    Alcotest.test_case "eq4: holds with joins" `Quick test_eq4_with_joins;
+    Alcotest.test_case "eq4: rejects fabricated trace" `Quick
+      test_eq4_detects_fabricated_violation ]

@@ -1,0 +1,62 @@
+(* Tests for the JSON builder and run export. *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let str = Alcotest.string
+
+let test_json_scalars () =
+  check str "null" "null" (Json.to_string Json.null);
+  check str "true" "true" (Json.to_string (Json.bool true));
+  check str "int" "42" (Json.to_string (Json.int 42));
+  check str "float int" "3.0" (Json.to_string (Json.float 3.0));
+  check str "string" "\"hi\"" (Json.to_string (Json.string "hi"));
+  check str "nan is null" "null" (Json.to_string (Json.float Float.nan))
+
+let test_json_escaping () =
+  check str "quote" "\"a\\\"b\"" (Json.to_string (Json.string "a\"b"));
+  check str "backslash" "\"a\\\\b\"" (Json.to_string (Json.string "a\\b"));
+  check str "newline" "\"a\\nb\"" (Json.to_string (Json.string "a\nb"));
+  check str "control" "\"a\\u0001b\"" (Json.to_string (Json.string "a\001b"))
+
+let test_json_structures () =
+  let doc =
+    Json.obj
+      [ ("xs", Json.list [ Json.int 1; Json.int 2 ]);
+        ("opt", Json.of_option Json.int None) ]
+  in
+  let s = Json.to_string doc in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "has key" true (contains "\"xs\"" s);
+  check bool "has null option" true (contains "null" s)
+
+let test_export_round () =
+  let group = Group.create ~seed:90 ~n:4 () in
+  Group.crash_at group 10.0 (Pid.make 3);
+  Group.run ~until:200.0 group;
+  let doc = Export.json_of_group group in
+  let s = Json.to_string doc in
+  let contains needle haystack =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "has agreed view" true (contains "\"agreed_view\"" s);
+  check bool "has protocol messages" true (contains "\"protocol_messages\"" s);
+  check bool "mentions the crash" true (contains "\"crashed\"" s);
+  check bool "no violations" true (contains "\"violations\": []" s || contains "\"violations\":[]" s || contains "\"violations\":\n []" s);
+  (* Trace can be excluded. *)
+  let without = Json.to_string (Export.json_of_group ~include_trace:false group) in
+  check bool "trace excluded" true (contains "\"trace\": null" without || contains "\"trace\":null" without || contains "\"trace\":\n null" without)
+
+let suite =
+  [ Alcotest.test_case "json: scalars" `Quick test_json_scalars;
+    Alcotest.test_case "json: escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json: structures" `Quick test_json_structures;
+    Alcotest.test_case "export: group dump" `Quick test_export_round ]

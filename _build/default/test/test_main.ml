@@ -1,0 +1,25 @@
+(* Test runner: all suites. *)
+
+let () =
+  Alcotest.run "gmp"
+    [ ("sim", Test_sim.suite);
+      ("net", Test_net.suite);
+      ("arq", Test_arq.suite);
+      ("causality", Test_causality.suite);
+      ("runtime", Test_runtime.suite);
+      ("misc", Test_misc.suite);
+      ("view", Test_view.suite);
+      ("export", Test_export.suite);
+      ("detector", Test_detector.suite);
+      ("member", Test_member.suite);
+      ("member-edge", Test_member_edge.suite);
+      ("partitionable", Test_partitionable.suite);
+      ("checker", Test_checker.suite);
+      ("roster", Test_roster.suite);
+      ("vsync", Test_vsync.suite);
+      ("baselines", Test_baselines.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("epistemic", Test_epistemic.suite);
+      ("knowledge", Test_knowledge.suite);
+      ("scale", Test_scale.suite);
+      ("properties", Test_props.suite) ]

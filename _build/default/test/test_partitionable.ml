@@ -1,0 +1,99 @@
+(* The §8 partitioned variation: without the majority requirements, each
+   side of a partition keeps operating under its own view sequence. System
+   views are deliberately non-unique - the checker's GMP-2/3 report is the
+   expected observation, and both sides must stay internally consistent
+   and live. *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+
+let split_run () =
+  let group = Group.create ~config:Config.partitionable ~seed:95 ~n:6 () in
+  (* Minority {p0, p1} (with the coordinator) vs majority {p2..p5}. *)
+  Group.partition_at group 10.0 [ [ p 0; p 1 ] ];
+  Group.run ~until:400.0 group;
+  group
+
+let side_views group pids =
+  List.filter_map
+    (fun i ->
+      let m = Group.member group (p i) in
+      if Member.operational m then
+        Some (Member.version m, View.members (Member.view m))
+      else None)
+    pids
+
+let test_both_sides_make_progress () =
+  let group = split_run () in
+  let minority = side_views group [ 0; 1 ] in
+  let majority = side_views group [ 2; 3; 4; 5 ] in
+  (* The minority excluded the majority and vice versa: both installed new
+     views rather than blocking. *)
+  List.iter
+    (fun (ver, members) ->
+      check bool "minority moved" true (ver > 0);
+      check int "minority view is itself" 2 (List.length members))
+    minority;
+  List.iter
+    (fun (ver, members) ->
+      check bool "majority moved" true (ver > 0);
+      check int "majority view is itself" 4 (List.length members))
+    majority
+
+let test_sides_internally_consistent () =
+  let group = split_run () in
+  let agree side =
+    match side_views group side with
+    | [] -> true
+    | (v0, m0) :: rest -> List.for_all (fun (v, m) -> v = v0 && m = m0) rest
+  in
+  check bool "minority agrees internally" true (agree [ 0; 1 ]);
+  check bool "majority agrees internally" true (agree [ 2; 3; 4; 5 ])
+
+let test_divergence_is_visible () =
+  (* The whole point of the variation: the global GMP-2/3 check reports the
+     split - applications that opt into partitioned operation take on the
+     reconciliation. *)
+  let group = split_run () in
+  let violations =
+    Checker.check_gmp23 (Group.trace group)
+  in
+  check bool "non-unique system views reported" true (violations <> []);
+  (* But per-process safety (GMP-1, GMP-4) still holds everywhere. *)
+  check int "no capricious removals" 0
+    (List.length (Checker.check_gmp1 (Group.trace group)));
+  check int "no re-instatements" 0
+    (List.length (Checker.check_gmp4 (Group.trace group)))
+
+let test_unique_mode_blocks_minority () =
+  (* Contrast: the default (unique-views) configuration blocks the minority
+     side instead. *)
+  let group = Group.create ~seed:95 ~n:6 () in
+  Group.partition_at group 10.0 [ [ p 0; p 1 ] ];
+  Group.run ~until:400.0 group;
+  check int "safety" 0
+    (List.length
+       (Checker.check_safety (Group.trace group) ~initial:(Group.initial group)));
+  (* Whatever survives of the minority never commits a view change. *)
+  List.iter
+    (fun i ->
+      let m = Group.member group (p i) in
+      if Member.operational m then
+        check int "minority blocked" 0 (Member.version m))
+    [ 0; 1 ]
+
+let suite =
+  [ Alcotest.test_case "partitioned: both sides progress" `Quick
+      test_both_sides_make_progress;
+    Alcotest.test_case "partitioned: internal consistency" `Quick
+      test_sides_internally_consistent;
+    Alcotest.test_case "partitioned: divergence is visible" `Quick
+      test_divergence_is_visible;
+    Alcotest.test_case "unique mode blocks the minority instead" `Quick
+      test_unique_mode_blocks_minority ]

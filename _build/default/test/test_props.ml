@@ -1,0 +1,322 @@
+(* Property-based tests (qcheck): substrate laws and the GMP specification
+   under randomized churn. *)
+
+open Gmp_base
+open Gmp_causality
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- event queue: drains in sorted order for any insertion sequence ---- *)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event queue drains sorted" ~count:300
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Gmp_sim.Event_queue.create () in
+      List.iter (fun t -> Gmp_sim.Event_queue.add q ~time:t ()) times;
+      let rec drain last =
+        match Gmp_sim.Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain neg_infinity)
+
+let prop_queue_preserves_count =
+  QCheck.Test.make ~name:"event queue preserves count" ~count:300
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun times ->
+      let q = Gmp_sim.Event_queue.create () in
+      List.iter (fun t -> Gmp_sim.Event_queue.add q ~time:t ()) times;
+      let rec drain n =
+        match Gmp_sim.Event_queue.pop q with None -> n | Some _ -> drain (n + 1)
+      in
+      drain 0 = List.length times)
+
+(* ---- vector clocks: partial-order laws ---- *)
+
+let pid_gen = QCheck.Gen.map Pid.make (QCheck.Gen.int_bound 5)
+
+let vc_gen =
+  QCheck.Gen.map
+    (fun entries ->
+      List.fold_left
+        (fun vc (p, n) ->
+          let rec tick vc k = if k = 0 then vc else tick (Vector_clock.tick vc p) (k - 1) in
+          tick vc n)
+        Vector_clock.empty entries)
+    QCheck.Gen.(small_list (pair pid_gen (int_bound 4)))
+
+let vc_arb = QCheck.make ~print:(Fmt.str "%a" Vector_clock.pp) vc_gen
+
+let prop_vc_leq_refl =
+  QCheck.Test.make ~name:"vc: leq reflexive" ~count:200 vc_arb (fun vc ->
+      Vector_clock.leq vc vc)
+
+let prop_vc_leq_antisym =
+  QCheck.Test.make ~name:"vc: leq antisymmetric" ~count:200
+    (QCheck.pair vc_arb vc_arb) (fun (a, b) ->
+      if Vector_clock.leq a b && Vector_clock.leq b a then Vector_clock.equal a b
+      else true)
+
+let prop_vc_leq_trans =
+  QCheck.Test.make ~name:"vc: leq transitive" ~count:200
+    (QCheck.triple vc_arb vc_arb vc_arb) (fun (a, b, c) ->
+      if Vector_clock.leq a b && Vector_clock.leq b c then Vector_clock.leq a c
+      else true)
+
+let prop_vc_merge_upper_bound =
+  QCheck.Test.make ~name:"vc: merge is an upper bound" ~count:200
+    (QCheck.pair vc_arb vc_arb) (fun (a, b) ->
+      let m = Vector_clock.merge a b in
+      Vector_clock.leq a m && Vector_clock.leq b m)
+
+let prop_vc_merge_least =
+  QCheck.Test.make ~name:"vc: merge is the least upper bound" ~count:200
+    (QCheck.triple vc_arb vc_arb vc_arb) (fun (a, b, c) ->
+      if Vector_clock.leq a c && Vector_clock.leq b c then
+        Vector_clock.leq (Vector_clock.merge a b) c
+      else true)
+
+let prop_vc_trichotomy =
+  QCheck.Test.make ~name:"vc: lt/gt/eq/concurrent partition" ~count:200
+    (QCheck.pair vc_arb vc_arb) (fun (a, b) ->
+      let cases =
+        [ Vector_clock.lt a b; Vector_clock.lt b a; Vector_clock.equal a b;
+          Vector_clock.concurrent a b ]
+      in
+      List.length (List.filter Fun.id cases) = 1)
+
+(* ---- views: seq application laws ---- *)
+
+open Gmp_core
+
+let ops_gen =
+  (* A random valid op sequence over hosts 0..7 starting from a group of 4:
+     remove members, add fresh instances. *)
+  QCheck.Gen.sized (fun size rand ->
+      let initial = Pid.group 4 in
+      let view = ref (View.initial initial) in
+      let fresh = ref 100 in
+      let ops = ref [] in
+      for _ = 1 to min size 12 do
+        let members = View.members !view in
+        let add_one () =
+          let p = Pid.make !fresh in
+          incr fresh;
+          ops := Types.Add p :: !ops;
+          view := View.add !view p
+        in
+        if QCheck.Gen.bool rand && List.length members > 1 then begin
+          let victim =
+            List.nth members (QCheck.Gen.int_bound (List.length members - 1) rand)
+          in
+          ops := Types.Remove victim :: !ops;
+          view := View.remove !view victim
+        end
+        else add_one ()
+      done;
+      List.rev !ops)
+
+let ops_arb = QCheck.make ~print:(Fmt.str "%a" Types.pp_seq) ops_gen
+
+let prop_view_of_seq_version =
+  QCheck.Test.make ~name:"view: |seq| ops change size consistently" ~count:200
+    ops_arb (fun ops ->
+      let v = View.of_seq ~initial:(Pid.group 4) ops in
+      let adds = List.length (List.filter (fun o -> not (Types.is_remove o)) ops) in
+      let removes = List.length (List.filter Types.is_remove ops) in
+      View.size v = 4 + adds - removes)
+
+let prop_view_ranks_bijective =
+  QCheck.Test.make ~name:"view: ranks are 1..n" ~count:200 ops_arb (fun ops ->
+      let v = View.of_seq ~initial:(Pid.group 4) ops in
+      let ranks = List.map (View.rank v) (View.members v) in
+      List.sort Int.compare ranks = List.init (View.size v) (fun i -> i + 1))
+
+let prop_seq_prefix_monotone =
+  QCheck.Test.make ~name:"seq: prefixes stay prefixes" ~count:200 ops_arb
+    (fun ops ->
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | op :: rest -> List.rev acc :: prefixes (op :: acc) rest
+      in
+      List.for_all
+        (fun prefix -> Types.is_prefix ~prefix ops)
+        (prefixes [] ops))
+
+(* ---- the protocol: GMP properties under random churn ---- *)
+
+let prop_gmp_random_churn =
+  QCheck.Test.make ~name:"GMP-0..5 + convergence under random churn" ~count:60
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let m, _group = Gmp_workload.Scenario.random_churn ~seed () in
+      m.Gmp_workload.Scenario.violations = [])
+
+let prop_gmp_safety_under_partitions =
+  QCheck.Test.make ~name:"GMP safety under random partitions" ~count:40
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Gmp_sim.Rng.create seed in
+      let n = 4 + Gmp_sim.Rng.int rng 4 in
+      let group = Group.create ~seed ~n () in
+      (* Random minority partitioned off, optionally healed; a crash on the
+         majority side. *)
+      let minority =
+        List.filteri (fun i _ -> i < (n - 1) / 2) (Group.initial group)
+        |> List.filter (fun _ -> Gmp_sim.Rng.bool rng)
+      in
+      if minority <> [] then Group.partition_at group 8.0 [ minority ];
+      Group.crash_at group 15.0 (Pid.make (n - 1));
+      if Gmp_sim.Rng.bool rng then Group.heal_at group 60.0;
+      Group.run ~until:500.0 group;
+      Checker.check_safety (Group.trace group) ~initial:(Group.initial group)
+      = [])
+
+let prop_message_bound_single_crash =
+  QCheck.Test.make ~name:"single exclusion never exceeds 3n-5" ~count:30
+    QCheck.(pair (int_range 3 24) (int_range 1 1_000_000))
+    (fun (n, seed) ->
+      let m, _ = Gmp_workload.Scenario.single_crash ~seed ~n () in
+      m.Gmp_workload.Scenario.protocol_msgs <= (3 * n) - 5)
+
+let prop_reconf_bound_mgr_crash =
+  QCheck.Test.make ~name:"one reconfiguration never exceeds 5n-9" ~count:30
+    QCheck.(pair (int_range 4 24) (int_range 1 1_000_000))
+    (fun (n, seed) ->
+      let m, _ = Gmp_workload.Scenario.mgr_crash ~seed ~n () in
+      m.Gmp_workload.Scenario.protocol_msgs <= (5 * n) - 9)
+
+(* ---- layered services stay consistent under churn ---- *)
+
+let prop_roster_agreement_under_churn =
+  QCheck.Test.make ~name:"roster: all live servers agree under churn" ~count:25
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Gmp_sim.Rng.create seed in
+      let n = 4 + Gmp_sim.Rng.int rng 3 in
+      let group = Group.create ~seed ~n () in
+      let rosters = List.map Roster.attach (Group.members group) in
+      let pick xs = List.nth xs (Gmp_sim.Rng.int rng (List.length xs)) in
+      for c = 1 to 2 + Gmp_sim.Rng.int rng 4 do
+        let roster = pick rosters in
+        let client = Pid.make (1000 + Gmp_sim.Rng.int rng 4) in
+        let enroll = c <= 2 || Gmp_sim.Rng.bool rng in
+        Group.at group
+          (5.0 +. Gmp_sim.Rng.float rng 80.0)
+          (fun () ->
+            if enroll then Roster.enroll roster client
+            else Roster.expel roster client)
+      done;
+      if Gmp_sim.Rng.bool rng then
+        Group.crash_at group (20.0 +. Gmp_sim.Rng.float rng 40.0) (Pid.make 0);
+      Group.run ~until:500.0 group;
+      let live =
+        List.filter (fun r -> Member.operational (Roster.member r)) rosters
+      in
+      Checker.check_group group = []
+      &&
+      match live with
+      | [] -> true
+      | first :: rest ->
+        List.for_all
+          (fun r ->
+            Pid.Set.equal (Roster.clients r) (Roster.clients first)
+            && Pid.Set.equal (Roster.expelled r) (Roster.expelled first))
+          rest)
+
+let prop_vsync_view_synchrony =
+  QCheck.Test.make ~name:"vsync: view synchrony under random casts+crash"
+    ~count:20
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Gmp_sim.Rng.create seed in
+      let n = 4 + Gmp_sim.Rng.int rng 3 in
+      let group = Group.create ~seed ~n () in
+      let nodes =
+        List.map
+          (fun m -> (Member.pid m, Gmp_vsync.Vsync.attach m))
+          (Group.members group)
+      in
+      for c = 1 to 2 + Gmp_sim.Rng.int rng 4 do
+        let sender = Gmp_sim.Rng.int rng n in
+        Group.at group
+          (5.0 +. Gmp_sim.Rng.float rng 90.0)
+          (fun () ->
+            ignore
+              (Gmp_vsync.Vsync.cast
+                 (List.assoc (Pid.make sender) nodes)
+                 (Fmt.str "c%d" c)))
+      done;
+      Group.crash_at group (20.0 +. Gmp_sim.Rng.float rng 40.0)
+        (Pid.make (Gmp_sim.Rng.int rng n));
+      Group.run ~until:500.0 group;
+      let live =
+        List.filter
+          (fun (pid, _) ->
+            let m = Group.member group pid in
+            Member.operational m && Member.joined m)
+          nodes
+      in
+      let max_epoch =
+        List.fold_left
+          (fun acc (_, v) -> max acc (Gmp_vsync.Vsync.epoch v))
+          0 live
+      in
+      let ok = ref true in
+      for e = 0 to max_epoch - 1 do
+        let past =
+          List.filter (fun (_, v) -> Gmp_vsync.Vsync.epoch v > e) live
+        in
+        (match past with
+         | [] -> ()
+         | (_, first) :: rest ->
+           let ids v =
+             List.sort Gmp_vsync.Vsync.msg_id_compare
+               (Gmp_vsync.Vsync.delivered_ids v e)
+           in
+           let reference = ids first in
+           if not (List.for_all (fun (_, v) -> ids v = reference) rest) then
+             ok := false)
+      done;
+      !ok)
+
+let prop_eq4_on_clean_runs =
+  QCheck.Test.make ~name:"knowledge: Equation 4 on random clean runs" ~count:15
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let rng = Gmp_sim.Rng.create seed in
+      let n = 4 + Gmp_sim.Rng.int rng 3 in
+      let group = Group.create ~seed ~n () in
+      (* Coordinator never fails: the strong form of the Appendix applies. *)
+      Group.crash_at group
+        (10.0 +. Gmp_sim.Rng.float rng 30.0)
+        (Pid.make (n - 1));
+      Group.run ~until:300.0 group;
+      Checker.check_group group = []
+      &&
+      let run = Knowledge.of_trace (Group.trace group) in
+      List.for_all
+        (fun pid -> Knowledge.valid run (Knowledge.equation_4 run ~p:pid ~x:1))
+        (Knowledge.pids run))
+
+let suite =
+  List.map qtest
+    [ prop_queue_sorted;
+      prop_queue_preserves_count;
+      prop_vc_leq_refl;
+      prop_vc_leq_antisym;
+      prop_vc_leq_trans;
+      prop_vc_merge_upper_bound;
+      prop_vc_merge_least;
+      prop_vc_trichotomy;
+      prop_view_of_seq_version;
+      prop_view_ranks_bijective;
+      prop_seq_prefix_monotone;
+      prop_gmp_random_churn;
+      prop_gmp_safety_under_partitions;
+      prop_message_bound_single_crash;
+      prop_reconf_bound_mgr_crash;
+      prop_roster_agreement_under_churn;
+      prop_vsync_view_synchrony;
+      prop_eq4_on_clean_runs ]

@@ -1,0 +1,128 @@
+(* Tests for the §8 hierarchical client registry. *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+let client i = Pid.make (1000 + i)
+
+let setup ?(seed = 5) ~n () =
+  let group = Group.create ~seed ~n () in
+  let rosters =
+    List.map (fun m -> (Member.pid m, Roster.attach m)) (Group.members group)
+  in
+  (group, rosters)
+
+let roster_of rosters pid = List.assoc pid rosters
+
+let live_rosters group rosters =
+  List.filter (fun (pid, _) -> Member.operational (Group.member group pid)) rosters
+
+let all_agree group rosters =
+  match live_rosters group rosters with
+  | [] -> true
+  | (_, first) :: rest ->
+    List.for_all
+      (fun (_, r) ->
+        Pid.Set.equal (Roster.clients r) (Roster.clients first)
+        && Pid.Set.equal (Roster.expelled r) (Roster.expelled first))
+      rest
+
+let test_enroll_replicates () =
+  let group, rosters = setup ~n:4 () in
+  Group.at group 10.0 (fun () -> Roster.enroll (roster_of rosters (p 2)) (client 1));
+  Group.at group 15.0 (fun () -> Roster.enroll (roster_of rosters (p 3)) (client 2));
+  Group.run ~until:100.0 group;
+  check bool "all servers agree" true (all_agree group rosters);
+  let r0 = roster_of rosters (p 0) in
+  check int "two clients" 2 (Pid.Set.cardinal (Roster.clients r0));
+  check bool "client 1 present" true (Roster.is_client r0 (client 1))
+
+let test_expel_replicates () =
+  let group, rosters = setup ~n:4 () in
+  Group.at group 10.0 (fun () -> Roster.enroll (roster_of rosters (p 1)) (client 1));
+  Group.at group 30.0 (fun () -> Roster.expel (roster_of rosters (p 2)) (client 1));
+  Group.run ~until:100.0 group;
+  check bool "all servers agree" true (all_agree group rosters);
+  let r0 = roster_of rosters (p 0) in
+  check int "no clients" 0 (Pid.Set.cardinal (Roster.clients r0));
+  check bool "remembered as expelled" true
+    (Pid.Set.mem (client 1) (Roster.expelled r0))
+
+let test_expelled_cannot_return () =
+  let group, rosters = setup ~n:4 () in
+  Group.at group 10.0 (fun () -> Roster.enroll (roster_of rosters (p 1)) (client 1));
+  Group.at group 30.0 (fun () -> Roster.expel (roster_of rosters (p 1)) (client 1));
+  Group.at group 50.0 (fun () -> Roster.enroll (roster_of rosters (p 1)) (client 1));
+  (* The next incarnation of the same client host is welcome. *)
+  Group.at group 60.0 (fun () ->
+      Roster.enroll (roster_of rosters (p 1)) (Pid.reincarnate (client 1)));
+  Group.run ~until:150.0 group;
+  let r0 = roster_of rosters (p 0) in
+  check bool "same incarnation refused" false (Roster.is_client r0 (client 1));
+  check bool "new incarnation admitted" true
+    (Roster.is_client r0 (Pid.reincarnate (client 1)));
+  check bool "all servers agree" true (all_agree group rosters)
+
+let test_survives_coordinator_crash () =
+  let group, rosters = setup ~n:5 () in
+  Group.at group 10.0 (fun () -> Roster.enroll (roster_of rosters (p 1)) (client 1));
+  Group.at group 12.0 (fun () -> Roster.enroll (roster_of rosters (p 2)) (client 2));
+  Group.crash_at group 20.0 (p 0);
+  (* More traffic after the failover; requests routed to the new
+     coordinator. *)
+  Group.at group 60.0 (fun () -> Roster.enroll (roster_of rosters (p 3)) (client 3));
+  Group.at group 70.0 (fun () -> Roster.expel (roster_of rosters (p 4)) (client 1));
+  Group.run ~until:300.0 group;
+  check int "membership is clean" 0 (List.length (Checker.check_group group));
+  check bool "rosters agree after failover" true (all_agree group rosters);
+  let r1 = roster_of rosters (p 1) in
+  check bool "client 2 kept" true (Roster.is_client r1 (client 2));
+  check bool "client 3 added under the new regime" true
+    (Roster.is_client r1 (client 3));
+  check bool "client 1 expelled" false (Roster.is_client r1 (client 1))
+
+let test_joiner_gets_snapshot () =
+  let group, rosters = setup ~n:4 () in
+  let rosters = ref rosters in
+  Group.at group 10.0 (fun () -> Roster.enroll (roster_of !rosters (p 1)) (client 1));
+  Group.join_at group 30.0 (p 10) ~contact:(p 2);
+  (* Attach the roster logic on the joiner as soon as it exists. *)
+  Group.at group 30.1 (fun () ->
+      rosters := (p 10, Roster.attach (Group.member group (p 10))) :: !rosters);
+  Group.at group 80.0 (fun () -> Roster.enroll (roster_of !rosters (p 10)) (client 2));
+  Group.run ~until:300.0 group;
+  check bool "all servers agree (including the joiner)" true
+    (all_agree group !rosters);
+  let joiner = roster_of !rosters (p 10) in
+  check bool "joiner knows the old client" true (Roster.is_client joiner (client 1));
+  check bool "joiner's request worked" true (Roster.is_client joiner (client 2))
+
+let test_duplicate_requests_coalesce () =
+  let group, rosters = setup ~n:4 () in
+  (* The same enrolment requested through three different servers. *)
+  List.iter
+    (fun i ->
+      Group.at group (10.0 +. float_of_int i) (fun () ->
+          Roster.enroll (roster_of rosters (p i)) (client 1)))
+    [ 1; 2; 3 ];
+  Group.run ~until:100.0 group;
+  let r0 = roster_of rosters (p 0) in
+  check int "one client, one change" 1 (Roster.sequence r0);
+  check bool "agreement" true (all_agree group rosters)
+
+let suite =
+  [ Alcotest.test_case "roster: enroll replicates" `Quick test_enroll_replicates;
+    Alcotest.test_case "roster: expel replicates" `Quick test_expel_replicates;
+    Alcotest.test_case "roster: expelled cannot return" `Quick
+      test_expelled_cannot_return;
+    Alcotest.test_case "roster: survives coordinator crash" `Quick
+      test_survives_coordinator_crash;
+    Alcotest.test_case "roster: joiner gets a snapshot" `Quick
+      test_joiner_gets_snapshot;
+    Alcotest.test_case "roster: duplicate requests coalesce" `Quick
+      test_duplicate_requests_coalesce ]

@@ -1,0 +1,280 @@
+(* Unit tests for the simulation substrate: PRNG, event queue, engine. *)
+
+open Gmp_sim
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check bool "different seeds differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    check bool "in [0,10)" true (x >= 0 && x < 10);
+    let f = Rng.float rng 2.5 in
+    check bool "float in [0,2.5)" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not change the parent's future draws
+     relative to a parent that split but never used the child. *)
+  let parent' = Rng.create 5 in
+  let _child' = Rng.split parent' in
+  for _ = 1 to 10 do
+    ignore (Rng.int child 100)
+  done;
+  check int "parent unaffected by child draws" (Rng.int parent' 1000)
+    (Rng.int parent 1000)
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 500 do
+    check bool "positive" true (Rng.exponential rng ~mean:3.0 > 0.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check bool "sample mean near 4.0" true (mean > 3.7 && mean < 4.3)
+
+let test_rng_pick_shuffle () =
+  let rng = Rng.create 17 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  for _ = 1 to 50 do
+    check bool "pick from list" true (List.mem (Rng.pick rng xs) xs)
+  done;
+  let shuffled = Rng.shuffle rng xs in
+  check int "shuffle preserves length" 5 (List.length shuffled);
+  check bool "shuffle preserves elements" true
+    (List.sort compare shuffled = xs)
+
+let test_rng_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "pick []" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick rng ([] : int list)))
+
+(* ---- Event_queue ---- *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3.0 "c";
+  Event_queue.add q ~time:1.0 "a";
+  Event_queue.add q ~time:2.0 "b";
+  check (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.string))
+    "pop a" (Some (1.0, "a")) (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.string))
+    "pop b" (Some (2.0, "b")) (Event_queue.pop q);
+  check (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.string))
+    "pop c" (Some (3.0, "c")) (Event_queue.pop q);
+  check bool "empty" true (Event_queue.pop q = None)
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.add q ~time:1.0 s) [ "x"; "y"; "z" ];
+  let order =
+    List.init 3 (fun _ ->
+        match Event_queue.pop q with Some (_, s) -> s | None -> "?")
+  in
+  check (Alcotest.list Alcotest.string) "insertion order on ties"
+    [ "x"; "y"; "z" ] order
+
+let test_queue_interleaved () =
+  let q = Event_queue.create () in
+  (* Interleave adds and pops; verify global ordering of what comes out. *)
+  let popped = ref [] in
+  let pop_one () =
+    match Event_queue.pop q with
+    | Some (t, _) -> popped := t :: !popped
+    | None -> ()
+  in
+  Event_queue.add q ~time:5.0 0;
+  Event_queue.add q ~time:1.0 0;
+  pop_one ();
+  Event_queue.add q ~time:0.5 0;
+  Event_queue.add q ~time:4.0 0;
+  pop_one ();
+  pop_one ();
+  pop_one ();
+  check (Alcotest.list (Alcotest.float 0.0)) "pop order" [ 1.0; 0.5; 4.0; 5.0 ]
+    (List.rev !popped)
+
+let test_queue_growth () =
+  let q = Event_queue.create () in
+  for i = 999 downto 0 do
+    Event_queue.add q ~time:(float_of_int i) i
+  done;
+  check int "length" 1000 (Event_queue.length q);
+  let last = ref (-1.0) in
+  let sorted = ref true in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, _) ->
+      if t < !last then sorted := false;
+      last := t;
+      drain ()
+  in
+  drain ();
+  check bool "drained in order" true !sorted
+
+let test_queue_invalid_time () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Event_queue.add: bad time")
+    (fun () -> Event_queue.add q ~time:(-1.0) ());
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: bad time")
+    (fun () -> Event_queue.add q ~time:Float.nan ())
+
+let test_queue_snapshot () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:2.0 "b";
+  Event_queue.add q ~time:1.0 "a";
+  let snapshot = Event_queue.to_sorted_list q in
+  check int "snapshot size" 2 (List.length snapshot);
+  check int "queue untouched" 2 (Event_queue.length q);
+  check (Alcotest.float 0.0) "first is earliest" 1.0 (fst (List.hd snapshot))
+
+(* ---- Engine ---- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note s () = log := s :: !log in
+  ignore (Engine.schedule e ~delay:2.0 (note "b"));
+  ignore (Engine.schedule e ~delay:1.0 (note "a"));
+  ignore (Engine.schedule e ~delay:3.0 (note "c"));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_engine_now_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule e ~delay:1.5 (fun () -> seen := Engine.now e :: !seen));
+  ignore (Engine.schedule e ~delay:4.0 (fun () -> seen := Engine.now e :: !seen));
+  Engine.run e;
+  check (Alcotest.list (Alcotest.float 1e-9)) "times" [ 1.5; 4.0 ]
+    (List.rev !seen)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel e h;
+  Engine.run e;
+  check bool "cancelled event did not fire" false !fired;
+  check bool "is_cancelled" true (Engine.is_cancelled h)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec chain n () =
+    incr count;
+    if n > 0 then ignore (Engine.schedule e ~delay:1.0 (chain (n - 1)))
+  in
+  ignore (Engine.schedule e ~delay:1.0 (chain 9));
+  Engine.run e;
+  check int "chain of 10" 10 !count;
+  check (Alcotest.float 1e-9) "final time" 10.0 (Engine.now e)
+
+let test_engine_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun () -> incr fired))
+  done;
+  Engine.run ~until:5.5 e;
+  check int "only events before horizon" 5 !fired;
+  check (Alcotest.float 1e-9) "now at horizon" 5.5 (Engine.now e);
+  Engine.run e;
+  check int "rest fire on resume" 10 !fired
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> raise Engine.Stop));
+  ignore (Engine.schedule e ~delay:3.0 (fun () -> incr fired));
+  Engine.run e;
+  check int "stopped before third" 1 !fired
+
+let test_engine_max_steps () =
+  let e = Engine.create () in
+  let rec forever () = ignore (Engine.schedule e ~delay:1.0 forever) in
+  ignore (Engine.schedule e ~delay:1.0 forever);
+  check bool "livelock guard trips" true
+    (try
+       Engine.run ~max_steps:100 e;
+       false
+     with Failure _ -> true)
+
+let test_engine_past_schedule () =
+  let e = Engine.create () in
+  ignore
+    (Engine.schedule e ~delay:5.0 (fun () ->
+         check bool "schedule_at past raises" true
+           (try
+              ignore (Engine.schedule_at e ~time:1.0 (fun () -> ()));
+              false
+            with Invalid_argument _ -> true)));
+  Engine.run e
+
+let test_engine_step () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> incr fired));
+  check bool "step fires one" true (Engine.step e);
+  check int "one fired" 1 !fired;
+  check bool "step fires second" true (Engine.step e);
+  check bool "queue drained" false (Engine.step e)
+
+let suite =
+  [ Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: exponential positive" `Quick
+      test_rng_exponential_positive;
+    Alcotest.test_case "rng: exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng: pick and shuffle" `Quick test_rng_pick_shuffle;
+    Alcotest.test_case "rng: invalid args" `Quick test_rng_invalid;
+    Alcotest.test_case "queue: ordering" `Quick test_queue_ordering;
+    Alcotest.test_case "queue: FIFO on ties" `Quick test_queue_fifo_ties;
+    Alcotest.test_case "queue: interleaved" `Quick test_queue_interleaved;
+    Alcotest.test_case "queue: growth to 1000" `Quick test_queue_growth;
+    Alcotest.test_case "queue: invalid time" `Quick test_queue_invalid_time;
+    Alcotest.test_case "queue: snapshot" `Quick test_queue_snapshot;
+    Alcotest.test_case "engine: ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine: now advances" `Quick test_engine_now_advances;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: nested scheduling" `Quick
+      test_engine_nested_scheduling;
+    Alcotest.test_case "engine: horizon" `Quick test_engine_horizon;
+    Alcotest.test_case "engine: stop" `Quick test_engine_stop;
+    Alcotest.test_case "engine: livelock guard" `Quick test_engine_max_steps;
+    Alcotest.test_case "engine: no scheduling in the past" `Quick
+      test_engine_past_schedule;
+    Alcotest.test_case "engine: single step" `Quick test_engine_step ]

@@ -1,0 +1,200 @@
+(* Unit tests for pids, ops, views, ranks and the majority arithmetic of §7
+   (Facts 7.1-7.3, Proposition 7.1). *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+
+(* ---- Pid ---- *)
+
+let test_pid_basics () =
+  let a = Pid.make 3 in
+  check int "id" 3 (Pid.id a);
+  check int "incarnation" 0 (Pid.incarnation a);
+  check Alcotest.string "to_string" "p3" (Pid.to_string a);
+  let a' = Pid.reincarnate a in
+  check int "same id" 3 (Pid.id a');
+  check int "next incarnation" 1 (Pid.incarnation a');
+  check Alcotest.string "to_string with incarnation" "p3#1" (Pid.to_string a');
+  check bool "instances differ" false (Pid.equal a a')
+
+let test_pid_order () =
+  check bool "id order" true (Pid.compare (p 1) (p 2) < 0);
+  check bool "incarnation order" true
+    (Pid.compare (p 1) (Pid.reincarnate (p 1)) < 0);
+  check bool "equal" true (Pid.equal (p 1) (p 1))
+
+let test_pid_group () =
+  let g = Pid.group 4 in
+  check int "size" 4 (List.length g);
+  check Alcotest.string "first" "p0" (Pid.to_string (List.hd g))
+
+(* ---- ops and seqs ---- *)
+
+let test_op_helpers () =
+  check bool "target of add" true
+    (Pid.equal (Types.op_target (Types.Add (p 1))) (p 1));
+  check bool "remove vs add differ" false
+    (Types.op_equal (Types.Add (p 1)) (Types.Remove (p 1)));
+  check bool "is_remove" true (Types.is_remove (Types.Remove (p 1)))
+
+let test_seq_prefix () =
+  let s1 = [ Types.Remove (p 1); Types.Add (p 5) ] in
+  let s2 = s1 @ [ Types.Remove (p 2) ] in
+  check bool "prefix" true (Types.is_prefix ~prefix:s1 s2);
+  check bool "not prefix backwards" false (Types.is_prefix ~prefix:s2 s1);
+  check bool "empty is prefix" true (Types.is_prefix ~prefix:[] s1);
+  check bool "self prefix" true (Types.is_prefix ~prefix:s2 s2);
+  let s3 = [ Types.Remove (p 1); Types.Remove (p 5) ] in
+  check bool "diverging not prefix" false (Types.is_prefix ~prefix:s3 s2)
+
+let test_seq_drop () =
+  let s = [ Types.Remove (p 1); Types.Add (p 5); Types.Remove (p 2) ] in
+  check int "drop 1" 2 (List.length (Types.seq_drop 1 s));
+  check int "drop all" 0 (List.length (Types.seq_drop 3 s));
+  check int "drop beyond" 0 (List.length (Types.seq_drop 10 s));
+  check int "drop none" 3 (List.length (Types.seq_drop 0 s))
+
+(* ---- View ---- *)
+
+let v5 () = View.initial (Pid.group 5)
+
+let test_view_basics () =
+  let v = v5 () in
+  check int "size" 5 (View.size v);
+  check bool "mem" true (View.mem v (p 3));
+  check bool "mgr is most senior" true (Pid.equal (View.mgr v) (p 0))
+
+let test_view_rank () =
+  let v = v5 () in
+  check int "mgr rank = |view|" 5 (View.rank v (p 0));
+  check int "junior rank = 1" 1 (View.rank v (p 4));
+  check int "middle" 3 (View.rank v (p 2));
+  check bool "rank of non-member undefined" true
+    (try ignore (View.rank v (p 9)); false with Not_found -> true)
+
+let test_view_rank_promotion () =
+  (* §4.2: removing a process raises the rank of everyone junior to it;
+     relative ranks of survivors never change. *)
+  let v = v5 () in
+  let v' = View.remove v (p 1) in
+  check int "senior unchanged" 4 (View.rank v' (p 0));
+  check int "junior promoted" 1 (View.rank v' (p 4));
+  check int "p2 promoted" 3 (View.rank v' (p 2));
+  check bool "relative order maintained" true
+    (View.rank v' (p 2) > View.rank v' (p 3))
+
+let test_view_higher_ranked () =
+  let v = v5 () in
+  check int "mgr has none above" 0 (List.length (View.higher_ranked v (p 0)));
+  check int "junior has all above" 4 (List.length (View.higher_ranked v (p 4)));
+  check (Alcotest.list Alcotest.string) "order is seniority"
+    [ "p0"; "p1" ]
+    (List.map Pid.to_string (View.higher_ranked v (p 2)))
+
+let test_view_add_gets_lowest_rank () =
+  let v = View.add (v5 ()) (p 9) in
+  check int "new member rank 1" 1 (View.rank v (p 9));
+  check int "mgr rank grew" 6 (View.rank v (p 0))
+
+let test_view_apply () =
+  let v = View.apply_all (v5 ()) [ Types.Remove (p 2); Types.Add (p 7) ] in
+  check bool "removed" false (View.mem v (p 2));
+  check bool "added" true (View.mem v (p 7));
+  check int "size" 5 (View.size v)
+
+let test_view_of_seq () =
+  let v = View.of_seq ~initial:(Pid.group 3) [ Types.Remove (p 0) ] in
+  check bool "mgr removed" true (Pid.equal (View.mgr v) (p 1))
+
+let test_view_duplicates_rejected () =
+  check bool "of_list" true
+    (try ignore (View.of_list [ p 1; p 1 ]); false
+     with Invalid_argument _ -> true);
+  check bool "add existing" true
+    (try ignore (View.add (v5 ()) (p 1)); false
+     with Invalid_argument _ -> true)
+
+let test_view_remove_idempotent () =
+  let v = View.remove (v5 ()) (p 9) in
+  check int "removing a non-member is a no-op" 5 (View.size v)
+
+(* ---- majority arithmetic (§7, Facts 7.1-7.3, Prop 7.1) ---- *)
+
+let mu n = (n / 2) + 1
+
+let test_majority_values () =
+  check int "mu(5)" 3 (View.majority (v5 ()));
+  check int "mu(4)" 3 (View.majority (View.initial (Pid.group 4)));
+  check int "mu(1)" 1 (View.majority (View.initial (Pid.group 1)))
+
+let test_fact_7_1_7_2 () =
+  for n = 1 to 100 do
+    if n mod 2 = 0 then check int "even: 2mu = n+2" (n + 2) (2 * mu n)
+    else check int "odd: 2mu = n+1" (n + 1) (2 * mu n)
+  done
+
+let test_prop_7_1 () =
+  (* |S'| = |S| + 1 implies mu(S) + mu(S') > |S'|: majority subsets of
+     neighbouring views intersect. *)
+  for n = 1 to 200 do
+    check bool "mu(n) + mu(n+1) > n+1" true (mu n + mu (n + 1) > n + 1)
+  done
+
+let test_neighbouring_majorities_intersect_concretely () =
+  (* Exhaustive check for small sizes: any mu(n)-subset of [0..n-1] and any
+     mu(n+1)-subset of [0..n] share an element. *)
+  let rec subsets k xs =
+    if k = 0 then [ [] ]
+    else
+      match xs with
+      | [] -> []
+      | x :: rest ->
+        List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+  in
+  List.iter
+    (fun n ->
+      let small = List.init n (fun i -> i) in
+      let big = List.init (n + 1) (fun i -> i) in
+      let smalls = subsets (mu n) small in
+      let bigs = subsets (mu (n + 1)) big in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun b ->
+              check bool "intersect" true
+                (List.exists (fun x -> List.mem x b) s))
+            bigs)
+        smalls)
+    [ 2; 3; 4; 5 ]
+
+let suite =
+  [ Alcotest.test_case "pid: basics" `Quick test_pid_basics;
+    Alcotest.test_case "pid: order" `Quick test_pid_order;
+    Alcotest.test_case "pid: group" `Quick test_pid_group;
+    Alcotest.test_case "op: helpers" `Quick test_op_helpers;
+    Alcotest.test_case "seq: prefix" `Quick test_seq_prefix;
+    Alcotest.test_case "seq: drop" `Quick test_seq_drop;
+    Alcotest.test_case "view: basics" `Quick test_view_basics;
+    Alcotest.test_case "view: rank" `Quick test_view_rank;
+    Alcotest.test_case "view: rank promotion on removal" `Quick
+      test_view_rank_promotion;
+    Alcotest.test_case "view: higher_ranked" `Quick test_view_higher_ranked;
+    Alcotest.test_case "view: add gets lowest rank" `Quick
+      test_view_add_gets_lowest_rank;
+    Alcotest.test_case "view: apply ops" `Quick test_view_apply;
+    Alcotest.test_case "view: of_seq" `Quick test_view_of_seq;
+    Alcotest.test_case "view: duplicates rejected" `Quick
+      test_view_duplicates_rejected;
+    Alcotest.test_case "view: remove idempotent" `Quick
+      test_view_remove_idempotent;
+    Alcotest.test_case "majority: values" `Quick test_majority_values;
+    Alcotest.test_case "majority: Facts 7.1/7.2" `Quick test_fact_7_1_7_2;
+    Alcotest.test_case "majority: Proposition 7.1" `Quick test_prop_7_1;
+    Alcotest.test_case "majority: concrete intersection" `Slow
+      test_neighbouring_majorities_intersect_concretely ]

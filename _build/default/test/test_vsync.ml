@@ -1,0 +1,199 @@
+(* Tests for view-synchronous multicast: the view-synchrony property (any
+   two processes leaving an epoch delivered the same set in it) under
+   crashes of senders, bystanders and coordinators. *)
+
+open Gmp_base
+open Gmp_core
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let p i = Pid.make i
+
+let setup ?(seed = 9) ~n () =
+  let group = Group.create ~seed ~n () in
+  let nodes =
+    List.map (fun m -> (Member.pid m, Gmp_vsync.Vsync.attach m)) (Group.members group)
+  in
+  (group, nodes)
+
+let vs nodes pid = List.assoc pid nodes
+
+let live group nodes =
+  List.filter
+    (fun (pid, _) ->
+      let m = Group.member group pid in
+      Member.operational m && Member.joined m)
+    nodes
+
+(* The view-synchrony property over a finished run: for every epoch e and
+   every two live processes whose final epoch is beyond e, the delivery
+   sets for e agree. *)
+let check_view_synchrony group nodes =
+  let live = live group nodes in
+  let max_epoch =
+    List.fold_left (fun acc (_, v) -> max acc (Gmp_vsync.Vsync.epoch v)) 0 live
+  in
+  for e = 0 to max_epoch - 1 do
+    let past_e =
+      List.filter (fun (_, v) -> Gmp_vsync.Vsync.epoch v > e) live
+    in
+    match past_e with
+    | [] -> ()
+    | (p0, first) :: rest ->
+      let ids v =
+        List.sort Gmp_vsync.Vsync.msg_id_compare (Gmp_vsync.Vsync.delivered_ids v e)
+      in
+      let reference = ids first in
+      List.iter
+        (fun (pq, v) ->
+          if ids v <> reference then
+            Alcotest.failf
+              "view synchrony violated in epoch %d: %s delivered %d msgs, %s \
+               delivered %d"
+              e (Pid.to_string p0) (List.length reference) (Pid.to_string pq)
+              (List.length (ids v)))
+        rest
+  done
+
+let test_casts_without_failures () =
+  let group, nodes = setup ~n:4 () in
+  let received = ref [] in
+  List.iter
+    (fun (_, v) ->
+      Gmp_vsync.Vsync.set_on_deliver v (fun _ ~src:_ body ->
+          received := body :: !received))
+    nodes;
+  Group.at group 10.0 (fun () ->
+      ignore (Gmp_vsync.Vsync.cast (vs nodes (p 1)) "hello"));
+  Group.at group 12.0 (fun () ->
+      ignore (Gmp_vsync.Vsync.cast (vs nodes (p 2)) "world"));
+  Group.run ~until:100.0 group;
+  (* 4 members x 2 messages. *)
+  check int "all deliveries" 8 (List.length !received);
+  check_view_synchrony group nodes
+
+let test_bystander_crash_flushes () =
+  let group, nodes = setup ~n:5 () in
+  Group.at group 10.0 (fun () ->
+      ignore (Gmp_vsync.Vsync.cast (vs nodes (p 1)) "before-crash"));
+  Group.crash_at group 15.0 (p 4);
+  Group.run ~until:300.0 group;
+  check int "membership clean" 0 (List.length (Checker.check_group group));
+  let epochs =
+    List.map (fun (_, v) -> Gmp_vsync.Vsync.epoch v) (live group nodes)
+  in
+  check bool "all advanced to epoch 1" true (List.for_all (fun e -> e = 1) epochs);
+  check_view_synchrony group nodes
+
+let test_sender_crashes_after_partial_send () =
+  (* The sender dies right after casting: the flush must stabilize the
+     message at every survivor (it reached at least the sender's own log
+     and any survivor's), never at a strict subset. *)
+  List.iter
+    (fun seed ->
+      let group, nodes = setup ~seed ~n:5 () in
+      Group.at group 10.0 (fun () ->
+          ignore (Gmp_vsync.Vsync.cast (vs nodes (p 3)) "last-words"));
+      (* Crash the sender while its cast is still in flight. *)
+      Group.crash_at group 10.5 (p 3);
+      Group.run ~until:300.0 group;
+      check int "membership clean" 0 (List.length (Checker.check_group group));
+      check_view_synchrony group nodes;
+      (* All-or-nothing across survivors. *)
+      let got =
+        List.filter_map
+          (fun (pid, v) ->
+            if Pid.equal pid (p 3) then None
+            else
+              Some
+                (List.exists
+                   (fun (_, body) -> body = "last-words")
+                   (Gmp_vsync.Vsync.deliveries_in v 0)))
+          nodes
+      in
+      let all_same =
+        match got with [] -> true | g :: rest -> List.for_all (fun x -> x = g) rest
+      in
+      check bool "atomic delivery across survivors" true all_same)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_coordinator_crash_during_traffic () =
+  let group, nodes = setup ~n:5 () in
+  List.iter
+    (fun (i, t) ->
+      Group.at group t (fun () ->
+          ignore (Gmp_vsync.Vsync.cast (vs nodes (p i)) (Fmt.str "m%d" i))))
+    [ (1, 10.0); (2, 12.0); (3, 14.0) ];
+  Group.crash_at group 15.0 (p 0);
+  (* Traffic continues in the next epoch. *)
+  Group.at group 60.0 (fun () ->
+      ignore (Gmp_vsync.Vsync.cast (vs nodes (p 1)) "after-failover"));
+  Group.run ~until:300.0 group;
+  check int "membership clean" 0 (List.length (Checker.check_group group));
+  check_view_synchrony group nodes;
+  (* The post-failover message lands in epoch 1 everywhere. *)
+  List.iter
+    (fun (_, v) ->
+      check bool "epoch-1 delivery present" true
+        (List.exists
+           (fun (_, body) -> body = "after-failover")
+           (Gmp_vsync.Vsync.deliveries_in v 1)))
+    (live group nodes)
+
+let test_cast_refused_during_flush () =
+  let group, nodes = setup ~n:4 () in
+  Group.crash_at group 10.0 (p 3);
+  (* Try to cast exactly when the flush is likely in progress; acceptable
+     outcomes: accepted in epoch 0 or 1, or refused - but never a
+     view-synchrony violation. *)
+  let refused = ref false in
+  List.iter
+    (fun t ->
+      Group.at group t (fun () ->
+          match Gmp_vsync.Vsync.cast (vs nodes (p 1)) (Fmt.str "t%.1f" t) with
+          | Some _ -> ()
+          | None -> refused := true))
+    [ 20.0; 20.5; 21.0; 21.5; 22.0; 22.5; 23.0 ];
+  Group.run ~until:300.0 group;
+  check_view_synchrony group nodes;
+  (* The refusal flag may or may not trip depending on timing; the property
+     above is the real assertion. *)
+  ignore !refused
+
+let test_churn_view_synchrony () =
+  (* Randomized: casts interleaved with crashes; the property must hold on
+     every run. *)
+  for seed = 1 to 25 do
+    let rng = Gmp_sim.Rng.create (seed * 31) in
+    let n = 4 + Gmp_sim.Rng.int rng 3 in
+    let group, nodes = setup ~seed ~n () in
+    let casts = 3 + Gmp_sim.Rng.int rng 5 in
+    for c = 1 to casts do
+      let sender = Gmp_sim.Rng.int rng n in
+      let time = 5.0 +. Gmp_sim.Rng.float rng 100.0 in
+      Group.at group time (fun () ->
+          ignore (Gmp_vsync.Vsync.cast (vs nodes (p sender)) (Fmt.str "c%d" c)))
+    done;
+    let crashes = Gmp_sim.Rng.int rng 2 in
+    for i = 0 to crashes - 1 do
+      Group.crash_at group (10.0 +. Gmp_sim.Rng.float rng 80.0) (p i)
+    done;
+    Group.run ~until:500.0 group;
+    check_view_synchrony group nodes
+  done
+
+let suite =
+  [ Alcotest.test_case "vsync: failure-free casts" `Quick
+      test_casts_without_failures;
+    Alcotest.test_case "vsync: bystander crash flushes" `Quick
+      test_bystander_crash_flushes;
+    Alcotest.test_case "vsync: sender crash is atomic" `Quick
+      test_sender_crashes_after_partial_send;
+    Alcotest.test_case "vsync: coordinator crash during traffic" `Quick
+      test_coordinator_crash_during_traffic;
+    Alcotest.test_case "vsync: cast refused during flush" `Quick
+      test_cast_refused_during_flush;
+    Alcotest.test_case "vsync: view synchrony under churn" `Slow
+      test_churn_view_synchrony ]
