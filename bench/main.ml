@@ -448,6 +448,133 @@ let ab4 () =
     [ 0.0; 0.1; 0.3; 0.5; 0.7 ]
 
 (* ---------------------------------------------------------------- *)
+(* E-scale: simulator throughput at n in {64, 128, 256}              *)
+(* ---------------------------------------------------------------- *)
+
+(* The §7.2 envelopes stop at n = 64 because the seed simulator did; this
+   section exists so every later PR has a machine-readable perf trajectory
+   (BENCH_scale.json) to beat: wall-clock, events fired, peak heap entries,
+   messages and checker time per scenario. *)
+
+module J = Gmp_base.Json
+
+let time_of f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_reps ~reps f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int reps
+
+let total_sent stats =
+  List.fold_left
+    (fun acc (_, sent, _, _) -> acc + sent)
+    0
+    (Gmp_net.Stats.snapshot stats)
+
+let scale_run ~name ~n scenario =
+  let (m, group), wall = time_of (fun () -> scenario ~n ()) in
+  let (violations, checker_s) = time_of (fun () -> Checker.check_group group) in
+  let engine = Group.engine group in
+  let trace = Group.trace group in
+  pr "%-14s %-6d %9.2fs %10d %10d %10d %9d %10.4fs %s@." name n wall
+    (Gmp_sim.Engine.fired_events engine)
+    (Gmp_sim.Engine.peak_queue_length engine)
+    (total_sent (Group.stats group))
+    (Trace.length trace) checker_s
+    (if violations = [] then "OK" else Fmt.str "%d VIOLATIONS" (List.length violations));
+  ignore m;
+  J.obj
+    [ ("name", J.string name);
+      ("n", J.int n);
+      ("wall_s", J.float wall);
+      ("events_fired", J.int (Gmp_sim.Engine.fired_events engine));
+      ("peak_heap_entries", J.int (Gmp_sim.Engine.peak_queue_length engine));
+      ("final_heap_entries", J.int (Gmp_sim.Engine.queue_length engine));
+      ("live_timers", J.int (Gmp_sim.Engine.pending_events engine));
+      ("messages_sent", J.int (total_sent (Group.stats group)));
+      ("trace_events", J.int (Trace.length trace));
+      ("checker_s", J.float checker_s);
+      ("violations", J.int (List.length violations)) ]
+
+(* The acceptance measurement: the same full safety check on the n=32 churn
+   trace, indexed vs the seed's list scans (Checker.Reference). *)
+let checker_speedup () =
+  let _, group = Scenario.churn ~n:32 () in
+  let trace = Group.trace group in
+  let initial = Group.initial group in
+  let reps = 10 in
+  (* Sanity: all three agree (no violations on a correct run) before timing. *)
+  let idx_violations = Checker.check_safety trace ~initial in
+  let seed_violations = Seed_checker.check_safety trace ~initial in
+  if List.length idx_violations <> List.length seed_violations then
+    pr "WARNING: indexed and seed checkers disagree (%d vs %d violations)@."
+      (List.length idx_violations)
+      (List.length seed_violations);
+  let indexed_s =
+    time_reps ~reps (fun () -> Checker.check_safety trace ~initial)
+  in
+  let seed_s =
+    time_reps ~reps (fun () -> Seed_checker.check_safety trace ~initial)
+  in
+  let reference_s =
+    time_reps ~reps (fun () -> Checker.Reference.check_safety trace ~initial)
+  in
+  let speedup = seed_s /. indexed_s in
+  pr "checker on n=32 churn trace (%d events): indexed %.4fms, seed \
+      list-scan %.4fms -> x%.1f  %s@."
+    (Trace.length trace) (indexed_s *. 1e3) (seed_s *. 1e3) speedup
+    (pass (speedup >= 5.0));
+  pr "  (new property logic on the naive scans alone: %.4fms -> x%.1f)@."
+    (reference_s *. 1e3)
+    (reference_s /. indexed_s);
+  J.obj
+    [ ("trace_events", J.int (Trace.length trace));
+      ("indexed_s", J.float indexed_s);
+      ("seed_s", J.float seed_s);
+      ("reference_s", J.float reference_s);
+      ("speedup_vs_seed", J.float speedup);
+      ("speedup_vs_reference", J.float (reference_s /. indexed_s)) ]
+
+let scale ~quick () =
+  section
+    (if quick then "E-scale (quick): simulator throughput"
+     else "E-scale: simulator throughput (indexed traces, compacted timers)");
+  pr "%-14s %-6s %10s %10s %10s %10s %9s %11s@." "scenario" "n" "wall"
+    "events" "peak-heap" "messages" "trace" "checker";
+  (* Churn cost grows as n^2 x horizon (the horizon itself scales with the
+     crash count), so n=256 churn is minutes of wall-clock; the single-crash
+     workload carries the n=256 point instead. *)
+  let single_sizes = if quick then [ 64 ] else [ 64; 128; 256 ] in
+  let churn_sizes = if quick then [ 32 ] else [ 32; 64; 128 ] in
+  let runs =
+    List.map
+      (fun n ->
+        scale_run ~name:"single-crash" ~n (fun ~n () ->
+            Scenario.scale_single_crash ~n ()))
+      single_sizes
+    @ List.map
+        (fun n -> scale_run ~name:"churn" ~n (fun ~n () -> Scenario.churn ~n ()))
+        churn_sizes
+  in
+  let speedup = checker_speedup () in
+  let doc =
+    J.obj
+      [ ("quick", J.bool quick);
+        ("scenarios", J.list runs);
+        ("checker_speedup_n32_churn", speedup) ]
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  pr "wrote BENCH_scale.json@."
+
+(* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                         *)
 (* ---------------------------------------------------------------- *)
 
@@ -500,24 +627,39 @@ let bechamel_section () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
 let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
   pr "Reproduction harness: Ricciardi & Birman, 'Using Process Groups to Implement@.";
   pr "Failure Detection in Asynchronous Environments' (PODC 1991 / TR 91-1188)@.";
-  table1 ();
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  c1 ();
-  c2 ();
-  f3 ();
-  f4 ();
-  f7 ();
-  a1 ();
-  ab1 ();
-  ab2 ();
-  ab3 ();
-  ab4 ();
-  bechamel_section ();
+  if quick then begin
+    (* CI smoke mode: the cheap paper sections plus the scale section at its
+       smallest sizes, so perf regressions and envelope breaks fail fast. *)
+    table1 ();
+    e1 ();
+    e3 ();
+    c1 ();
+    c2 ();
+    a1 ();
+    scale ~quick:true ()
+  end
+  else begin
+    table1 ();
+    e1 ();
+    e2 ();
+    e3 ();
+    e4 ();
+    e5 ();
+    e6 ();
+    c1 ();
+    c2 ();
+    f3 ();
+    f4 ();
+    f7 ();
+    a1 ();
+    ab1 ();
+    ab2 ();
+    ab3 ();
+    ab4 ();
+    scale ~quick:false ();
+    bechamel_section ()
+  end;
   pr "@.done.@."

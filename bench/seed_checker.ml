@@ -1,0 +1,146 @@
+(* The pre-indexing checker, frozen verbatim as a benchmark baseline.
+
+   This is the seed's [Checker.check_safety]: the original property logic
+   running on the original naive list scans (preserved as
+   [Trace.Reference]). The E-scale section measures the indexed checker's
+   speedup against this implementation, so keep it as it was — do not
+   "improve" it. The shared-logic oracle for correctness testing is
+   [Checker.Reference]; this module exists only for the speedup number. *)
+
+open Gmp_base
+open Gmp_core
+module T = Trace.Reference
+
+let v property fmt =
+  Fmt.kstr (fun detail -> Checker.{ property; detail }) fmt
+
+let check_gmp0 trace ~initial =
+  List.concat_map
+    (fun pid ->
+      match T.installs_of trace pid with
+      | (0, members) :: _ ->
+        if List.length members = List.length initial
+           && List.for_all2 Pid.equal members initial
+        then []
+        else
+          [ v "GMP-0" "%a installed an initial view different from Proc"
+              Pid.pp pid ]
+      | (ver, _) :: _ ->
+        if ver > 0 then []
+        else [ v "GMP-0" "%a has a negative initial version" Pid.pp pid ]
+      | [] -> [ v "GMP-0" "%a never installed any view" Pid.pp pid ])
+    initial
+
+let check_gmp1 trace =
+  let owners = T.owners trace in
+  List.concat_map
+    (fun pid ->
+      let events = T.by_owner trace pid in
+      let _, violations =
+        List.fold_left
+          (fun (suspected, violations) (e : Trace.event) ->
+            match e.kind with
+            | Trace.Faulty q -> (Pid.Set.add q suspected, violations)
+            | Trace.Removed { target; new_ver } ->
+              if Pid.Set.mem target suspected then (suspected, violations)
+              else
+                ( suspected,
+                  v "GMP-1" "%a removed %a (v%d) without believing it faulty"
+                    Pid.pp pid Pid.pp target new_ver
+                  :: violations )
+            | _ -> (suspected, violations))
+          (Pid.Set.empty, []) events
+      in
+      List.rev violations)
+    owners
+
+let check_gmp23 trace =
+  let installs = T.installs trace in
+  let by_ver = Hashtbl.create 32 in
+  let agreement =
+    List.concat_map
+      (fun ((e : Trace.event), ver, members) ->
+        match Hashtbl.find_opt by_ver ver with
+        | None ->
+          Hashtbl.add by_ver ver (e.owner, members);
+          []
+        | Some (first_owner, first_members) ->
+          if
+            List.length members = List.length first_members
+            && List.for_all2 Pid.equal members first_members
+          then []
+          else
+            [ v "GMP-2/3" "version %d: %a has {%a} but %a has {%a}" ver Pid.pp
+                e.owner
+                Fmt.(list ~sep:(any ",") Pid.pp)
+                members Pid.pp first_owner
+                Fmt.(list ~sep:(any ",") Pid.pp)
+                first_members ])
+      installs
+  in
+  let continuity =
+    List.concat_map
+      (fun pid ->
+        let versions = List.map fst (T.installs_of trace pid) in
+        match versions with
+        | [] -> []
+        | first :: rest ->
+          let _, violations =
+            List.fold_left
+              (fun (prev, violations) ver ->
+                if ver = prev + 1 then (ver, violations)
+                else
+                  ( ver,
+                    v "GMP-3" "%a skipped from version %d to %d" Pid.pp pid
+                      prev ver
+                    :: violations ))
+              (first, []) rest
+          in
+          List.rev violations)
+      (T.owners trace)
+  in
+  agreement @ continuity
+
+let check_gmp4 trace =
+  List.concat_map
+    (fun pid ->
+      let views = List.map snd (T.installs_of trace pid) in
+      let check (removed, prev_members, violations) members =
+        let removed_now =
+          List.filter
+            (fun q -> not (List.exists (Pid.equal q) members))
+            prev_members
+        in
+        let removed =
+          List.fold_left (fun acc q -> Pid.Set.add q acc) removed removed_now
+        in
+        let reinstated =
+          List.filter (fun q -> Pid.Set.mem q removed) members
+        in
+        let violations =
+          List.map
+            (fun q ->
+              v "GMP-4" "%a re-instated %a to its local view" Pid.pp pid Pid.pp
+                q)
+            reinstated
+          @ violations
+        in
+        (removed, members, violations)
+      in
+      match views with
+      | [] -> []
+      | first :: rest ->
+        let _, _, violations =
+          List.fold_left check (Pid.Set.empty, first, []) rest
+        in
+        List.rev violations)
+    (T.owners trace)
+
+let check_internal trace =
+  List.map
+    (fun (owner, detail) -> v "internal" "%a: %s" Pid.pp owner detail)
+    (T.violations trace)
+
+let check_safety trace ~initial =
+  check_gmp0 trace ~initial @ check_gmp1 trace @ check_gmp23 trace
+  @ check_gmp4 trace @ check_internal trace

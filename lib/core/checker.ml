@@ -2,7 +2,13 @@
 
    Every property test and every experiment runs these; a reproduction of a
    protocol paper is only credible if the specification itself is machine-
-   checked on each run. *)
+   checked on each run.
+
+   The property logic is written once, in [Make], against an abstract set of
+   trace queries. The default instance runs on {!Trace}'s incremental
+   indexes (O(touched) per query, so a full safety check is near-linear in
+   the trace); [Reference] runs the identical logic on the seed's naive
+   list scans and exists as the benchmark baseline and test oracle. *)
 
 open Gmp_base
 
@@ -12,152 +18,179 @@ let pp_violation ppf v = Fmt.pf ppf "[%s] %s" v.property v.detail
 
 let v property fmt = Fmt.kstr (fun detail -> { property; detail }) fmt
 
-(* GMP-0: the initial system view exists along the initial cut:
-   every initial process installs version 0 = Proc. *)
-let check_gmp0 trace ~initial =
-  List.concat_map
-    (fun pid ->
-      match Trace.installs_of trace pid with
-      | (0, members) :: _ ->
-        if List.length members = List.length initial
-           && List.for_all2 Pid.equal members initial
-        then []
-        else
-          [ v "GMP-0" "%a installed an initial view different from Proc"
-              Pid.pp pid ]
-      | (ver, _) :: _ ->
-        if ver > 0 then [] (* a joiner: its first view is a later version *)
-        else [ v "GMP-0" "%a has a negative initial version" Pid.pp pid ]
-      | [] -> [ v "GMP-0" "%a never installed any view" Pid.pp pid ])
-    initial
+module type QUERIES = sig
+  val by_owner : Trace.t -> Pid.t -> Trace.event list
+  val installs : Trace.t -> (Trace.event * int * Pid.t list) list
+  val installs_of : Trace.t -> Pid.t -> (int * Pid.t list) list
+  val detections : Trace.t -> (Pid.t * Pid.t * Trace.event) list
+  val violations : Trace.t -> (Pid.t * string) list
+  val owners : Trace.t -> Pid.t list
+end
 
-(* GMP-1: q leaves Memb(p) only after faultyp(q): every Removed event of p
-   is preceded, in p's history, by a Faulty event for the same target. *)
-let check_gmp1 trace =
-  let owners = Trace.owners trace in
-  List.concat_map
-    (fun pid ->
-      let events = Trace.by_owner trace pid in
-      let _, violations =
-        List.fold_left
-          (fun (suspected, violations) (e : Trace.event) ->
-            match e.kind with
-            | Trace.Faulty q -> (Pid.Set.add q suspected, violations)
-            | Trace.Removed { target; new_ver } ->
-              if Pid.Set.mem target suspected then (suspected, violations)
-              else
-                ( suspected,
-                  v "GMP-1" "%a removed %a (v%d) without believing it faulty"
-                    Pid.pp pid Pid.pp target new_ver
-                  :: violations )
-            | _ -> (suspected, violations))
-          (Pid.Set.empty, []) events
-      in
-      List.rev violations)
-    owners
+module type S = sig
+  val check_gmp0 : Trace.t -> initial:Pid.t list -> violation list
+  val check_gmp1 : Trace.t -> violation list
+  val check_gmp23 : Trace.t -> violation list
+  val check_gmp4 : Trace.t -> violation list
+  val check_gmp5 : Trace.t -> final_view:Pid.t list -> violation list
+  val check_internal : Trace.t -> violation list
+  val check_safety : Trace.t -> initial:Pid.t list -> violation list
+end
 
-(* GMP-2 and GMP-3: a unique sequence of system views, and identical local
-   view sequences. Operationally: any two processes that install the same
-   version install the same membership, and each process's versions are
-   consecutive from its first. *)
-let check_gmp23 trace =
-  let installs = Trace.installs trace in
-  (* version -> first membership seen *)
-  let by_ver = Hashtbl.create 32 in
-  let agreement =
-    List.concat_map
-      (fun ((e : Trace.event), ver, members) ->
-        match Hashtbl.find_opt by_ver ver with
-        | None ->
-          Hashtbl.add by_ver ver (e.owner, members);
-          []
-        | Some (first_owner, first_members) ->
-          if
-            List.length members = List.length first_members
-            && List.for_all2 Pid.equal members first_members
-          then []
-          else
-            [ v "GMP-2/3" "version %d: %a has {%a} but %a has {%a}" ver Pid.pp
-                e.owner
-                Fmt.(list ~sep:(any ",") Pid.pp)
-                members Pid.pp first_owner
-                Fmt.(list ~sep:(any ",") Pid.pp)
-                first_members ])
-      installs
-  in
-  let continuity =
+module Make (Q : QUERIES) : S = struct
+  (* GMP-0: the initial system view exists along the initial cut:
+     every initial process installs version 0 = Proc. *)
+  let check_gmp0 trace ~initial =
     List.concat_map
       (fun pid ->
-        let versions = List.map fst (Trace.installs_of trace pid) in
-        match versions with
-        | [] -> []
-        | first :: rest ->
-          let _, violations =
-            List.fold_left
-              (fun (prev, violations) ver ->
-                if ver = prev + 1 then (ver, violations)
-                else
-                  ( ver,
-                    v "GMP-3" "%a skipped from version %d to %d" Pid.pp pid
-                      prev ver
-                    :: violations ))
-              (first, []) rest
-          in
-          List.rev violations)
-      (Trace.owners trace)
-  in
-  agreement @ continuity
+        match Q.installs_of trace pid with
+        | (0, members) :: _ ->
+          if List.length members = List.length initial
+             && List.for_all2 Pid.equal members initial
+          then []
+          else
+            [ v "GMP-0" "%a installed an initial view different from Proc"
+                Pid.pp pid ]
+        | (ver, _) :: _ ->
+          if ver > 0 then [] (* a joiner: its first view is a later version *)
+          else [ v "GMP-0" "%a has a negative initial version" Pid.pp pid ]
+        | [] -> [ v "GMP-0" "%a never installed any view" Pid.pp pid ])
+      initial
 
-(* GMP-4: processes are never re-instated: once removed from p's local view,
-   a pid never reappears in p's later views (same incarnation). *)
-let check_gmp4 trace =
-  List.concat_map
-    (fun pid ->
-      let views = List.map snd (Trace.installs_of trace pid) in
-      let check (removed, prev_members, violations) members =
-        let removed_now =
-          List.filter
-            (fun q -> not (List.exists (Pid.equal q) members))
-            prev_members
-        in
-        let removed =
-          List.fold_left (fun acc q -> Pid.Set.add q acc) removed removed_now
-        in
-        let reinstated =
-          List.filter (fun q -> Pid.Set.mem q removed) members
-        in
-        let violations =
-          List.map
-            (fun q ->
-              v "GMP-4" "%a re-instated %a to its local view" Pid.pp pid Pid.pp
-                q)
-            reinstated
-          @ violations
-        in
-        (removed, members, violations)
-      in
-      match views with
-      | [] -> []
-      | first :: rest ->
-        let _, _, violations =
-          List.fold_left check (Pid.Set.empty, first, []) rest
+  (* GMP-1: q leaves Memb(p) only after faultyp(q): every Removed event of p
+     is preceded, in p's history, by a Faulty event for the same target. *)
+  let check_gmp1 trace =
+    let owners = Q.owners trace in
+    List.concat_map
+      (fun pid ->
+        let events = Q.by_owner trace pid in
+        let _, violations =
+          List.fold_left
+            (fun (suspected, violations) (e : Trace.event) ->
+              match e.kind with
+              | Trace.Faulty q -> (Pid.Set.add q suspected, violations)
+              | Trace.Removed { target; new_ver } ->
+                if Pid.Set.mem target suspected then (suspected, violations)
+                else
+                  ( suspected,
+                    v "GMP-1" "%a removed %a (v%d) without believing it faulty"
+                      Pid.pp pid Pid.pp target new_ver
+                    :: violations )
+              | _ -> (suspected, violations))
+            (Pid.Set.empty, []) events
         in
         List.rev violations)
-    (Trace.owners trace)
+      owners
 
-(* GMP-5: every detection is eventually resolved: for each faultyp(q) with p
-   a group member at the time, eventually q or p leaves the system view.
-   Checked against the final agreed view of a quiescent run. *)
-let check_gmp5 trace ~final_view =
-  let in_final p = List.exists (Pid.equal p) final_view in
-  List.filter_map
-    (fun (observer, suspected, (_ : Trace.event)) ->
-      if in_final observer && in_final suspected then
-        Some
-          (v "GMP-5" "%a suspected %a but both are in the final view" Pid.pp
-             observer Pid.pp suspected)
-      else None)
-    (Trace.detections trace)
+  (* GMP-2 and GMP-3: a unique sequence of system views, and identical local
+     view sequences. Operationally: any two processes that install the same
+     version install the same membership, and each process's versions are
+     consecutive from its first. *)
+  let check_gmp23 trace =
+    let installs = Q.installs trace in
+    (* version -> first (owner, membership, |membership|) seen *)
+    let by_ver = Hashtbl.create 32 in
+    let agreement =
+      List.concat_map
+        (fun ((e : Trace.event), ver, members) ->
+          match Hashtbl.find_opt by_ver ver with
+          | None ->
+            Hashtbl.add by_ver ver (e.owner, members, List.length members);
+            []
+          | Some (first_owner, first_members, first_len) ->
+            if
+              members == first_members
+              || (List.compare_length_with members first_len = 0
+                  && List.for_all2 Pid.equal members first_members)
+            then []
+            else
+              [ v "GMP-2/3" "version %d: %a has {%a} but %a has {%a}" ver Pid.pp
+                  e.owner
+                  Fmt.(list ~sep:(any ",") Pid.pp)
+                  members Pid.pp first_owner
+                  Fmt.(list ~sep:(any ",") Pid.pp)
+                  first_members ])
+        installs
+    in
+    let continuity =
+      List.concat_map
+        (fun pid ->
+          let versions = List.map fst (Q.installs_of trace pid) in
+          match versions with
+          | [] -> []
+          | first :: rest ->
+            let _, violations =
+              List.fold_left
+                (fun (prev, violations) ver ->
+                  if ver = prev + 1 then (ver, violations)
+                  else
+                    ( ver,
+                      v "GMP-3" "%a skipped from version %d to %d" Pid.pp pid
+                        prev ver
+                      :: violations ))
+                (first, []) rest
+            in
+            List.rev violations)
+        (Q.owners trace)
+    in
+    agreement @ continuity
+
+  (* GMP-4: processes are never re-instated: once removed from p's local view,
+     a pid never reappears in p's later views (same incarnation). Single pass
+     over the owner's view sequence: a member whose last appearance is not the
+     immediately preceding view was removed in between and has come back.
+     O(total view members) hashtable operations per owner. *)
+  let check_gmp4 trace =
+    List.concat_map
+      (fun pid ->
+        let last_seen = Pid.Tbl.create 64 in
+        let violations = ref [] in
+        List.iteri
+          (fun i (_, members) ->
+            List.iter
+              (fun q ->
+                match Pid.Tbl.find_opt last_seen q with
+                | None -> Pid.Tbl.add last_seen q (ref i)
+                | Some last ->
+                  if !last < i - 1 then
+                    violations :=
+                      v "GMP-4" "%a re-instated %a to its local view" Pid.pp
+                        pid Pid.pp q
+                      :: !violations;
+                  last := i)
+              members)
+          (Q.installs_of trace pid);
+        List.rev !violations)
+      (Q.owners trace)
+
+  (* GMP-5: every detection is eventually resolved: for each faultyp(q) with p
+     a group member at the time, eventually q or p leaves the system view.
+     Checked against the final agreed view of a quiescent run. *)
+  let check_gmp5 trace ~final_view =
+    let final_set = Pid.Set.of_list final_view in
+    let in_final p = Pid.Set.mem p final_set in
+    List.filter_map
+      (fun (observer, suspected, (_ : Trace.event)) ->
+        if in_final observer && in_final suspected then
+          Some
+            (v "GMP-5" "%a suspected %a but both are in the final view" Pid.pp
+               observer Pid.pp suspected)
+        else None)
+      (Q.detections trace)
+
+  (* Internal Violation trace events (broken invariants noticed at runtime). *)
+  let check_internal trace =
+    List.map
+      (fun (owner, detail) -> v "internal" "%a: %s" Pid.pp owner detail)
+      (Q.violations trace)
+
+  let check_safety trace ~initial =
+    check_gmp0 trace ~initial @ check_gmp1 trace @ check_gmp23 trace
+    @ check_gmp4 trace @ check_internal trace
+end
+
+include Make (Trace)
+module Reference = Make (Trace.Reference)
 
 (* Liveness (not a numbered GMP property, but the point of the exercise):
    after quiescence the operational processes agree on one view, and that
@@ -196,16 +229,6 @@ let check_convergence ~surviving_views ~dead =
         surviving_views
     in
     agreement @ no_dead @ all_present
-
-(* Internal Violation trace events (broken invariants noticed at runtime). *)
-let check_internal trace =
-  List.map
-    (fun (owner, detail) -> v "internal" "%a: %s" Pid.pp owner detail)
-    (Trace.violations trace)
-
-let check_safety trace ~initial =
-  check_gmp0 trace ~initial @ check_gmp1 trace @ check_gmp23 trace
-  @ check_gmp4 trace @ check_internal trace
 
 (* Full check for a quiescent run of a Group. *)
 let check_group ?(liveness = true) group =

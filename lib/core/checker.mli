@@ -7,24 +7,57 @@ type violation = { property : string; detail : string }
 
 val pp_violation : violation Fmt.t
 
-val check_gmp0 : Trace.t -> initial:Pid.t list -> violation list
-(** GMP-0: every initial process installs version 0 = Proc. *)
+(** The trace queries the property logic is written against. The default
+    instance below uses {!Trace}'s incremental indexes; {!Trace.Reference}
+    provides the naive list-scan instance. *)
+module type QUERIES = sig
+  val by_owner : Trace.t -> Pid.t -> Trace.event list
+  val installs : Trace.t -> (Trace.event * int * Pid.t list) list
+  val installs_of : Trace.t -> Pid.t -> (int * Pid.t list) list
+  val detections : Trace.t -> (Pid.t * Pid.t * Trace.event) list
+  val violations : Trace.t -> (Pid.t * string) list
+  val owners : Trace.t -> Pid.t list
+end
 
-val check_gmp1 : Trace.t -> violation list
-(** GMP-1: no capricious removals - every [Removed] is preceded (in its
-    owner's history) by a [Faulty] for the same target. *)
+(** The trace-level checks, abstract in the query implementation. *)
+module type S = sig
+  val check_gmp0 : Trace.t -> initial:Pid.t list -> violation list
+  (** GMP-0: every initial process installs version 0 = Proc. *)
 
-val check_gmp23 : Trace.t -> violation list
-(** GMP-2/GMP-3: any two installs of the same version carry the same
-    membership, and no process skips a version. *)
+  val check_gmp1 : Trace.t -> violation list
+  (** GMP-1: no capricious removals - every [Removed] is preceded (in its
+      owner's history) by a [Faulty] for the same target. *)
 
-val check_gmp4 : Trace.t -> violation list
-(** GMP-4: once removed from a local view, a pid (same incarnation) never
-    reappears in it. *)
+  val check_gmp23 : Trace.t -> violation list
+  (** GMP-2/GMP-3: any two installs of the same version carry the same
+      membership, and no process skips a version. *)
 
-val check_gmp5 : Trace.t -> final_view:Pid.t list -> violation list
-(** GMP-5: every detection is eventually resolved - no suspicion pair
-    survives together into the final view of a quiescent run. *)
+  val check_gmp4 : Trace.t -> violation list
+  (** GMP-4: once removed from a local view, a pid (same incarnation) never
+      reappears in it. *)
+
+  val check_gmp5 : Trace.t -> final_view:Pid.t list -> violation list
+  (** GMP-5: every detection is eventually resolved - no suspicion pair
+      survives together into the final view of a quiescent run. *)
+
+  val check_internal : Trace.t -> violation list
+  (** Runtime-detected invariant breaks ([Trace.Violation] events). *)
+
+  val check_safety : Trace.t -> initial:Pid.t list -> violation list
+  (** GMP-0, 1, 2/3, 4 + internal (no liveness / finality assumptions). *)
+end
+
+module Make (Q : QUERIES) : S
+
+include S
+(** The default checkers, served by {!Trace}'s indexes: a full
+    [check_safety] is near-linear in the trace. *)
+
+module Reference : S
+(** The same checks over the seed's O(events) list scans
+    ({!Trace.Reference}) — the property-test oracle for the indexes, not
+    for production use. The benchmark's speedup baseline is the fully
+    frozen pre-indexing checker in [bench/seed_checker.ml]. *)
 
 val check_convergence :
   surviving_views:(Pid.t * int * Pid.t list) list ->
@@ -32,12 +65,6 @@ val check_convergence :
   violation list
 (** Liveness on a quiescent run: operational processes agree on one view
     that contains them all and none of the dead. *)
-
-val check_internal : Trace.t -> violation list
-(** Runtime-detected invariant breaks ([Trace.Violation] events). *)
-
-val check_safety : Trace.t -> initial:Pid.t list -> violation list
-(** GMP-0, 1, 2/3, 4 + internal (no liveness / finality assumptions). *)
 
 val check_group : ?liveness:bool -> Group.t -> violation list
 (** Full check for a quiescent {!Group} run; [~liveness:false] restricts to

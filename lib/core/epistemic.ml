@@ -82,15 +82,15 @@ let check_eq4 trace =
    version x is a consistent cut. *)
 let check_cuts trace =
   let log =
-    List.map
-      (fun (e : Trace.event) ->
-        Cut.
-          { owner = e.owner;
-            index = e.index;
-            time = e.time;
-            vc = e.vc;
-            data = e.kind })
-      (Trace.events trace)
+    List.rev
+      (Trace.fold trace ~init:[] ~f:(fun acc (e : Trace.event) ->
+           Cut.
+             { owner = e.owner;
+               index = e.index;
+               time = e.time;
+               vc = e.vc;
+               data = e.kind }
+           :: acc))
   in
   let installs = install_events trace in
   let versions =

@@ -46,7 +46,9 @@ let json_of_event (e : Trace.event) =
       ("event", json_of_kind e.Trace.kind) ]
 
 let json_of_trace trace =
-  J.list (List.map json_of_event (Trace.events trace))
+  J.list
+    (List.rev
+       (Trace.fold trace ~init:[] ~f:(fun acc e -> json_of_event e :: acc)))
 
 let json_of_stats stats =
   J.obj

@@ -50,7 +50,6 @@ let proc_state_at state p =
   | None -> initial_proc_state
 
 let of_trace trace =
-  let events = Trace.events trace in
   let pids = Trace.owners trace in
   let apply procs (e : Trace.event) =
     let ps = match Pid.Map.find_opt e.Trace.owner procs with
@@ -73,19 +72,20 @@ let of_trace trace =
     in
     Pid.Map.add e.Trace.owner ps procs
   in
-  let states =
-    let rec go i procs time acc = function
-      | [] -> List.rev acc
-      | (e : Trace.event) :: rest ->
-        let procs = apply procs e in
-        let time = Float.max time e.Trace.time in
-        let state = { cut_index = i; cut_time = time; procs } in
-        go (i + 1) procs time (state :: acc) rest
-    in
-    let zero = { cut_index = 0; cut_time = 0.0; procs = Pid.Map.empty } in
-    zero :: go 1 Pid.Map.empty 0.0 [] events
-  in
-  { states = Array.of_list states; run_pids = pids }
+  (* One pass over the indexed trace, filling the state array directly (no
+     intermediate event or state lists). *)
+  let n = Trace.length trace in
+  let zero = { cut_index = 0; cut_time = 0.0; procs = Pid.Map.empty } in
+  let states = Array.make (n + 1) zero in
+  let procs = ref Pid.Map.empty in
+  let time = ref 0.0 in
+  for i = 1 to n do
+    let e = Trace.get trace (i - 1) in
+    procs := apply !procs e;
+    time := Float.max !time e.Trace.time;
+    states.(i) <- { cut_index = i; cut_time = !time; procs = !procs }
+  done;
+  { states; run_pids = pids }
 
 let length run = Array.length run.states
 let state_at run i = run.states.(i)

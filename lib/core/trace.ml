@@ -1,7 +1,13 @@
 (* Run traces. Every protocol-relevant step of every process is recorded
    with its owner, local history index and vector clock, so the Checker can
    decide the GMP properties and the Epistemic module can reason about
-   consistent cuts. *)
+   consistent cuts.
+
+   Storage is a growable array plus per-owner and per-kind indexes maintained
+   incrementally at [record] time: recording is O(1) amortized and every
+   query pays O(result), not O(trace). The previous list-scan implementations
+   survive in {!Reference} as the oracle for property tests and the baseline
+   for the checker benchmarks. *)
 
 open Gmp_base
 open Gmp_causality
@@ -28,61 +34,207 @@ type event = {
   kind : kind;
 }
 
-type t = { mutable rev_events : event list; mutable count : int }
+(* Growable vector of event positions (indexes into the event array). *)
+module Ivec = struct
+  type t = { mutable a : int array; mutable n : int }
 
-let create () = { rev_events = []; count = 0 }
+  let create () = { a = [||]; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let cap = if v.n = 0 then 8 else v.n * 2 in
+      let fresh = Array.make cap 0 in
+      Array.blit v.a 0 fresh 0 v.n;
+      v.a <- fresh
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+
+  (* [to_list v f] = [List.map f (contents v)], built back-to-front. *)
+  let to_list v f =
+    let rec go i acc = if i < 0 then acc else go (i - 1) (f v.a.(i) :: acc) in
+    go (v.n - 1) []
+
+  let filter_list v f =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (match f v.a.(i) with Some x -> x :: acc | None -> acc)
+    in
+    go (v.n - 1) []
+end
+
+type t = {
+  mutable evs : event array; (* evs.(0 .. len-1); beyond is filler *)
+  mutable len : int;
+  owner_ix : Ivec.t Pid.Tbl.t; (* owner -> its events, in order *)
+  install_ix : Ivec.t; (* Installed events, in order *)
+  owner_install_ix : Ivec.t Pid.Tbl.t; (* owner -> its Installed events *)
+  detection_ix : Ivec.t; (* Faulty events *)
+  quit_ix : Ivec.t; (* Quit and Crashed events *)
+  violation_ix : Ivec.t; (* Violation events *)
+  mutable owners_rev : Pid.t list; (* first-appearance order, reversed *)
+}
+
+let create () =
+  { evs = [||];
+    len = 0;
+    owner_ix = Pid.Tbl.create 16;
+    install_ix = Ivec.create ();
+    owner_install_ix = Pid.Tbl.create 16;
+    detection_ix = Ivec.create ();
+    quit_ix = Ivec.create ();
+    violation_ix = Ivec.create ();
+    owners_rev = [] }
+
+let push_owner_table table owner i =
+  match Pid.Tbl.find_opt table owner with
+  | Some v -> Ivec.push v i
+  | None ->
+    let v = Ivec.create () in
+    Ivec.push v i;
+    Pid.Tbl.add table owner v
 
 let record t ~owner ~index ~time ~vc kind =
-  t.count <- t.count + 1;
-  t.rev_events <- { owner; index; time; vc; kind } :: t.rev_events
+  let e = { owner; index; time; vc; kind } in
+  if t.len = Array.length t.evs then begin
+    let cap = if t.len = 0 then 64 else t.len * 2 in
+    (* The new event is the filler: fresh slots hold no stale data. *)
+    let fresh = Array.make cap e in
+    Array.blit t.evs 0 fresh 0 t.len;
+    t.evs <- fresh
+  end;
+  let i = t.len in
+  t.evs.(i) <- e;
+  t.len <- i + 1;
+  if not (Pid.Tbl.mem t.owner_ix owner) then
+    t.owners_rev <- owner :: t.owners_rev;
+  push_owner_table t.owner_ix owner i;
+  match kind with
+  | Installed _ ->
+    Ivec.push t.install_ix i;
+    push_owner_table t.owner_install_ix owner i
+  | Faulty _ -> Ivec.push t.detection_ix i
+  | Quit _ | Crashed -> Ivec.push t.quit_ix i
+  | Violation _ -> Ivec.push t.violation_ix i
+  | Operating _ | Removed _ | Added _ | Initiated_reconf _ | Proposed _
+  | Committed _ | Became_mgr _ ->
+    ()
 
-let events t = List.rev t.rev_events
+let length t = t.len
 
-let length t = t.count
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
+  t.evs.(i)
 
-(* ---- Queries used by the checkers ---- *)
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.evs.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.evs.(i)
+  done;
+  !acc
+
+let events t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.evs.(i) :: acc) in
+  go (t.len - 1) []
+
+(* ---- Indexed queries used by the checkers ---- *)
 
 let by_owner t pid =
-  List.filter (fun e -> Pid.equal e.owner pid) (events t)
+  match Pid.Tbl.find_opt t.owner_ix pid with
+  | None -> []
+  | Some v -> Ivec.to_list v (fun i -> t.evs.(i))
 
-let installs t =
-  List.filter_map
-    (fun e ->
-      match e.kind with
-      | Installed { ver; view_members } -> Some (e, ver, view_members)
-      | _ -> None)
-    (events t)
+let install_triple t i =
+  let e = t.evs.(i) in
+  match e.kind with
+  | Installed { ver; view_members } -> (e, ver, view_members)
+  | _ -> assert false (* install_ix holds only Installed events *)
+
+let installs t = Ivec.to_list t.install_ix (install_triple t)
 
 let installs_of t pid =
-  List.filter_map
-    (fun (e, ver, view_members) ->
-      if Pid.equal e.owner pid then Some (ver, view_members) else None)
-    (installs t)
+  match Pid.Tbl.find_opt t.owner_install_ix pid with
+  | None -> []
+  | Some v ->
+    Ivec.to_list v (fun i ->
+        let _, ver, members = install_triple t i in
+        (ver, members))
 
 let detections t =
-  List.filter_map
-    (fun e -> match e.kind with Faulty q -> Some (e.owner, q, e) | _ -> None)
-    (events t)
+  Ivec.to_list t.detection_ix (fun i ->
+      let e = t.evs.(i) in
+      match e.kind with Faulty q -> (e.owner, q, e) | _ -> assert false)
 
 let quits t =
-  List.filter_map
-    (fun e ->
+  Ivec.to_list t.quit_ix (fun i ->
+      let e = t.evs.(i) in
       match e.kind with
-      | Quit reason -> Some (e.owner, `Quit reason)
-      | Crashed -> Some (e.owner, `Crashed)
-      | _ -> None)
-    (events t)
+      | Quit reason -> (e.owner, `Quit reason)
+      | Crashed -> (e.owner, `Crashed)
+      | _ -> assert false)
 
 let violations t =
-  List.filter_map
-    (fun e -> match e.kind with Violation v -> Some (e.owner, v) | _ -> None)
-    (events t)
+  Ivec.filter_list t.violation_ix (fun i ->
+      let e = t.evs.(i) in
+      match e.kind with Violation v -> Some (e.owner, v) | _ -> None)
 
-let owners t =
-  List.fold_left
-    (fun acc e -> if List.exists (Pid.equal e.owner) acc then acc else e.owner :: acc)
-    [] (events t)
-  |> List.rev
+let owners t = List.rev t.owners_rev
+
+(* ---- Reference implementations: the seed's naive list scans ----
+
+   Kept verbatim (modulo operating on [events t]) as the oracle the property
+   tests fuzz the indexes against, and as the baseline the benchmark's
+   checker-speedup figure is measured over. *)
+
+module Reference = struct
+  let by_owner t pid =
+    List.filter (fun e -> Pid.equal e.owner pid) (events t)
+
+  let installs t =
+    List.filter_map
+      (fun e ->
+        match e.kind with
+        | Installed { ver; view_members } -> Some (e, ver, view_members)
+        | _ -> None)
+      (events t)
+
+  let installs_of t pid =
+    List.filter_map
+      (fun (e, ver, view_members) ->
+        if Pid.equal e.owner pid then Some (ver, view_members) else None)
+      (installs t)
+
+  let detections t =
+    List.filter_map
+      (fun e -> match e.kind with Faulty q -> Some (e.owner, q, e) | _ -> None)
+      (events t)
+
+  let quits t =
+    List.filter_map
+      (fun e ->
+        match e.kind with
+        | Quit reason -> Some (e.owner, `Quit reason)
+        | Crashed -> Some (e.owner, `Crashed)
+        | _ -> None)
+      (events t)
+
+  let violations t =
+    List.filter_map
+      (fun e -> match e.kind with Violation v -> Some (e.owner, v) | _ -> None)
+      (events t)
+
+  let owners t =
+    List.fold_left
+      (fun acc e ->
+        if List.exists (Pid.equal e.owner) acc then acc else e.owner :: acc)
+      [] (events t)
+    |> List.rev
+end
 
 let pp_kind ppf = function
   | Faulty q -> Fmt.pf ppf "faulty(%a)" Pid.pp q
@@ -142,8 +294,7 @@ let pp_timeline ppf t =
   Fmt.pf ppf "%s" (pad "time");
   List.iter (fun p -> Fmt.pf ppf "%s" (pad (Pid.to_string p))) owners;
   Fmt.pf ppf "@\n";
-  List.iter
-    (fun e ->
+  iter t (fun e ->
       match cell_of_kind e.kind with
       | None -> ()
       | Some cell ->
@@ -154,4 +305,3 @@ let pp_timeline ppf t =
             else Fmt.pf ppf "%s" (pad "."))
           owners;
         Fmt.pf ppf "@\n")
-    (events t)

@@ -37,10 +37,23 @@ val record :
   t -> owner:Pid.t -> index:int -> time:float -> vc:Vector_clock.t -> kind -> unit
 
 val events : t -> event list
-(** In global recording order. *)
+(** In global recording order. O(length); prefer {!iter} / {!fold} / {!get}
+    on hot paths. *)
 
 val length : t -> int
+
+val get : t -> int -> event
+(** [get t i] is the [i]-th recorded event (0-based); O(1). Raises
+    [Invalid_argument] out of bounds. *)
+
+val iter : t -> (event -> unit) -> unit
+(** Apply to every event in recording order, without building a list. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+
 val by_owner : t -> Pid.t -> event list
+(** O(result): served from the per-owner index. *)
+
 val installs : t -> (event * int * Pid.t list) list
 val installs_of : t -> Pid.t -> (int * Pid.t list) list
 val detections : t -> (Pid.t * Pid.t * event) list
@@ -49,6 +62,21 @@ val detections : t -> (Pid.t * Pid.t * event) list
 val quits : t -> (Pid.t * [ `Quit of string | `Crashed ]) list
 val violations : t -> (Pid.t * string) list
 val owners : t -> Pid.t list
+(** In first-appearance order. *)
+
+(** The naive list-scan implementations of the queries above (the seed's
+    originals). Each is O(length) per call; they are the oracle the property
+    tests compare the indexes against and the baseline for the benchmark's
+    checker-speedup measurement. *)
+module Reference : sig
+  val by_owner : t -> Pid.t -> event list
+  val installs : t -> (event * int * Pid.t list) list
+  val installs_of : t -> Pid.t -> (int * Pid.t list) list
+  val detections : t -> (Pid.t * Pid.t * event) list
+  val quits : t -> (Pid.t * [ `Quit of string | `Crashed ]) list
+  val violations : t -> (Pid.t * string) list
+  val owners : t -> Pid.t list
+end
 val pp_kind : kind Fmt.t
 val pp_event : event Fmt.t
 val pp : t Fmt.t

@@ -20,9 +20,10 @@ type 'm t = {
   mutable delay : Delay.t;
   stats : Stats.t;
   fifo_epsilon : float;
-  (* Per ordered pair (src,dst): virtual time of the latest scheduled
-     delivery, to enforce FIFO. *)
-  last_delivery : (Pid.t * Pid.t, float) Hashtbl.t;
+  (* Per ordered pair (src,dst): all mutable channel state in one record,
+     found with a single lookup per send (deliveries capture the record in
+     their closure and pay no lookup at all). *)
+  channels : (Pid.t * Pid.t, 'm channel) Hashtbl.t;
   (* dst -> set of sources whose incoming channel dst has cut (S1). *)
   disconnected : Pid.Set.t Pid.Tbl.t;
   mutable crashed : Pid.Set.t;
@@ -30,9 +31,15 @@ type 'm t = {
      None = fully connected. *)
   mutable partition : int Pid.Map.t option;
   mutable handler : dst:Pid.t -> src:Pid.t -> 'm -> unit;
-  (* Messages parked because of a partition, per ordered pair, FIFO. *)
-  parked : (Pid.t * Pid.t, 'm parked_msg Queue.t) Hashtbl.t;
   mutable monitor : ('m send_record -> unit) option;
+}
+
+and 'm channel = {
+  (* Virtual time of the latest scheduled delivery, to enforce FIFO;
+     [neg_infinity] before the first one. *)
+  mutable last_delivery : float;
+  (* Messages parked because of a partition, FIFO. *)
+  parked : 'm parked_msg Queue.t;
 }
 
 and 'm parked_msg = { category : string; payload : 'm }
@@ -54,13 +61,21 @@ let create ?(fifo_epsilon = 1e-6) ~engine ~rng ~delay () =
     delay;
     stats = Stats.create ();
     fifo_epsilon;
-    last_delivery = Hashtbl.create 64;
+    channels = Hashtbl.create 64;
     disconnected = Pid.Tbl.create 16;
     crashed = Pid.Set.empty;
     partition = None;
     handler = default_handler;
-    parked = Hashtbl.create 16;
     monitor = None }
+
+let channel t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.channels key with
+  | Some ch -> ch
+  | None ->
+    let ch = { last_delivery = Float.neg_infinity; parked = Queue.create () } in
+    Hashtbl.add t.channels key ch;
+    ch
 
 let set_handler t handler = t.handler <- handler
 let set_monitor t monitor = t.monitor <- Some monitor
@@ -104,44 +119,37 @@ let partition t groups =
   in
   t.partition <- Some table
 
-let deliver t ~src ~dst ~category payload =
+let deliver t ch ~src ~dst ~category payload =
   if Pid.Set.mem dst t.crashed then
     Stats.record_dropped t.stats ~category
   else if is_disconnected t ~at:dst ~from:src then
     (* S1: silently discarded at the receiver. *)
     Stats.record_dropped t.stats ~category
-  else if not (reachable t src dst) then begin
+  else if not (reachable t src dst) then
     (* Parked until the partition heals; channels stay reliable. *)
-    let queue =
-      match Hashtbl.find_opt t.parked (src, dst) with
-      | Some q -> q
-      | None ->
-        let q = Queue.create () in
-        Hashtbl.replace t.parked (src, dst) q;
-        q
-    in
-    Queue.add { category; payload } queue
-  end
+    Queue.add { category; payload } ch.parked
   else begin
     Stats.record_delivered t.stats ~category;
     t.handler ~dst ~src payload
   end
 
-let schedule_delivery t ~src ~dst ~category ~extra_delay payload =
+let schedule_on t ch ~src ~dst ~category ~extra_delay payload =
   let sample = Delay.sample t.delay t.rng +. extra_delay in
   let now = Gmp_sim.Engine.now t.engine in
   let earliest =
-    match Hashtbl.find_opt t.last_delivery (src, dst) with
-    | None -> 0.0
-    | Some last -> last +. t.fifo_epsilon
+    if ch.last_delivery = Float.neg_infinity then 0.0
+    else ch.last_delivery +. t.fifo_epsilon
   in
   let at = Float.max (now +. sample) earliest in
-  Hashtbl.replace t.last_delivery (src, dst) at;
+  ch.last_delivery <- at;
   let (_ : Gmp_sim.Engine.handle) =
     Gmp_sim.Engine.schedule_at t.engine ~time:at (fun () ->
-        deliver t ~src ~dst ~category payload)
+        deliver t ch ~src ~dst ~category payload)
   in
   ()
+
+let schedule_delivery t ~src ~dst ~category ~extra_delay payload =
+  schedule_on t (channel t ~src ~dst) ~src ~dst ~category ~extra_delay payload
 
 let send ?(extra_delay = 0.0) t ~src ~dst ~category payload =
   if Pid.equal src dst then invalid_arg "Network.send: src = dst";
@@ -161,16 +169,26 @@ let send ?(extra_delay = 0.0) t ~src ~dst ~category payload =
 
 let heal t =
   t.partition <- None;
-  (* Flush parked traffic in channel order with fresh delays. *)
-  let pending = Hashtbl.fold (fun key q acc -> (key, q) :: acc) t.parked [] in
-  Hashtbl.reset t.parked;
+  (* Flush parked traffic in channel order with fresh delays. Channels are
+     sorted by endpoint pair so the flush order (and thus the RNG draw
+     order) is deterministic, not hash-table order. *)
+  let pending =
+    Hashtbl.fold
+      (fun key ch acc ->
+        if Queue.is_empty ch.parked then acc else (key, ch) :: acc)
+      t.channels []
+    |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+           match Pid.compare a1 b1 with 0 -> Pid.compare a2 b2 | c -> c)
+  in
   List.iter
-    (fun ((src, dst), queue) ->
-      Queue.iter
+    (fun ((src, dst), ch) ->
+      let msgs = Queue.fold (fun acc m -> m :: acc) [] ch.parked in
+      Queue.clear ch.parked;
+      List.iter
         (fun { category; payload } ->
-          schedule_delivery t ~src ~dst ~category ~extra_delay:0.0 payload)
-        queue)
+          schedule_on t ch ~src ~dst ~category ~extra_delay:0.0 payload)
+        (List.rev msgs))
     pending
 
 let parked_count t =
-  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.parked 0
+  Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.parked) t.channels 0

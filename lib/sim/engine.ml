@@ -1,6 +1,9 @@
 (* Discrete-event simulation engine. Time is virtual: [now] jumps to the
    timestamp of each fired event. Handles are cancellable so that timers can
-   be reset cheaply (cancelled events stay in the queue but are skipped). *)
+   be reset cheaply: cancelled events become tombstones in the queue and are
+   skipped when popped. When tombstones outnumber live entries the queue is
+   compacted in place, so long runs with heavy timer churn keep the heap
+   proportional to the number of live timers. *)
 
 type handle = { mutable cancelled : bool; fire_at : float }
 
@@ -23,6 +26,21 @@ let fired_events t = t.fired
 
 let pending_events t = t.live
 
+let queue_length t = Event_queue.length t.queue
+
+let peak_queue_length t = Event_queue.max_length t.queue
+
+(* Compaction policy: once the queue holds at least [compact_threshold]
+   entries and more than half of them are tombstones, rebuild it keeping only
+   live events. The rebuild is O(live + dead) and at least half the entries
+   are dropped, so the cost amortizes to O(1) per cancellation. *)
+let compact_threshold = 64
+
+let maybe_compact t =
+  let len = Event_queue.length t.queue in
+  if len >= compact_threshold && len > 2 * t.live then
+    Event_queue.filter_in_place t.queue (fun ev -> not ev.handle.cancelled)
+
 let schedule_at t ~time action =
   if time < t.now then
     invalid_arg
@@ -40,7 +58,8 @@ let schedule t ~delay action =
 let cancel t handle =
   if not handle.cancelled then begin
     handle.cancelled <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    maybe_compact t
   end
 
 let is_cancelled handle = handle.cancelled
@@ -63,6 +82,17 @@ let step t =
   in
   next ()
 
+(* Timestamp of the earliest *live* event: tombstones at the top of the queue
+   are discarded on the way (a cancelled timer past a horizon must not mask a
+   live event behind it). *)
+let rec peek_live_time t =
+  match Event_queue.peek t.queue with
+  | None -> None
+  | Some (_, ev) when ev.handle.cancelled ->
+    ignore (Event_queue.pop t.queue : (float * event) option);
+    peek_live_time t
+  | Some (time, _) -> Some time
+
 let default_max_steps = 10_000_000
 
 let run ?(max_steps = default_max_steps) ?until t =
@@ -70,7 +100,7 @@ let run ?(max_steps = default_max_steps) ?until t =
     match until with
     | None -> false
     | Some horizon ->
-      (match Event_queue.peek_time t.queue with
+      (match peek_live_time t with
        | None -> false
        | Some time -> time > horizon)
   in

@@ -24,6 +24,14 @@ val fired_events : t -> int
 val pending_events : t -> int
 (** Number of scheduled, not-yet-fired, not-cancelled events. *)
 
+val queue_length : t -> int
+(** Entries physically in the queue, live plus not-yet-collected tombstones.
+    Compaction keeps this below twice {!pending_events} (once past a small
+    constant threshold). *)
+
+val peak_queue_length : t -> int
+(** High-water mark of {!queue_length}: the peak heap footprint of the run. *)
+
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** Schedule an action [delay] time units from now. *)
 

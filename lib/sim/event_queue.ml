@@ -1,21 +1,35 @@
 (* Binary min-heap keyed by (time, seq). The sequence number breaks ties so
    that simultaneous events fire in insertion order, which keeps runs
-   deterministic regardless of heap internals. *)
+   deterministic regardless of heap internals.
+
+   Slots are ['a entry option] so that vacated positions can be cleared:
+   popped payloads (often closures capturing protocol state) must not stay
+   reachable through the backing array, and [grow] must not seed fresh slots
+   with a live entry. *)
 
 type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;
-  (* [heap.(0 .. size-1)] is a valid min-heap; slots beyond hold junk. *)
+  mutable heap : 'a entry option array;
+  (* [heap.(0 .. size-1)] is a valid min-heap of [Some _]; slots beyond are
+     [None]. *)
   mutable size : int;
   mutable next_seq : int;
+  mutable max_size : int; (* high-water mark, for capacity accounting *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; max_size = 0 }
 
 let length t = t.size
 
+let max_length t = t.max_size
+
 let is_empty t = t.size = 0
+
+let get t i =
+  match t.heap.(i) with
+  | Some e -> e
+  | None -> invalid_arg "Event_queue: vacated slot inside the heap"
 
 let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
@@ -27,7 +41,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if lt t.heap.(i) t.heap.(parent) then begin
+    if lt (get t i) (get t parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -36,8 +50,8 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.size && lt t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
   if !smallest <> i then begin
     swap t i !smallest;
     sift_down t !smallest
@@ -46,8 +60,7 @@ let rec sift_down t i =
 let grow t =
   let capacity = Array.length t.heap in
   let new_capacity = if capacity = 0 then 16 else capacity * 2 in
-  (* The dummy element is immediately overwritten by the caller. *)
-  let fresh = Array.make new_capacity t.heap.(0) in
+  let fresh = Array.make new_capacity None in
   Array.blit t.heap 0 fresh 0 t.size;
   t.heap <- fresh
 
@@ -56,35 +69,68 @@ let add t ~time payload =
     invalid_arg "Event_queue.add: bad time";
   let entry = { time; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
-  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry
-  else if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- entry;
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- Some entry;
   t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size;
   sift_up t (t.size - 1)
 
-let peek t = if t.size = 0 then None else Some t.heap.(0)
+let peek_entry t = if t.size = 0 then None else Some (get t 0)
 
-let peek_time t = match peek t with None -> None | Some e -> Some e.time
+let peek_time t =
+  match peek_entry t with None -> None | Some e -> Some e.time
+
+let peek t =
+  match peek_entry t with None -> None | Some e -> Some (e.time, e.payload)
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let top = get t 0 in
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- None;
       sift_down t 0
-    end;
+    end
+    else t.heap.(0) <- None;
     Some (top.time, top.payload)
   end
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.heap 0 (Array.length t.heap) None;
+  t.size <- 0
+
+(* Drop every entry whose payload fails [pred], then re-establish the heap
+   invariant bottom-up (O(n)). Sequence numbers are preserved so the firing
+   order among survivors is unchanged. *)
+let filter_in_place t pred =
+  let kept = ref 0 in
+  for i = 0 to t.size - 1 do
+    let e = get t i in
+    if pred e.payload then begin
+      t.heap.(!kept) <- Some e;
+      incr kept
+    end
+  done;
+  for i = !kept to t.size - 1 do
+    t.heap.(i) <- None
+  done;
+  t.size <- !kept;
+  for i = (t.size / 2) - 1 downto 0 do
+    sift_down t i
+  done
 
 let to_sorted_list t =
   (* Non-destructive drain: copy and pop. Used in tests only. *)
   if t.size = 0 then []
   else begin
-    let copy = { heap = Array.copy t.heap; size = t.size; next_seq = t.next_seq } in
+    let copy =
+      { heap = Array.copy t.heap;
+        size = t.size;
+        next_seq = t.next_seq;
+        max_size = t.max_size }
+    in
     let rec drain acc =
       match pop copy with
       | None -> List.rev acc

@@ -1,13 +1,19 @@
 (** Priority queue of timestamped events.
 
     Keyed by [(time, insertion sequence)]: events with equal timestamps fire
-    in insertion order, so simulations are deterministic. *)
+    in insertion order, so simulations are deterministic. Vacated slots are
+    cleared so popped payloads (typically closures) are not retained by the
+    backing array. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val length : 'a t -> int
+
+val max_length : 'a t -> int
+(** High-water mark of {!length} over the queue's lifetime. *)
+
 val is_empty : 'a t -> bool
 
 val add : 'a t -> time:float -> 'a -> unit
@@ -16,8 +22,15 @@ val add : 'a t -> time:float -> 'a -> unit
 val peek_time : 'a t -> float option
 (** Timestamp of the earliest event, if any. *)
 
+val peek : 'a t -> (float * 'a) option
+(** The earliest event without removing it. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event. *)
+
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** Drop every entry whose payload fails the predicate, in O(n). Relative
+    firing order of the survivors is unchanged. *)
 
 val clear : 'a t -> unit
 

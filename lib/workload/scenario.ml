@@ -333,6 +333,48 @@ let concurrent_initiators ?(seed = 1) ~n () =
   Group.run ~until:400.0 group;
   (measure group, group)
 
+(* ---- E-scale scenarios (the bench's BENCH_scale.json section) ----
+
+   Dedicated entry points instead of reusing [single_crash]: the paper-
+   envelope scenarios keep their long horizons for fidelity, while the scale
+   runs trim the horizon to just past convergence and raise the livelock
+   guard (at n = 256 the heartbeat traffic alone is ~32k messages per
+   interval, so a 300s horizon would trip the default 10M-step guard). *)
+
+let scale_max_steps = 200_000_000
+
+let scale_single_crash ?(seed = 1) ~n () =
+  let group = Group.create ~seed ~n () in
+  Group.crash_at group 10.0 (Pid.make (n - 1));
+  Group.run ~max_steps:scale_max_steps ~until:120.0 group;
+  (measure group, group)
+
+(* Deterministic churn at scale: coordinator crash, ~n/6 scattered crashes
+   spaced out enough for each exclusion to land, and three late joins, under
+   heavy-tailed delays (the test suite's n=32 churn, generalized over n). *)
+let churn ?(seed = 123) ~n () =
+  if n < 8 then invalid_arg "Scenario.churn: need n >= 8";
+  let delay = Gmp_net.Delay.exponential ~mean:1.0 in
+  let config = { Config.default with Config.heartbeat_timeout = 15.0 } in
+  let group = Group.create ~config ~delay ~seed ~n () in
+  Group.crash_at group 10.0 (Pid.make 0);
+  let crashes = max 1 (n / 6) in
+  for i = 1 to crashes do
+    (* Victims spread across the rank order, never the most senior
+       survivors (the join contacts below must stay alive). *)
+    let victim = Pid.make (1 + (i * (n - 5) / (crashes + 1))) in
+    Group.crash_at group (25.0 +. (15.0 *. float_of_int i)) victim
+  done;
+  for j = 1 to 3 do
+    Group.join_at group
+      (30.0 +. (30.0 *. float_of_int j))
+      (Pid.make (1000 + j))
+      ~contact:(Pid.make (n - 1 - j))
+  done;
+  let horizon = 25.0 +. (15.0 *. float_of_int crashes) +. 120.0 in
+  Group.run ~max_steps:scale_max_steps ~until:horizon group;
+  (measure group, group)
+
 (* Randomized churn (used by property tests and the GMP-properties bench). *)
 let random_churn ~seed () =
   let rng = Gmp_sim.Rng.create seed in

@@ -82,6 +82,15 @@ val concurrent_initiators :
 (** F4 / Figure 4 / Table 1 row 3: two concurrent initiators; exactly one
     regime survives. *)
 
+val scale_single_crash : ?seed:int -> n:int -> unit -> measurement * Group.t
+(** E-scale: the E1 single-crash workload with a trimmed horizon and a
+    raised livelock guard, usable up to n = 256 and beyond. *)
+
+val churn : ?seed:int -> n:int -> unit -> measurement * Group.t
+(** E-scale: coordinator crash, ~n/6 scattered crashes and three joins
+    under heavy-tailed delays (the n=32 scale test generalized over n).
+    Requires n >= 8. *)
+
 val random_churn : seed:int -> unit -> measurement * Group.t
 (** Randomized crashes, joins, spurious suspicions and cascades; used by
     the property tests and the GMP sweep. *)

@@ -1,0 +1,141 @@
+(* The trace indexes against their list-scan oracle, and the engine's
+   tombstone-compaction bound.
+
+   [Trace]'s queries are served from indexes built incrementally at [record]
+   time; [Trace.Reference] keeps the seed's naive scans. On any trace the two
+   must agree exactly — fuzzing the recorded kinds exercises every index. *)
+
+open Gmp_base
+open Gmp_core
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- fuzzed traces: indexed queries = naive list scans ---- *)
+
+let kind_of_code owner code ver =
+  let p = Pid.make (code * 7 mod 6) in
+  match code with
+  | 0 -> Trace.Faulty p
+  | 1 -> Trace.Operating p
+  | 2 -> Trace.Removed { target = p; new_ver = ver }
+  | 3 -> Trace.Added { target = p; new_ver = ver }
+  | 4 -> Trace.Installed { ver; view_members = [ owner; p ] }
+  | 5 -> Trace.Quit "fuzz"
+  | 6 -> Trace.Crashed
+  | 7 -> Trace.Initiated_reconf { at_ver = ver }
+  | 8 -> Trace.Proposed { target_ver = ver; ops = [] }
+  | 9 -> Trace.Committed { ver; commit_kind = `Update }
+  | 10 -> Trace.Became_mgr { at_ver = ver }
+  | _ -> Trace.Violation "fuzz"
+
+let build_trace entries =
+  let trace = Trace.create () in
+  let counters = Hashtbl.create 8 in
+  List.iteri
+    (fun i (o, code, ver) ->
+      let owner = Pid.make o in
+      let index = try Hashtbl.find counters o with Not_found -> 0 in
+      Hashtbl.replace counters o (index + 1);
+      Trace.record trace ~owner ~index ~time:(float_of_int i)
+        ~vc:Gmp_causality.Vector_clock.empty
+        (kind_of_code owner code ver))
+    entries;
+  trace
+
+let entries_arb =
+  (* (owner id, kind code, version): small ranges so owners and kinds
+     collide often and every index gets multi-element lists. *)
+  QCheck.(list (triple (int_bound 5) (int_bound 11) (int_bound 4)))
+
+let prop_indexes_match_reference =
+  QCheck.Test.make ~name:"trace: indexed queries = list-scan reference"
+    ~count:300 entries_arb (fun entries ->
+      let t = build_trace entries in
+      let pids = Pid.make 99 :: Trace.owners t in
+      Trace.owners t = Trace.Reference.owners t
+      && Trace.installs t = Trace.Reference.installs t
+      && Trace.detections t = Trace.Reference.detections t
+      && Trace.quits t = Trace.Reference.quits t
+      && Trace.violations t = Trace.Reference.violations t
+      && List.for_all
+           (fun p ->
+             Trace.by_owner t p = Trace.Reference.by_owner t p
+             && Trace.installs_of t p = Trace.Reference.installs_of t p)
+           pids)
+
+let prop_checker_instances_agree =
+  QCheck.Test.make ~name:"checker: indexed instance = reference instance"
+    ~count:100 entries_arb (fun entries ->
+      let t = build_trace entries in
+      let initial = Pid.group 4 in
+      Checker.check_safety t ~initial
+      = Checker.Reference.check_safety t ~initial)
+
+let prop_checker_agrees_on_runs =
+  QCheck.Test.make ~name:"checker: instances agree on real churn runs"
+    ~count:10
+    QCheck.(int_range 1 1_000_000)
+    (fun seed ->
+      let _, group = Gmp_workload.Scenario.random_churn ~seed () in
+      let trace = Group.trace group in
+      let initial = Group.initial group in
+      Checker.check_safety trace ~initial
+      = Checker.Reference.check_safety trace ~initial)
+
+(* ---- engine: cancelled-timer tombstones stay bounded ---- *)
+
+let test_compaction_bound () =
+  let e = Gmp_sim.Engine.create () in
+  let live = 128 in
+  let handles =
+    Array.init live (fun i ->
+        Gmp_sim.Engine.schedule e ~delay:(1e6 +. float_of_int i) ignore)
+  in
+  for i = 0 to 99_999 do
+    let slot = i mod live in
+    Gmp_sim.Engine.cancel e handles.(slot);
+    handles.(slot) <-
+      Gmp_sim.Engine.schedule e ~delay:(2e6 +. float_of_int i) ignore;
+    let len = Gmp_sim.Engine.queue_length e in
+    if len > 2 * live then
+      Alcotest.failf "cycle %d: queue length %d >= 2 x %d live timers" i len
+        live
+  done;
+  Alcotest.(check int) "live timers intact" live
+    (Gmp_sim.Engine.pending_events e);
+  let final = Gmp_sim.Engine.queue_length e in
+  if final >= 2 * live then
+    Alcotest.failf "after 100k cycles: queue length %d >= 2 x %d" final live;
+  (* The churn really went through the heap: 100k + initial schedules. *)
+  Alcotest.(check bool) "peak saw the tombstones" true
+    (Gmp_sim.Engine.peak_queue_length e > live)
+
+let test_compaction_preserves_order () =
+  (* Cancel every other timer out of 1000, then fire the rest: the survivors
+     must fire in schedule order despite intervening compactions. *)
+  let e = Gmp_sim.Engine.create () in
+  let fired = ref [] in
+  let handles =
+    List.init 1000 (fun i ->
+        ( i,
+          Gmp_sim.Engine.schedule e
+            ~delay:(float_of_int (i + 1))
+            (fun () -> fired := i :: !fired) ))
+  in
+  List.iter
+    (fun (i, h) -> if i mod 2 = 0 then Gmp_sim.Engine.cancel e h)
+    handles;
+  Gmp_sim.Engine.run e;
+  let expected = List.init 500 (fun i -> (2 * i) + 1) in
+  Alcotest.(check (list int)) "odd timers fired in order" expected
+    (List.rev !fired)
+
+let suite =
+  List.map qtest
+    [ prop_indexes_match_reference;
+      prop_checker_instances_agree;
+      prop_checker_agrees_on_runs ]
+  @ [ Alcotest.test_case "engine: 100k schedule/cancel stays bounded" `Quick
+        test_compaction_bound;
+      Alcotest.test_case "engine: compaction preserves firing order" `Quick
+        test_compaction_preserves_order ]

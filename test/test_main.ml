@@ -22,4 +22,5 @@ let () =
       ("epistemic", Test_epistemic.suite);
       ("knowledge", Test_knowledge.suite);
       ("scale", Test_scale.suite);
+      ("indexes", Test_indexes.suite);
       ("properties", Test_props.suite) ]
