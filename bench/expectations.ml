@@ -1,0 +1,60 @@
+(* Checked-in expectations for the deterministic E-scale counters.
+
+   Wall time varies by machine, but [events_fired], [messages_sent] and
+   [trace_events] are functions of the seed and the simulation logic alone
+   (the RNG is our own splitmix64, so they are identical across OCaml
+   versions). The bench compares every scale run against this table and
+   exits nonzero on drift, so silent behaviour changes fail CI even when
+   the tests pass.
+
+   History: relative to the PR 1 baseline, events_fired is lower by exactly
+   the number of detector stops whose pending heartbeat tick used to fire as
+   a no-op — `Heartbeat.stop` now cancels the scheduled tick (one stop per
+   crash/quit: -1 on single-crash, -6/-12/-23 on churn 32/64/128).
+   messages_sent and trace_events are unchanged. *)
+
+type row = {
+  name : string;
+  n : int;
+  events_fired : int;
+  messages_sent : int;
+  trace_events : int;
+}
+
+let rows =
+  [ { name = "single-crash"; n = 64; events_fired = 235_370;
+      messages_sent = 235_491; trace_events = 255 };
+    { name = "single-crash"; n = 128; events_fired = 954_026;
+      messages_sent = 962_403; trace_events = 511 };
+    { name = "single-crash"; n = 256; events_fired = 3_841_322;
+      messages_sent = 3_890_787; trace_events = 1023 };
+    { name = "churn"; n = 32; events_fired = 94_911;
+      messages_sent = 92_600; trace_events = 820 };
+    { name = "churn"; n = 64; events_fired = 506_373;
+      messages_sent = 499_150; trace_events = 2706 };
+    { name = "churn"; n = 128; events_fired = 3_165_668;
+      messages_sent = 3_152_199; trace_events = 9355 } ]
+
+let find ~name ~n =
+  List.find_opt (fun r -> String.equal r.name name && r.n = n) rows
+
+(* Drift messages accumulated across scale runs; the bench driver exits
+   nonzero if any are present when it finishes. *)
+let failures : string list ref = ref []
+
+let check ~name ~n ~events_fired ~messages_sent ~trace_events =
+  match find ~name ~n with
+  | None -> ()
+  | Some expected ->
+    let mismatch what got want =
+      if got <> want then begin
+        let msg =
+          Printf.sprintf "%s n=%d: %s = %d, expected %d" name n what got want
+        in
+        failures := msg :: !failures;
+        Printf.printf "DRIFT: %s\n%!" msg
+      end
+    in
+    mismatch "events_fired" events_fired expected.events_fired;
+    mismatch "messages_sent" messages_sent expected.messages_sent;
+    mismatch "trace_events" trace_events expected.trace_events

@@ -476,30 +476,56 @@ let total_sent stats =
     0
     (Gmp_net.Stats.snapshot stats)
 
+(* Wall times of the committed PR 1 BENCH_scale.json, embedded so the file
+   this run emits carries its own before/after trajectory. *)
+let pr1_wall =
+  [ (("single-crash", 64), 2.5477469);
+    (("single-crash", 128), 25.203512);
+    (("single-crash", 256), 216.997837);
+    (("churn", 32), 0.390711069);
+    (("churn", 64), 4.96368194);
+    (("churn", 128), 83.0552831) ]
+
 let scale_run ~name ~n scenario =
+  let minor0 = Gc.minor_words () in
   let (m, group), wall = time_of (fun () -> scenario ~n ()) in
+  let minor_words = Gc.minor_words () -. minor0 in
   let (violations, checker_s) = time_of (fun () -> Checker.check_group group) in
   let engine = Group.engine group in
   let trace = Group.trace group in
-  pr "%-14s %-6d %9.2fs %10d %10d %10d %9d %10.4fs %s@." name n wall
-    (Gmp_sim.Engine.fired_events engine)
+  let events_fired = Gmp_sim.Engine.fired_events engine in
+  let messages_sent = total_sent (Group.stats group) in
+  let trace_events = Trace.length trace in
+  let words_per_event = minor_words /. float_of_int (max 1 events_fired) in
+  pr "%-14s %-6d %9.2fs %10d %10d %10d %9d %9.0f %10.4fs %s@." name n wall
+    events_fired
     (Gmp_sim.Engine.peak_queue_length engine)
-    (total_sent (Group.stats group))
-    (Trace.length trace) checker_s
+    messages_sent trace_events words_per_event checker_s
     (if violations = [] then "OK" else Fmt.str "%d VIOLATIONS" (List.length violations));
   ignore m;
+  Expectations.check ~name ~n ~events_fired ~messages_sent ~trace_events;
+  let baseline_fields =
+    match List.assoc_opt (name, n) pr1_wall with
+    | None -> []
+    | Some pr1 ->
+      [ ("pr1_wall_s", J.float pr1);
+        ("speedup_vs_pr1", J.float (pr1 /. wall)) ]
+  in
   J.obj
-    [ ("name", J.string name);
-      ("n", J.int n);
-      ("wall_s", J.float wall);
-      ("events_fired", J.int (Gmp_sim.Engine.fired_events engine));
-      ("peak_heap_entries", J.int (Gmp_sim.Engine.peak_queue_length engine));
-      ("final_heap_entries", J.int (Gmp_sim.Engine.queue_length engine));
-      ("live_timers", J.int (Gmp_sim.Engine.pending_events engine));
-      ("messages_sent", J.int (total_sent (Group.stats group)));
-      ("trace_events", J.int (Trace.length trace));
-      ("checker_s", J.float checker_s);
-      ("violations", J.int (List.length violations)) ]
+    ([ ("name", J.string name);
+       ("n", J.int n);
+       ("wall_s", J.float wall);
+       ("events_fired", J.int events_fired);
+       ("peak_heap_entries", J.int (Gmp_sim.Engine.peak_queue_length engine));
+       ("final_heap_entries", J.int (Gmp_sim.Engine.queue_length engine));
+       ("live_timers", J.int (Gmp_sim.Engine.pending_events engine));
+       ("messages_sent", J.int messages_sent);
+       ("trace_events", J.int trace_events);
+       ("minor_words", J.float minor_words);
+       ("minor_words_per_event", J.float words_per_event);
+       ("checker_s", J.float checker_s);
+       ("violations", J.int (List.length violations)) ]
+     @ baseline_fields)
 
 (* The acceptance measurement: the same full safety check on the n=32 churn
    trace, indexed vs the seed's list scans (Checker.Reference). *)
@@ -544,8 +570,8 @@ let scale ~quick () =
   section
     (if quick then "E-scale (quick): simulator throughput"
      else "E-scale: simulator throughput (indexed traces, compacted timers)");
-  pr "%-14s %-6s %10s %10s %10s %10s %9s %11s@." "scenario" "n" "wall"
-    "events" "peak-heap" "messages" "trace" "checker";
+  pr "%-14s %-6s %10s %10s %10s %10s %9s %9s %11s@." "scenario" "n" "wall"
+    "events" "peak-heap" "messages" "trace" "words/ev" "checker";
   (* Churn cost grows as n^2 x horizon (the horizon itself scales with the
      crash count), so n=256 churn is minutes of wall-clock; the single-crash
      workload carries the n=256 point instead. *)
@@ -566,6 +592,15 @@ let scale ~quick () =
     J.obj
       [ ("quick", J.bool quick);
         ("scenarios", J.list runs);
+        ("pr1_baseline_wall_s",
+         J.list
+           (List.map
+              (fun ((name, n), wall) ->
+                J.obj
+                  [ ("name", J.string name);
+                    ("n", J.int n);
+                    ("wall_s", J.float wall) ])
+              pr1_wall));
         ("checker_speedup_n32_churn", speedup) ]
   in
   let oc = open_out "BENCH_scale.json" in
@@ -662,4 +697,11 @@ let () =
     scale ~quick:false ();
     bechamel_section ()
   end;
-  pr "@.done.@."
+  pr "@.done.@.";
+  match !Expectations.failures with
+  | [] -> ()
+  | failures ->
+    pr "@.%d deterministic-count drift(s) vs bench/expectations.ml:@."
+      (List.length failures);
+    List.iter (fun msg -> pr "  %s@." msg) failures;
+    exit 1

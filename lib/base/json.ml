@@ -46,15 +46,92 @@ let float_literal f =
   else if Float.is_integer (f *. 1e6) then Printf.sprintf "%g" f
   else Printf.sprintf "%.9g" f
 
-let rec pp ppf = function
-  | Null -> Fmt.string ppf "null"
-  | Bool b -> Fmt.bool ppf b
-  | Int i -> Fmt.int ppf i
-  | Float f -> Fmt.string ppf (float_literal f)
-  | String s -> Fmt.pf ppf "\"%s\"" (escape s)
-  | List xs -> Fmt.pf ppf "[@[<hv>%a@]]" Fmt.(list ~sep:(any ",@ ") pp) xs
-  | Obj fields ->
-    let pp_field ppf (k, v) = Fmt.pf ppf "\"%s\":@ %a" (escape k) pp v in
-    Fmt.pf ppf "{@[<hv>%a@]}" Fmt.(list ~sep:(any ",@ ") pp_field) fields
+(* Width-aware printing: any value whose one-line rendering fits in
+   [max_width] columns (counting its left margin) is printed on one line;
+   only larger lists/objects break, one element per line, indented by two.
+   This keeps scalar records compact ("one row per measurement") instead of
+   the one-token-per-line output a naive hv-box produces. *)
 
-let to_string t = Fmt.str "%a" pp t
+let max_width = 80
+
+let atom = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> float_literal f
+  | String s -> "\"" ^ escape s ^ "\""
+  | List _ | Obj _ -> assert false
+
+let rec add_compact buf = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v ->
+    Buffer.add_string buf (atom v)
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_compact buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\"";
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        add_compact buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let compact_string t =
+  let buf = Buffer.create 128 in
+  add_compact buf t;
+  Buffer.contents buf
+
+let rec render buf ~col t =
+  let one_line = compact_string t in
+  if col + String.length one_line <= max_width then
+    Buffer.add_string buf one_line
+  else begin
+    let margin = String.make col ' ' in
+    let item_col = col + 2 in
+    let item_margin = String.make item_col ' ' in
+    match t with
+    | Null | Bool _ | Int _ | Float _ | String _ ->
+      (* An over-long atom cannot be broken. *)
+      Buffer.add_string buf one_line
+    | List xs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf item_margin;
+          render buf ~col:item_col x)
+        xs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf margin;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf item_margin;
+          Buffer.add_string buf "\"";
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          render buf ~col:(item_col + String.length (escape k) + 4) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf margin;
+      Buffer.add_char buf '}'
+  end
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  render buf ~col:0 t;
+  Buffer.contents buf
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -16,6 +16,8 @@ module View = Gmp_core.View
 
 type msg = Removal of Pid.t (* the coordinator's one-phase commit *)
 
+let cat_commit = Gmp_net.Stats.intern "commit"
+
 type node = {
   handle : msg Runtime.node;
   trace : Trace.t;
@@ -73,7 +75,7 @@ let suspect node q =
           apply_removal node victim;
           record node (Trace.Committed { ver = node.ver; commit_kind = `Update });
           Runtime.broadcast node.handle ~dsts:(View.members node.view)
-            ~category:"commit" (Removal victim))
+            ~category:cat_commit (Removal victim))
         victims
     end
   end

@@ -17,6 +17,8 @@ module View = Gmp_core.View
 
 type msg = Suspect of Pid.t
 
+let cat_suspect = Gmp_net.Stats.intern "suspect"
+
 type node = {
   handle : msg Runtime.node;
   trace : Trace.t;
@@ -80,7 +82,7 @@ let rec vote node target ~voter =
         Pid.Map.add target (Pid.Set.add me (votes_for node target)) node.votes;
       record node (Trace.Faulty target);
       Runtime.broadcast node.handle ~dsts:(View.members node.view)
-        ~category:"suspect" (Suspect target)
+        ~category:cat_suspect (Suspect target)
     end;
     maybe_remove node target;
     (* A new vote can complete other pending removals too. *)

@@ -22,6 +22,14 @@ module View = Gmp_core.View
 
 type reply = { r_ver : int; r_seq : Types.seq; r_next : Types.expectation list }
 
+(* Interned send categories (the Stats hot path takes dense ids). *)
+let cat_invite = Gmp_net.Stats.intern "invite"
+let cat_invite_ok = Gmp_net.Stats.intern "invite-ok"
+let cat_commit = Gmp_net.Stats.intern "commit"
+let cat_interrogate = Gmp_net.Stats.intern "interrogate"
+let cat_interrogate_ok = Gmp_net.Stats.intern "interrogate-ok"
+let cat_reconf_commit = Gmp_net.Stats.intern "reconf-commit"
+
 type msg =
   | Invite of { op : Types.op; invite_ver : int }
   | Invite_ok of { ok_ver : int }
@@ -100,7 +108,7 @@ let start_exclusion node victim =
     suspect node victim;
     let target_ver = node.ver + 1 in
     Runtime.broadcast node.handle ~dsts:(View.members node.view)
-      ~category:"invite"
+      ~category:cat_invite
       (Invite { op = Types.Remove victim; invite_ver = target_ver });
     node.phase <-
       Mgr_awaiting { op = Types.Remove victim; target_ver; oks = Pid.Set.empty }
@@ -117,7 +125,7 @@ let check_mgr node =
       apply_op node op;
       record node (Trace.Committed { ver = node.ver; commit_kind = `Update });
       Runtime.broadcast node.handle ~dsts:(non_faulty_others node)
-        ~category:"commit"
+        ~category:cat_commit
         (Commit { op; commit_ver = target_ver })
     end
   | Idle | Interrogating _ -> ()
@@ -130,7 +138,7 @@ let start_reconf node =
     let my_reply = { r_ver = node.ver; r_seq = node.seq; r_next = node.next } in
     node.phase <- Interrogating { responses = [ (me node, my_reply) ] };
     Runtime.broadcast node.handle ~dsts:(View.members node.view)
-      ~category:"interrogate" Interrogate
+      ~category:cat_interrogate Interrogate
   end
 
 let check_reconf node =
@@ -200,7 +208,7 @@ let check_reconf node =
       record node (Trace.Became_mgr { at_ver = node.ver });
       record node (Trace.Committed { ver = node.ver; commit_kind = `Reconf });
       Runtime.broadcast node.handle ~dsts:(non_faulty_others node)
-        ~category:"reconf-commit" (Reconf_commit { canonical })
+        ~category:cat_reconf_commit (Reconf_commit { canonical })
     end
   | Idle | Mgr_awaiting _ -> ()
 
@@ -219,7 +227,7 @@ let dispatch node ~src msg =
        node.next <-
          [ Types.Expected
              { canonical = node.seq @ [ op ]; coord = src; ver = invite_ver } ];
-       send node ~dst:src ~category:"invite-ok" (Invite_ok { ok_ver = invite_ver })
+       send node ~dst:src ~category:cat_invite_ok (Invite_ok { ok_ver = invite_ver })
      end
    | Invite_ok { ok_ver } -> (
      match node.phase with
@@ -237,7 +245,7 @@ let dispatch node ~src msg =
        node.next <- []
      end
    | Interrogate ->
-     send node ~dst:src ~category:"interrogate-ok"
+     send node ~dst:src ~category:cat_interrogate_ok
        (Interrogate_ok { r_ver = node.ver; r_seq = node.seq; r_next = node.next });
      (match View.higher_ranked node.view src with
       | hi -> List.iter (suspect node) hi

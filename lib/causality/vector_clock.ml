@@ -1,42 +1,144 @@
-(* Vector clocks over dynamic process sets. Entries absent from the map are
-   implicitly zero, so clocks over different membership generations compare
-   soundly. *)
+(* Vector clocks over dynamic process sets, stored as dense int arrays over a
+   global pid-interning registry. Slot [i] of a clock holds the count for the
+   [i]-th pid ever interned; slots beyond an array's length are implicitly
+   zero, so clocks over different membership generations compare soundly and
+   [empty] is the zero-length array.
+
+   The registry only grows, and intern order never affects observable
+   behaviour: [to_list]/[pp]/[compare_total] sort by [Pid.compare], and the
+   comparison operators treat missing trailing slots as zero. Values are
+   identical to the previous [int Pid.Map.t] representation — this is purely
+   a layout change so the per-delivery merge+tick is two array loops (one
+   allocation) instead of a map union. *)
 
 open Gmp_base
 
-type t = int Pid.Map.t
+type t = int array
 
-let empty = Pid.Map.empty
+(* ---- pid <-> slot interning ---- *)
 
-let get t pid = match Pid.Map.find_opt pid t with None -> 0 | Some n -> n
+let reg_index : int Pid.Tbl.t = Pid.Tbl.create 64
+let reg_pids : Pid.t array ref = ref (Array.make 64 (Pid.make 0))
+let reg_len = ref 0
 
-let tick t pid = Pid.Map.add pid (get t pid + 1) t
+let intern pid =
+  match Pid.Tbl.find reg_index pid with
+  | i -> i
+  | exception Not_found ->
+      let i = !reg_len in
+      if i = Array.length !reg_pids then begin
+        let bigger = Array.make (2 * i) (Pid.make 0) in
+        Array.blit !reg_pids 0 bigger 0 i;
+        reg_pids := bigger
+      end;
+      !reg_pids.(i) <- pid;
+      Pid.Tbl.add reg_index pid i;
+      incr reg_len;
+      i
+
+(* Slot of [pid] if already interned, otherwise -1 (read-only paths must not
+   grow the registry: a clock can't have a nonzero count for a pid no clock
+   has ever ticked). *)
+let slot_of pid =
+  match Pid.Tbl.find reg_index pid with i -> i | exception Not_found -> -1
+
+let empty = [||]
+
+let get t pid =
+  let i = slot_of pid in
+  if i >= 0 && i < Array.length t then t.(i) else 0
+
+let tick t pid =
+  let i = intern pid in
+  let len = Array.length t in
+  let out = Array.make (if i < len then len else i + 1) 0 in
+  Array.blit t 0 out 0 len;
+  out.(i) <- out.(i) + 1;
+  out
 
 let merge a b =
-  Pid.Map.union (fun _pid x y -> Some (max x y)) a b
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else begin
+    let short, long = if la <= lb then (a, b) else (b, a) in
+    let out = Array.copy long in
+    for i = 0 to Array.length short - 1 do
+      if short.(i) > out.(i) then out.(i) <- short.(i)
+    done;
+    out
+  end
 
-let leq a b = Pid.Map.for_all (fun pid n -> n <= get b pid) a
+let merge_tick a b pid =
+  (* [tick (merge a b) pid] in a single allocation: the receive rule. *)
+  let i = intern pid in
+  let la = Array.length a and lb = Array.length b in
+  let len =
+    let m = if la >= lb then la else lb in
+    if i < m then m else i + 1
+  in
+  let out = Array.make len 0 in
+  Array.blit a 0 out 0 la;
+  for j = 0 to lb - 1 do
+    if b.(j) > out.(j) then out.(j) <- b.(j)
+  done;
+  out.(i) <- out.(i) + 1;
+  out
 
-let equal a b = leq a b && leq b a
+let leq a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la then true
+    else if a.(i) <= (if i < lb then b.(i) else 0) then go (i + 1)
+    else false
+  in
+  go 0
+
+let equal a b =
+  let la = Array.length a and lb = Array.length b in
+  let lo = if la <= lb then la else lb in
+  let rec same i =
+    if i >= lo then true else a.(i) = b.(i) && same (i + 1)
+  in
+  let rec zeros (t : t) i len =
+    if i >= len then true else t.(i) = 0 && zeros t (i + 1) len
+  in
+  same 0 && zeros a lo la && zeros b lo lb
 
 let lt a b = leq a b && not (leq b a)
-
 let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let to_list t =
+  let acc = ref [] in
+  for i = Array.length t - 1 downto 0 do
+    if t.(i) <> 0 then acc := (!reg_pids.(i), t.(i)) :: !acc
+  done;
+  List.sort (fun (p, _) (q, _) -> Pid.compare p q) !acc
 
 let compare_total a b =
   (* Arbitrary total order extending nothing in particular; for use as map
-     keys only. *)
-  Pid.Map.compare Int.compare a b
+     keys only. Lexicographic over pid-sorted nonzero bindings, matching the
+     old [Pid.Map.compare] (maps never held zero entries). *)
+  List.compare
+    (fun (p, m) (q, n) ->
+      let c = Pid.compare p q in
+      if c <> 0 then c else Int.compare m n)
+    (to_list a) (to_list b)
 
 let of_list entries =
   List.fold_left
     (fun acc (pid, n) ->
       if n < 0 then invalid_arg "Vector_clock.of_list: negative entry"
       else if n = 0 then acc
-      else Pid.Map.add pid n acc)
+      else begin
+        let i = intern pid in
+        let len = Array.length acc in
+        let out = Array.make (if i < len then len else i + 1) 0 in
+        Array.blit acc 0 out 0 len;
+        out.(i) <- n;
+        out
+      end)
     empty entries
-
-let to_list t = Pid.Map.bindings t
 
 let pp ppf t =
   let entry ppf (pid, n) = Fmt.pf ppf "%a:%d" Pid.pp pid n in

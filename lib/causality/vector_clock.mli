@@ -15,6 +15,10 @@ val tick : t -> Pid.t -> t
 val merge : t -> t -> t
 (** Pointwise maximum (receive rule, before the local tick). *)
 
+val merge_tick : t -> t -> Pid.t -> t
+(** [merge_tick a b pid] = [tick (merge a b) pid] in one allocation — the
+    whole receive rule, for the per-delivery hot path. *)
+
 val leq : t -> t -> bool
 val lt : t -> t -> bool
 val equal : t -> t -> bool

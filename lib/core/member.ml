@@ -51,6 +51,10 @@ type t = {
   mutable has_quit : bool;
   mutable joined : bool; (* false for a joiner without a view yet *)
   mutable detector : Heartbeat.t option;
+  mutable peer_cache : Pid.t list option;
+      (* memoized heartbeat peer list; invalidated on view change, new
+         suspicion, welcome, quit and crash instead of being refiltered on
+         every tick of every process *)
   mutable app_handler : src:Pid.t -> Wire.app -> unit;
   mutable app_buffer : (Pid.t * int * Wire.app) list;
   mutable on_view_change : t -> unit;
@@ -89,15 +93,29 @@ let record t kind =
     ~vc kind
 
 let send t ~dst payload =
-  Runtime.send t.node ~dst ~category:(Wire.category payload) payload
+  Runtime.send t.node ~dst ~category:(Wire.category_id payload) payload
 
 let broadcast t ~dsts payload =
-  Runtime.broadcast t.node ~dsts ~category:(Wire.category payload) payload
+  Runtime.broadcast t.node ~dsts ~category:(Wire.category_id payload) payload
 
 let view_others t = List.filter (fun p -> not (Pid.equal p (self t))) (View.members t.view)
 
 let non_faulty_others t =
   List.filter (fun p -> not (Pid.Set.mem p t.faulty)) (view_others t)
+
+let invalidate_peers t = t.peer_cache <- None
+
+(* The heartbeat detector's peer set, memoized: every state change that can
+   affect it goes through [invalidate_peers]. *)
+let heartbeat_peers t =
+  match t.peer_cache with
+  | Some peers -> peers
+  | None ->
+    let peers =
+      if t.joined && operational t then non_faulty_others t else []
+    in
+    t.peer_cache <- Some peers;
+    peers
 
 (* ---- quit ---- *)
 
@@ -105,6 +123,7 @@ let do_quit t reason =
   if operational t then begin
     record t (Trace.Quit reason);
     t.has_quit <- true;
+    invalidate_peers t;
     t.mgr_phase <- None;
     t.reconf <- None;
     (match t.detector with None -> () | Some d -> Heartbeat.stop d);
@@ -124,6 +143,7 @@ let suspect ?(report = true) t q =
     && relevant_suspect t q
   then begin
     t.faulty <- Pid.Set.add q t.faulty;
+    invalidate_peers t;
     t.recovered <- Pid.Set.remove q t.recovered;
     t.operating <- Pid.Set.remove q t.operating;
     (* S1: never receive from q again. *)
@@ -202,6 +222,7 @@ let apply_op t op =
     if not (View.mem t.view z) then
       record t (Trace.Violation (Fmt.str "remove of non-member %a" Pid.pp z));
     t.view <- View.remove t.view z;
+    invalidate_peers t;
     t.ver <- t.ver + 1;
     t.seq <- t.seq @ [ op ];
     t.faulty <- Pid.Set.remove z t.faulty;
@@ -214,6 +235,7 @@ let apply_op t op =
       record t (Trace.Violation (Fmt.str "add of existing member %a" Pid.pp z))
     else begin
       t.view <- View.add t.view z;
+      invalidate_peers t;
       t.ver <- t.ver + 1;
       t.seq <- t.seq @ [ op ];
       t.recovered <- Pid.Set.remove z t.recovered;
@@ -778,6 +800,7 @@ let handle_welcome t ~src w_members w_ver w_seq =
     t.seq <- w_seq;
     t.mgr <- src;
     t.joined <- true;
+    invalidate_peers t;
     record t (Trace.Installed { ver = w_ver; view_members = w_members });
     install_finish t
   end
@@ -867,7 +890,8 @@ let create ?(joiner = false) ~runtime ~trace ~config ~initial pid_ =
       app_buffer = [];
       on_view_change = (fun _ -> ());
       stash = [];
-      initiation_deferred = false }
+      initiation_deferred = false;
+      peer_cache = None }
   in
   Runtime.set_receiver node (fun ~src msg -> dispatch t ~src msg);
   if t.joined then
@@ -879,10 +903,7 @@ let create ?(joiner = false) ~runtime ~trace ~config ~initial pid_ =
         ~interval:config.Config.heartbeat_interval
         ~timeout:config.Config.heartbeat_timeout
         ~send_beat:(fun p -> send t ~dst:p Wire.Heartbeat)
-        ~peers:(fun () ->
-          if t.joined && operational t then
-            List.filter (fun p -> not (Pid.Set.mem p t.faulty)) (view_others t)
-          else [])
+        ~peers:(fun () -> heartbeat_peers t)
         ~suspect:(fun q ->
           suspect t q;
           poke t)
@@ -919,6 +940,7 @@ let inject_suspicion t q =
 let inject_crash t =
   if Runtime.alive t.node then begin
     record t Trace.Crashed;
+    invalidate_peers t;
     (match t.detector with None -> () | Some d -> Heartbeat.stop d);
     Runtime.crash t.node
   end

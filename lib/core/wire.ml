@@ -55,22 +55,40 @@ type t =
       (* [app_ver]: sender's view version, for the paper's "no messages from
          future views" buffering rule. *)
 
-(* Message categories for Stats accounting. *)
-let category = function
-  | Heartbeat -> "heartbeat"
-  | Faulty_report _ -> "report"
-  | Join_request -> "join-request"
-  | Join_forward _ -> "join-forward"
-  | Invite _ -> "invite"
-  | Invite_ok _ -> "invite-ok"
-  | Commit _ -> "commit"
-  | Welcome _ -> "welcome"
-  | Interrogate -> "interrogate"
-  | Interrogate_ok _ -> "interrogate-ok"
-  | Propose _ -> "propose"
-  | Propose_ok _ -> "propose-ok"
-  | Reconf_commit _ -> "reconf-commit"
-  | App _ -> "app"
+(* Message categories for Stats accounting, pre-interned so the per-send
+   path passes a dense id instead of hashing a string. *)
+let heartbeat_id = Gmp_net.Stats.intern "heartbeat"
+let report_id = Gmp_net.Stats.intern "report"
+let join_request_id = Gmp_net.Stats.intern "join-request"
+let join_forward_id = Gmp_net.Stats.intern "join-forward"
+let invite_id = Gmp_net.Stats.intern "invite"
+let invite_ok_id = Gmp_net.Stats.intern "invite-ok"
+let commit_id = Gmp_net.Stats.intern "commit"
+let welcome_id = Gmp_net.Stats.intern "welcome"
+let interrogate_id = Gmp_net.Stats.intern "interrogate"
+let interrogate_ok_id = Gmp_net.Stats.intern "interrogate-ok"
+let propose_id = Gmp_net.Stats.intern "propose"
+let propose_ok_id = Gmp_net.Stats.intern "propose-ok"
+let reconf_commit_id = Gmp_net.Stats.intern "reconf-commit"
+let app_id = Gmp_net.Stats.intern "app"
+
+let category_id = function
+  | Heartbeat -> heartbeat_id
+  | Faulty_report _ -> report_id
+  | Join_request -> join_request_id
+  | Join_forward _ -> join_forward_id
+  | Invite _ -> invite_id
+  | Invite_ok _ -> invite_ok_id
+  | Commit _ -> commit_id
+  | Welcome _ -> welcome_id
+  | Interrogate -> interrogate_id
+  | Interrogate_ok _ -> interrogate_ok_id
+  | Propose _ -> propose_id
+  | Propose_ok _ -> propose_ok_id
+  | Reconf_commit _ -> reconf_commit_id
+  | App _ -> app_id
+
+let category m = Gmp_net.Stats.name (category_id m)
 
 (* The categories §7.2 counts: the membership protocol proper. Heartbeats,
    reports, joins and state transfer are the detection mechanism / plumbing

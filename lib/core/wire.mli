@@ -58,8 +58,12 @@ type t =
       (** [app_ver] is the sender's view version, for the paper's "no
           messages from future views" buffering rule *)
 
+val category_id : t -> Gmp_net.Stats.category
+(** Interned Stats category of a message (per-send hot path). *)
+
 val category : t -> string
-(** Stats category of a message. *)
+(** Stats category of a message, as a string ([Stats.name] of
+    {!category_id}). *)
 
 val protocol_categories : string list
 (** The categories §7.2 counts: the membership protocol proper (heartbeats,

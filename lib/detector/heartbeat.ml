@@ -19,6 +19,9 @@ type t = {
   suspect : Pid.t -> unit;
   last_heard : float Pid.Tbl.t; (* peer -> time of last beat (or enrolment) *)
   mutable running : bool;
+  mutable pending : Gmp_sim.Engine.handle option;
+      (* the scheduled next tick, so [stop] can cancel it instead of leaving
+         the closure live in the heap until its fire time *)
   mutable suspects_fired : Pid.Set.t;
 }
 
@@ -34,6 +37,7 @@ let create ~engine ~interval ~timeout ~send_beat ~peers ~suspect () =
     suspect;
     last_heard = Pid.Tbl.create 16;
     running = false;
+    pending = None;
     suspects_fired = Pid.Set.empty }
 
 let beat_received t ~from =
@@ -71,16 +75,24 @@ let start t =
   if not t.running then begin
     t.running <- true;
     let rec loop () =
+      (* This event is firing, so it is no longer pending: a [stop] from
+         inside [tick] must not cancel an already-fired handle. *)
+      t.pending <- None;
       if t.running then begin
         tick t;
-        ignore (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop
-                : Gmp_sim.Engine.handle)
+        if t.running then
+          t.pending <- Some (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop)
       end
     in
-    ignore (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop
-            : Gmp_sim.Engine.handle)
+    t.pending <- Some (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop)
   end
 
-let stop t = t.running <- false
+let stop t =
+  t.running <- false;
+  match t.pending with
+  | None -> ()
+  | Some handle ->
+    t.pending <- None;
+    Gmp_sim.Engine.cancel t.engine handle
 
 let is_running t = t.running

@@ -4,6 +4,12 @@
    FIFO is enforced per ordered pair: a message's delivery time is at least
    epsilon after the previous delivery on the same channel.
 
+   Channel state lives in a dense matrix indexed by small per-network pid
+   slots (pids are interned on first contact): a send resolves its channel
+   with two int-keyed table hits and two array reads — no tuple allocation,
+   no polymorphic hashing. Crash and disconnection flags are dense arrays
+   over the same slots, so the delivery path is array reads only.
+
    Three ways a message can fail to be processed, all consistent with the
    paper's model:
    - the destination crashed (messages to down processes vanish);
@@ -20,13 +26,21 @@ type 'm t = {
   mutable delay : Delay.t;
   stats : Stats.t;
   fifo_epsilon : float;
-  (* Per ordered pair (src,dst): all mutable channel state in one record,
-     found with a single lookup per send (deliveries capture the record in
-     their closure and pay no lookup at all). *)
-  channels : (Pid.t * Pid.t, 'm channel) Hashtbl.t;
-  (* dst -> set of sources whose incoming channel dst has cut (S1). *)
-  disconnected : Pid.Set.t Pid.Tbl.t;
-  mutable crashed : Pid.Set.t;
+  (* Pid interning: pid -> dense slot in the arrays below. *)
+  pid_slots : int Pid.Tbl.t;
+  mutable pids : Pid.t array; (* slot -> pid *)
+  mutable npids : int;
+  mutable cap : int; (* = Array.length pids; rows are [cap] wide *)
+  (* chan_rows.(src_slot).(dst_slot): all mutable channel state in one
+     record, found with two array reads per send (deliveries capture the
+     record in their closure and pay no lookup at all). [dummy] marks
+     not-yet-created channels (physical equality). *)
+  mutable chan_rows : 'm channel array array;
+  dummy : 'm channel;
+  (* disc_rows.(dst_slot).(src_slot): dst has cut its incoming channel from
+     src (S1). *)
+  mutable disc_rows : bool array array;
+  mutable crash_flags : bool array;
   (* Partition: pids mapped to a group label; absent pids are in group 0.
      None = fully connected. *)
   mutable partition : int Pid.Map.t option;
@@ -35,6 +49,8 @@ type 'm t = {
 }
 
 and 'm channel = {
+  src_slot : int;
+  dst_slot : int;
   (* Virtual time of the latest scheduled delivery, to enforce FIFO;
      [neg_infinity] before the first one. *)
   mutable last_delivery : float;
@@ -42,12 +58,12 @@ and 'm channel = {
   parked : 'm parked_msg Queue.t;
 }
 
-and 'm parked_msg = { category : string; payload : 'm }
+and 'm parked_msg = { category : Stats.category; payload : 'm }
 
 and 'm send_record = {
   record_src : Pid.t;
   record_dst : Pid.t;
-  record_category : string;
+  record_category : Stats.category;
   record_payload : 'm;
   record_time : float;
 }
@@ -55,27 +71,90 @@ and 'm send_record = {
 let default_handler ~dst:_ ~src:_ _ =
   failwith "Network: no handler installed (call Network.set_handler)"
 
+let initial_cap = 16
+
 let create ?(fifo_epsilon = 1e-6) ~engine ~rng ~delay () =
+  let dummy =
+    { src_slot = -1;
+      dst_slot = -1;
+      last_delivery = Float.neg_infinity;
+      parked = Queue.create () }
+  in
   { engine;
     rng;
     delay;
     stats = Stats.create ();
     fifo_epsilon;
-    channels = Hashtbl.create 64;
-    disconnected = Pid.Tbl.create 16;
-    crashed = Pid.Set.empty;
+    pid_slots = Pid.Tbl.create 64;
+    pids = Array.make initial_cap (Pid.make 0);
+    npids = 0;
+    cap = initial_cap;
+    chan_rows = Array.init initial_cap (fun _ -> Array.make initial_cap dummy);
+    dummy;
+    disc_rows = Array.init initial_cap (fun _ -> Array.make initial_cap false);
+    crash_flags = Array.make initial_cap false;
     partition = None;
     handler = default_handler;
     monitor = None }
 
+let grow_tables t =
+  let cap = 2 * t.cap in
+  let pids = Array.make cap (Pid.make 0) in
+  Array.blit t.pids 0 pids 0 t.npids;
+  let chan_rows =
+    Array.init cap (fun i ->
+        let row = Array.make cap t.dummy in
+        if i < t.cap then Array.blit t.chan_rows.(i) 0 row 0 t.cap;
+        row)
+  in
+  let disc_rows =
+    Array.init cap (fun i ->
+        let row = Array.make cap false in
+        if i < t.cap then Array.blit t.disc_rows.(i) 0 row 0 t.cap;
+        row)
+  in
+  let crash_flags = Array.make cap false in
+  Array.blit t.crash_flags 0 crash_flags 0 t.cap;
+  t.pids <- pids;
+  t.chan_rows <- chan_rows;
+  t.disc_rows <- disc_rows;
+  t.crash_flags <- crash_flags;
+  t.cap <- cap
+
+let pid_slot t pid =
+  match Pid.Tbl.find t.pid_slots pid with
+  | slot -> slot
+  | exception Not_found ->
+    let slot = t.npids in
+    if slot = t.cap then grow_tables t;
+    t.pids.(slot) <- pid;
+    Pid.Tbl.add t.pid_slots pid slot;
+    t.npids <- slot + 1;
+    slot
+
+(* Slot if the pid has ever touched the network, else -1 (read-only paths
+   must not intern). *)
+let slot_of t pid =
+  match Pid.Tbl.find t.pid_slots pid with
+  | slot -> slot
+  | exception Not_found -> -1
+
 let channel t ~src ~dst =
-  let key = (src, dst) in
-  match Hashtbl.find_opt t.channels key with
-  | Some ch -> ch
-  | None ->
-    let ch = { last_delivery = Float.neg_infinity; parked = Queue.create () } in
-    Hashtbl.add t.channels key ch;
+  let i = pid_slot t src in
+  let j = pid_slot t dst in
+  let row = t.chan_rows.(i) in
+  let ch = row.(j) in
+  if ch != t.dummy then ch
+  else begin
+    let ch =
+      { src_slot = i;
+        dst_slot = j;
+        last_delivery = Float.neg_infinity;
+        parked = Queue.create () }
+    in
+    row.(j) <- ch;
     ch
+  end
 
 let set_handler t handler = t.handler <- handler
 let set_monitor t monitor = t.monitor <- Some monitor
@@ -84,22 +163,19 @@ let set_delay t delay = t.delay <- delay
 let stats t = t.stats
 let engine t = t.engine
 
-let crashed t pid = Pid.Set.mem pid t.crashed
+let crashed t pid =
+  let slot = slot_of t pid in
+  slot >= 0 && t.crash_flags.(slot)
 
-let crash t pid = t.crashed <- Pid.Set.add pid t.crashed
+let crash t pid = t.crash_flags.(pid_slot t pid) <- true
 
 let is_disconnected t ~at ~from =
-  match Pid.Tbl.find_opt t.disconnected at with
-  | None -> false
-  | Some sources -> Pid.Set.mem from sources
+  let at = slot_of t at and from = slot_of t from in
+  at >= 0 && from >= 0 && t.disc_rows.(at).(from)
 
 let disconnect t ~at ~from =
-  let sources =
-    match Pid.Tbl.find_opt t.disconnected at with
-    | None -> Pid.Set.empty
-    | Some s -> s
-  in
-  Pid.Tbl.replace t.disconnected at (Pid.Set.add from sources)
+  let at = pid_slot t at and from = pid_slot t from in
+  t.disc_rows.(at).(from) <- true
 
 let group_of t pid =
   match t.partition with
@@ -120,9 +196,9 @@ let partition t groups =
   t.partition <- Some table
 
 let deliver t ch ~src ~dst ~category payload =
-  if Pid.Set.mem dst t.crashed then
+  if t.crash_flags.(ch.dst_slot) then
     Stats.record_dropped t.stats ~category
-  else if is_disconnected t ~at:dst ~from:src then
+  else if t.disc_rows.(ch.dst_slot).(ch.src_slot) then
     (* S1: silently discarded at the receiver. *)
     Stats.record_dropped t.stats ~category
   else if not (reachable t src dst) then
@@ -148,12 +224,10 @@ let schedule_on t ch ~src ~dst ~category ~extra_delay payload =
   in
   ()
 
-let schedule_delivery t ~src ~dst ~category ~extra_delay payload =
-  schedule_on t (channel t ~src ~dst) ~src ~dst ~category ~extra_delay payload
-
 let send ?(extra_delay = 0.0) t ~src ~dst ~category payload =
   if Pid.equal src dst then invalid_arg "Network.send: src = dst";
-  if not (Pid.Set.mem src t.crashed) then begin
+  let ch = channel t ~src ~dst in
+  if not t.crash_flags.(ch.src_slot) then begin
     Stats.record_sent t.stats ~category;
     (match t.monitor with
      | None -> ()
@@ -164,21 +238,28 @@ let send ?(extra_delay = 0.0) t ~src ~dst ~category payload =
            record_category = category;
            record_payload = payload;
            record_time = Gmp_sim.Engine.now t.engine });
-    schedule_delivery t ~src ~dst ~category ~extra_delay payload
+    schedule_on t ch ~src ~dst ~category ~extra_delay payload
   end
 
 let heal t =
   t.partition <- None;
   (* Flush parked traffic in channel order with fresh delays. Channels are
      sorted by endpoint pair so the flush order (and thus the RNG draw
-     order) is deterministic, not hash-table order. *)
+     order) is deterministic, not table order. *)
+  let pending = ref [] in
+  for i = 0 to t.npids - 1 do
+    let row = t.chan_rows.(i) in
+    for j = 0 to t.npids - 1 do
+      let ch = row.(j) in
+      if ch != t.dummy && not (Queue.is_empty ch.parked) then
+        pending := ((t.pids.(i), t.pids.(j)), ch) :: !pending
+    done
+  done;
   let pending =
-    Hashtbl.fold
-      (fun key ch acc ->
-        if Queue.is_empty ch.parked then acc else (key, ch) :: acc)
-      t.channels []
-    |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
-           match Pid.compare a1 b1 with 0 -> Pid.compare a2 b2 | c -> c)
+    List.sort
+      (fun ((a1, a2), _) ((b1, b2), _) ->
+        match Pid.compare a1 b1 with 0 -> Pid.compare a2 b2 | c -> c)
+      !pending
   in
   List.iter
     (fun ((src, dst), ch) ->
@@ -191,4 +272,12 @@ let heal t =
     pending
 
 let parked_count t =
-  Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.parked) t.channels 0
+  let acc = ref 0 in
+  for i = 0 to t.npids - 1 do
+    let row = t.chan_rows.(i) in
+    for j = 0 to t.npids - 1 do
+      let ch = row.(j) in
+      if ch != t.dummy then acc := !acc + Queue.length ch.parked
+    done
+  done;
+  !acc

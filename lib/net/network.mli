@@ -14,7 +14,7 @@ type 'm t
 type 'm send_record = {
   record_src : Pid.t;
   record_dst : Pid.t;
-  record_category : string;
+  record_category : Stats.category;
   record_payload : 'm;
   record_time : float;
 }
@@ -40,7 +40,7 @@ val send :
   'm t ->
   src:Pid.t ->
   dst:Pid.t ->
-  category:string ->
+  category:Stats.category ->
   'm ->
   unit
 (** Sends from crashed processes are ignored; [extra_delay] adds to the

@@ -34,7 +34,7 @@ let dispatch t ~dst ~src wrapped =
   | None -> ()
   | Some node ->
     if node.alive then begin
-      node.vc <- Vector_clock.tick (Vector_clock.merge node.vc wrapped.sender_vc) dst;
+      node.vc <- Vector_clock.merge_tick node.vc wrapped.sender_vc dst;
       node.events <- node.events + 1;
       node.on_recv ~src wrapped.payload
     end

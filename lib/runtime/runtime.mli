@@ -41,14 +41,14 @@ val local_event : 'm node -> int * Vector_clock.t
 (** Record a local step; returns the new [(history index, vector clock)]. *)
 
 val send :
-  ?extra_delay:float -> 'm node -> dst:Pid.t -> category:string -> 'm -> unit
+  ?extra_delay:float -> 'm node -> dst:Pid.t -> category:Gmp_net.Stats.category -> 'm -> unit
 (** No-op if the node is dead (crashed processes influence nobody). *)
 
 val broadcast :
   ?extra_delay:float ->
   'm node ->
   dsts:Pid.t list ->
-  category:string ->
+  category:Gmp_net.Stats.category ->
   'm ->
   unit
 (** The paper's [Bcast]: indivisible (single instant, one vc tick, self

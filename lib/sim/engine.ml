@@ -5,12 +5,13 @@
    compacted in place, so long runs with heavy timer churn keep the heap
    proportional to the number of live timers. *)
 
-type handle = { mutable cancelled : bool; fire_at : float }
-
-type event = { handle : handle; action : unit -> unit }
+(* Handle and action live in one record so a schedule is a single allocation
+   and the queue's payload column holds the handle directly: [step] pops the
+   handle, reads [fire_at] from it, and fires — no per-event wrapper. *)
+type handle = { mutable cancelled : bool; fire_at : float; action : unit -> unit }
 
 type t = {
-  queue : event Event_queue.t;
+  queue : handle Event_queue.t;
   mutable now : float;
   mutable fired : int;
   mutable live : int; (* scheduled and not cancelled *)
@@ -39,15 +40,15 @@ let compact_threshold = 64
 let maybe_compact t =
   let len = Event_queue.length t.queue in
   if len >= compact_threshold && len > 2 * t.live then
-    Event_queue.filter_in_place t.queue (fun ev -> not ev.handle.cancelled)
+    Event_queue.filter_in_place t.queue (fun h -> not h.cancelled)
 
 let schedule_at t ~time action =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
          time t.now);
-  let handle = { cancelled = false; fire_at = time } in
-  Event_queue.add t.queue ~time { handle; action };
+  let handle = { cancelled = false; fire_at = time; action } in
+  Event_queue.add t.queue ~time handle;
   t.live <- t.live + 1;
   handle
 
@@ -68,30 +69,37 @@ let fire_time handle = handle.fire_at
 
 let step t =
   let rec next () =
-    match Event_queue.pop t.queue with
-    | None -> false
-    | Some (time, ev) ->
-      if ev.handle.cancelled then next ()
+    if Event_queue.is_empty t.queue then false
+    else begin
+      let h = Event_queue.pop_exn t.queue in
+      if h.cancelled then next ()
       else begin
-        t.now <- time;
+        t.now <- h.fire_at;
         t.live <- t.live - 1;
         t.fired <- t.fired + 1;
-        ev.action ();
+        h.action ();
         true
       end
+    end
   in
   next ()
 
-(* Timestamp of the earliest *live* event: tombstones at the top of the queue
-   are discarded on the way (a cancelled timer past a horizon must not mask a
-   live event behind it). *)
+(* Timestamp of the earliest *live* event, or NaN when the queue is drained:
+   tombstones at the top of the queue are discarded on the way (a cancelled
+   timer past a horizon must not mask a live event behind it). NaN rather
+   than an option keeps the per-step horizon check allocation-free; every
+   comparison against NaN is false, which is exactly the "no pending event"
+   behaviour the horizon check wants. *)
 let rec peek_live_time t =
-  match Event_queue.peek t.queue with
-  | None -> None
-  | Some (_, ev) when ev.handle.cancelled ->
-    ignore (Event_queue.pop t.queue : (float * event) option);
-    peek_live_time t
-  | Some (time, _) -> Some time
+  if Event_queue.is_empty t.queue then Float.nan
+  else begin
+    let h = Event_queue.peek_exn t.queue in
+    if h.cancelled then begin
+      ignore (Event_queue.pop_exn t.queue : handle);
+      peek_live_time t
+    end
+    else h.fire_at
+  end
 
 let default_max_steps = 10_000_000
 
@@ -99,10 +107,7 @@ let run ?(max_steps = default_max_steps) ?until t =
   let horizon_reached () =
     match until with
     | None -> false
-    | Some horizon ->
-      (match peek_live_time t with
-       | None -> false
-       | Some time -> time > horizon)
+    | Some horizon -> peek_live_time t > horizon
   in
   let rec loop steps =
     if steps >= max_steps then

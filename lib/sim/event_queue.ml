@@ -2,23 +2,36 @@
    that simultaneous events fire in insertion order, which keeps runs
    deterministic regardless of heap internals.
 
-   Slots are ['a entry option] so that vacated positions can be cleared:
-   popped payloads (often closures capturing protocol state) must not stay
-   reachable through the backing array, and [grow] must not seed fresh slots
-   with a live entry. *)
+   Struct-of-arrays layout: times live in a flat [float array] (unboxed),
+   seqs in an [int array], payloads in an [Obj.t array]. [add]/[pop] allocate
+   nothing (amortized), and the GC scans only the payload column. Vacated
+   payload slots are overwritten with [sentinel] so popped payloads (often
+   closures capturing protocol state) are not retained by the backing array.
 
-type 'a entry = { time : float; seq : int; payload : 'a }
+   [sentinel] is an immediate ([Obj.repr ()]), so the payload array is never
+   a flat float array even when ['a = float]; generic reads/writes on it are
+   safe. *)
 
 type 'a t = {
-  mutable heap : 'a entry option array;
-  (* [heap.(0 .. size-1)] is a valid min-heap of [Some _]; slots beyond are
-     [None]. *)
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable payloads : Obj.t array;
+  (* Indices [0 .. size-1] of the three parallel arrays form a valid
+     min-heap; payload slots beyond hold [sentinel]. *)
   mutable size : int;
   mutable next_seq : int;
   mutable max_size : int; (* high-water mark, for capacity accounting *)
 }
 
-let create () = { heap = [||]; size = 0; next_seq = 0; max_size = 0 }
+let sentinel : Obj.t = Obj.repr ()
+
+let create () =
+  { times = [||];
+    seqs = [||];
+    payloads = [||];
+    size = 0;
+    next_seq = 0;
+    max_size = 0 }
 
 let length t = t.size
 
@@ -26,79 +39,128 @@ let max_length t = t.max_size
 
 let is_empty t = t.size = 0
 
-let get t i =
-  match t.heap.(i) with
-  | Some e -> e
-  | None -> invalid_arg "Event_queue: vacated slot inside the heap"
+(* Hole-based sifts: lift the moving entry into locals, shift blockers into
+   the hole, write the entry once at its final slot. The float comparisons
+   run on unboxed locals. *)
 
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt (get t i) (get t parent) then begin
-      swap t i parent;
-      sift_up t parent
+let sift_up t i =
+  let tm = t.times.(i) and sq = t.seqs.(i) in
+  let pl = t.payloads.(i) in
+  let i = ref i in
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if tm < t.times.(parent) || (tm = t.times.(parent) && sq < t.seqs.(parent))
+    then begin
+      t.times.(!i) <- t.times.(parent);
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.payloads.(!i) <- t.payloads.(parent);
+      i := parent
     end
-  end
+    else stop := true
+  done;
+  t.times.(!i) <- tm;
+  t.seqs.(!i) <- sq;
+  t.payloads.(!i) <- pl
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && lt (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let sift_down t i =
+  let tm = t.times.(i) and sq = t.seqs.(i) in
+  let pl = t.payloads.(i) in
+  let i = ref i in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    (* Compare children against the moving entry (logically at [!i]). *)
+    let smallest = ref !i in
+    let sm_tm = ref tm and sm_sq = ref sq in
+    if
+      l < t.size
+      && (t.times.(l) < !sm_tm || (t.times.(l) = !sm_tm && t.seqs.(l) < !sm_sq))
+    then begin
+      smallest := l;
+      sm_tm := t.times.(l);
+      sm_sq := t.seqs.(l)
+    end;
+    if
+      r < t.size
+      && (t.times.(r) < !sm_tm || (t.times.(r) = !sm_tm && t.seqs.(r) < !sm_sq))
+    then smallest := r;
+    if !smallest <> !i then begin
+      t.times.(!i) <- t.times.(!smallest);
+      t.seqs.(!i) <- t.seqs.(!smallest);
+      t.payloads.(!i) <- t.payloads.(!smallest);
+      i := !smallest
+    end
+    else stop := true
+  done;
+  t.times.(!i) <- tm;
+  t.seqs.(!i) <- sq;
+  t.payloads.(!i) <- pl
 
 let grow t =
-  let capacity = Array.length t.heap in
+  let capacity = Array.length t.times in
   let new_capacity = if capacity = 0 then 16 else capacity * 2 in
-  let fresh = Array.make new_capacity None in
-  Array.blit t.heap 0 fresh 0 t.size;
-  t.heap <- fresh
+  let times = Array.make new_capacity 0.0 in
+  let seqs = Array.make new_capacity 0 in
+  let payloads = Array.make new_capacity sentinel in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.payloads <- payloads
 
 let add t ~time payload =
   if time < 0.0 || Float.is_nan time then
     invalid_arg "Event_queue.add: bad time";
-  let entry = { time; seq = t.next_seq; payload } in
+  if t.size = Array.length t.times then grow t;
+  let i = t.size in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.payloads.(i) <- Obj.repr payload;
   t.next_seq <- t.next_seq + 1;
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- Some entry;
-  t.size <- t.size + 1;
+  t.size <- i + 1;
   if t.size > t.max_size then t.max_size <- t.size;
-  sift_up t (t.size - 1)
+  sift_up t i
 
-let peek_entry t = if t.size = 0 then None else Some (get t 0)
+let peek_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.peek_exn: empty";
+  (Obj.obj t.payloads.(0) : 'a)
 
-let peek_time t =
-  match peek_entry t with None -> None | Some e -> Some e.time
+let peek_time_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.peek_time_exn: empty";
+  t.times.(0)
+
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let peek t =
-  match peek_entry t with None -> None | Some e -> Some (e.time, e.payload)
+  if t.size = 0 then None else Some (t.times.(0), (Obj.obj t.payloads.(0) : 'a))
+
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty";
+  let payload : 'a = Obj.obj t.payloads.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    t.times.(0) <- t.times.(n);
+    t.seqs.(0) <- t.seqs.(n);
+    t.payloads.(0) <- t.payloads.(n);
+    t.payloads.(n) <- sentinel;
+    sift_down t 0
+  end
+  else t.payloads.(0) <- sentinel;
+  payload
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      t.heap.(t.size) <- None;
-      sift_down t 0
-    end
-    else t.heap.(0) <- None;
-    Some (top.time, top.payload)
+    let time = t.times.(0) in
+    let payload = pop_exn t in
+    Some (time, payload)
   end
 
 let clear t =
-  Array.fill t.heap 0 (Array.length t.heap) None;
+  Array.fill t.payloads 0 (Array.length t.payloads) sentinel;
   t.size <- 0
 
 (* Drop every entry whose payload fails [pred], then re-establish the heap
@@ -107,14 +169,16 @@ let clear t =
 let filter_in_place t pred =
   let kept = ref 0 in
   for i = 0 to t.size - 1 do
-    let e = get t i in
-    if pred e.payload then begin
-      t.heap.(!kept) <- Some e;
+    if pred (Obj.obj t.payloads.(i) : 'a) then begin
+      let k = !kept in
+      t.times.(k) <- t.times.(i);
+      t.seqs.(k) <- t.seqs.(i);
+      t.payloads.(k) <- t.payloads.(i);
       incr kept
     end
   done;
   for i = !kept to t.size - 1 do
-    t.heap.(i) <- None
+    t.payloads.(i) <- sentinel
   done;
   t.size <- !kept;
   for i = (t.size / 2) - 1 downto 0 do
@@ -126,7 +190,9 @@ let to_sorted_list t =
   if t.size = 0 then []
   else begin
     let copy =
-      { heap = Array.copy t.heap;
+      { times = Array.copy t.times;
+        seqs = Array.copy t.seqs;
+        payloads = Array.copy t.payloads;
         size = t.size;
         next_seq = t.next_seq;
         max_size = t.max_size }

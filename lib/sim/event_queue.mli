@@ -3,7 +3,11 @@
     Keyed by [(time, insertion sequence)]: events with equal timestamps fire
     in insertion order, so simulations are deterministic. Vacated slots are
     cleared so popped payloads (typically closures) are not retained by the
-    backing array. *)
+    backing array.
+
+    Internally a struct-of-arrays heap (flat [float array] of times, [int
+    array] of seqs, payload column): {!add}, {!pop_exn} and {!peek_exn}
+    allocate nothing beyond amortized growth. *)
 
 type 'a t
 
@@ -27,6 +31,18 @@ val peek : 'a t -> (float * 'a) option
 
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the earliest event. *)
+
+val peek_exn : 'a t -> 'a
+(** Payload of the earliest event without removing it; raises
+    [Invalid_argument] on an empty queue. Allocation-free. *)
+
+val peek_time_exn : 'a t -> float
+(** Timestamp of the earliest event; raises [Invalid_argument] on an empty
+    queue. *)
+
+val pop_exn : 'a t -> 'a
+(** Remove the earliest event and return its payload; raises
+    [Invalid_argument] on an empty queue. Allocation-free. *)
 
 val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** Drop every entry whose payload fails the predicate, in O(n). Relative

@@ -82,6 +82,123 @@ let prop_checker_agrees_on_runs =
       Checker.check_safety trace ~initial
       = Checker.Reference.check_safety trace ~initial)
 
+(* ---- SoA event queue against a sorted-list oracle ---- *)
+
+(* The oracle is a list of (time, id) kept in firing order: stable insertion
+   after every entry with time <= the new time is exactly the queue's
+   tie-break-by-seq contract. Times are drawn from a four-value set so ties
+   are the common case, not the exception. *)
+
+let oracle_insert oracle time id =
+  let rec go = function
+    | ((t', _) as hd) :: tl when t' <= time -> hd :: go tl
+    | rest -> (time, id) :: rest
+  in
+  go oracle
+
+let queue_ops_arb =
+  (* (op code, time code): 0-6 add, 7-8 pop, 9 filter (the compaction
+     primitive). Add-biased so the queue actually grows. *)
+  QCheck.(list (pair (int_bound 9) (int_bound 3)))
+
+let prop_queue_matches_oracle =
+  QCheck.Test.make ~name:"event queue: SoA heap = sorted-list oracle"
+    ~count:300 queue_ops_arb (fun ops ->
+      let q = Gmp_sim.Event_queue.create () in
+      let oracle = ref [] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (code, tcode) ->
+          if code < 7 then begin
+            let time = float_of_int tcode in
+            let id = !next_id in
+            incr next_id;
+            Gmp_sim.Event_queue.add q ~time id;
+            oracle := oracle_insert !oracle time id
+          end
+          else if code < 9 then begin
+            (match Gmp_sim.Event_queue.pop q, !oracle with
+             | None, [] -> ()
+             | Some (t, id), (t', id') :: rest when t = t' && id = id' ->
+               oracle := rest
+             | _ -> ok := false);
+            (match Gmp_sim.Event_queue.peek_time q, !oracle with
+             | None, [] -> ()
+             | Some t, (t', _) :: _ when t = t' -> ()
+             | _ -> ok := false)
+          end
+          else begin
+            Gmp_sim.Event_queue.filter_in_place q (fun id -> id land 1 = 1);
+            oracle := List.filter (fun (_, id) -> id land 1 = 1) !oracle
+          end)
+        ops;
+      !ok && Gmp_sim.Event_queue.to_sorted_list q = !oracle)
+
+let engine_ops_arb = QCheck.(list (pair (int_bound 9) (int_bound 7)))
+
+let prop_engine_matches_oracle =
+  (* schedule/cancel/step against the same oracle, carrying handles; after
+     every cancel the compaction bound from PR 1 must hold. *)
+  QCheck.Test.make ~name:"engine: schedule/cancel/step = oracle + bound"
+    ~count:200 engine_ops_arb (fun ops ->
+      let e = Gmp_sim.Engine.create () in
+      let fired = ref [] in
+      let live = ref [] in (* (fire_at, id, handle) in firing order *)
+      let next_id = ref 0 in
+      let ok = ref true in
+      let insert time id h =
+        let rec go = function
+          | ((t', _, _) as hd) :: tl when t' <= time -> hd :: go tl
+          | rest -> (time, id, h) :: rest
+        in
+        live := go !live
+      in
+      List.iter
+        (fun (code, x) ->
+          if code < 5 then begin
+            let delay = float_of_int x in
+            let id = !next_id in
+            incr next_id;
+            let time = Gmp_sim.Engine.now e +. delay in
+            let h =
+              Gmp_sim.Engine.schedule e ~delay (fun () -> fired := id :: !fired)
+            in
+            insert time id h
+          end
+          else if code < 8 then begin
+            (match !live with
+             | [] -> ()
+             | l ->
+               let i = x mod List.length l in
+               let _, _, h = List.nth l i in
+               Gmp_sim.Engine.cancel e h;
+               live := List.filteri (fun j _ -> j <> i) l);
+            (* Tombstones were just eligible for compaction: the queue may
+               hold at most 2x the live timers (below the threshold the
+               engine doesn't bother). *)
+            let len = Gmp_sim.Engine.queue_length e in
+            if not (len < 64 || len <= 2 * Gmp_sim.Engine.pending_events e)
+            then ok := false
+          end
+          else begin
+            let expect = !live in
+            let stepped = Gmp_sim.Engine.step e in
+            match expect with
+            | [] -> if stepped then ok := false
+            | (t, id, _) :: rest ->
+              live := rest;
+              if not stepped then ok := false
+              else begin
+                (match !fired with
+                 | id' :: _ when id' = id -> ()
+                 | _ -> ok := false);
+                if Gmp_sim.Engine.now e <> t then ok := false
+              end
+          end)
+        ops;
+      !ok && Gmp_sim.Engine.pending_events e = List.length !live)
+
 (* ---- engine: cancelled-timer tombstones stay bounded ---- *)
 
 let test_compaction_bound () =
@@ -134,7 +251,9 @@ let suite =
   List.map qtest
     [ prop_indexes_match_reference;
       prop_checker_instances_agree;
-      prop_checker_agrees_on_runs ]
+      prop_checker_agrees_on_runs;
+      prop_queue_matches_oracle;
+      prop_engine_matches_oracle ]
   @ [ Alcotest.test_case "engine: 100k schedule/cancel stays bounded" `Quick
         test_compaction_bound;
       Alcotest.test_case "engine: compaction preserves firing order" `Quick

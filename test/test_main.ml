@@ -23,4 +23,5 @@ let () =
       ("knowledge", Test_knowledge.suite);
       ("scale", Test_scale.suite);
       ("indexes", Test_indexes.suite);
+      ("determinism", Test_determinism.suite);
       ("properties", Test_props.suite) ]

@@ -52,11 +52,11 @@ let test_delay_invalid () =
 
 let test_stats_counting () =
   let s = Stats.create () in
-  Stats.record_sent s ~category:"a";
-  Stats.record_sent s ~category:"a";
-  Stats.record_sent s ~category:"b";
-  Stats.record_delivered s ~category:"a";
-  Stats.record_dropped s ~category:"b";
+  Stats.record_sent s ~category:(Stats.intern "a");
+  Stats.record_sent s ~category:(Stats.intern "a");
+  Stats.record_sent s ~category:(Stats.intern "b");
+  Stats.record_delivered s ~category:(Stats.intern "a");
+  Stats.record_dropped s ~category:(Stats.intern "b");
   check int "sent a" 2 (Stats.sent s ~category:"a");
   check int "sent b" 1 (Stats.sent s ~category:"b");
   check int "delivered a" 1 (Stats.delivered s ~category:"a");
@@ -75,7 +75,7 @@ let test_network_delivery () =
   let received = ref [] in
   Network.set_handler net (fun ~dst ~src msg ->
       received := (dst, src, msg) :: !received);
-  Network.send net ~src:p0 ~dst:p1 ~category:"test" "hello";
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "test") "hello";
   Gmp_sim.Engine.run engine;
   check int "one delivery" 1 (List.length !received);
   let dst, src, msg = List.hd !received in
@@ -88,7 +88,7 @@ let test_network_fifo () =
   let received = ref [] in
   Network.set_handler net (fun ~dst:_ ~src:_ msg -> received := msg :: !received);
   for i = 1 to 50 do
-    Network.send net ~src:p0 ~dst:p1 ~category:"test" i
+    Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "test") i
   done;
   Gmp_sim.Engine.run engine;
   check (Alcotest.list int) "in order" (List.init 50 (fun i -> i + 1))
@@ -103,8 +103,8 @@ let test_network_fifo_per_channel_only () =
       if Pid.equal src p0 then from0 := msg :: !from0
       else from2 := msg :: !from2);
   for i = 1 to 20 do
-    Network.send net ~src:p0 ~dst:p1 ~category:"t" i;
-    Network.send net ~src:p2 ~dst:p1 ~category:"t" (100 + i)
+    Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") i;
+    Network.send net ~src:p2 ~dst:p1 ~category:(Stats.intern "t") (100 + i)
   done;
   Gmp_sim.Engine.run engine;
   check (Alcotest.list int) "channel 0 ordered" (List.init 20 (fun i -> i + 1))
@@ -117,9 +117,9 @@ let test_network_crash_dst () =
   let engine, net = make_net () in
   let received = ref 0 in
   Network.set_handler net (fun ~dst:_ ~src:_ _ -> incr received);
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" ();
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") ();
   Network.crash net p1;
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" ();
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") ();
   Gmp_sim.Engine.run engine;
   (* Both messages vanish: the first was in flight when p1 crashed. *)
   check int "nothing delivered" 0 !received;
@@ -130,7 +130,7 @@ let test_network_crash_src () =
   let received = ref 0 in
   Network.set_handler net (fun ~dst:_ ~src:_ _ -> incr received);
   Network.crash net p0;
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" ();
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") ();
   Gmp_sim.Engine.run engine;
   check int "crashed process cannot send" 0 !received;
   check int "not even counted as sent" 0
@@ -142,11 +142,11 @@ let test_network_s1_disconnect () =
   Network.set_handler net (fun ~dst:_ ~src:_ _ -> incr received);
   (* One message in flight, then p1 cuts its channel from p0: even the
      in-flight message must be discarded (S1 is checked on delivery). *)
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" ();
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") ();
   Network.disconnect net ~at:p1 ~from:p0;
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" ();
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") ();
   (* The reverse direction stays open. *)
-  Network.send net ~src:p1 ~dst:p0 ~category:"t" ();
+  Network.send net ~src:p1 ~dst:p0 ~category:(Stats.intern "t") ();
   Gmp_sim.Engine.run engine;
   check int "only reverse direction" 1 !received;
   check bool "disconnected query" true (Network.is_disconnected net ~at:p1 ~from:p0);
@@ -158,8 +158,8 @@ let test_network_partition_parks () =
   let received = ref 0 in
   Network.set_handler net (fun ~dst:_ ~src:_ _ -> incr received);
   Network.partition net [ [ p0 ]; [ p1; p2 ] ];
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" ();
-  Network.send net ~src:p1 ~dst:p2 ~category:"t" ();
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") ();
+  Network.send net ~src:p1 ~dst:p2 ~category:(Stats.intern "t") ();
   Gmp_sim.Engine.run engine;
   check int "same-side delivered" 1 !received;
   check int "cross-side parked" 1 (Network.parked_count net);
@@ -172,14 +172,14 @@ let test_network_partition_fifo_across_heal () =
   let engine, net = make_net ~delay:(Delay.uniform ~lo:0.1 ~hi:5.0) () in
   let received = ref [] in
   Network.set_handler net (fun ~dst:_ ~src:_ msg -> received := msg :: !received);
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" 1;
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") 1;
   Gmp_sim.Engine.run engine;
   Network.partition net [ [ p0 ]; [ p1 ] ];
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" 2;
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" 3;
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") 2;
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") 3;
   Gmp_sim.Engine.run engine;
   Network.heal net;
-  Network.send net ~src:p0 ~dst:p1 ~category:"t" 4;
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "t") 4;
   Gmp_sim.Engine.run engine;
   check (Alcotest.list int) "order across partition and heal" [ 1; 2; 3; 4 ]
     (List.rev !received)
@@ -199,7 +199,7 @@ let test_network_self_send_rejected () =
   let _, net = make_net () in
   check bool "src = dst rejected" true
     (try
-       Network.send net ~src:p0 ~dst:p0 ~category:"t" ();
+       Network.send net ~src:p0 ~dst:p0 ~category:(Stats.intern "t") ();
        false
      with Invalid_argument _ -> true)
 
@@ -207,9 +207,9 @@ let test_network_monitor () =
   let engine, net = make_net () in
   Network.set_handler net (fun ~dst:_ ~src:_ _ -> ());
   let seen = ref [] in
-  Network.set_monitor net (fun r -> seen := r.Network.record_category :: !seen);
-  Network.send net ~src:p0 ~dst:p1 ~category:"x" ();
-  Network.send net ~src:p1 ~dst:p2 ~category:"y" ();
+  Network.set_monitor net (fun r -> seen := Stats.name r.Network.record_category :: !seen);
+  Network.send net ~src:p0 ~dst:p1 ~category:(Stats.intern "x") ();
+  Network.send net ~src:p1 ~dst:p2 ~category:(Stats.intern "y") ();
   Gmp_sim.Engine.run engine;
   check (Alcotest.list Alcotest.string) "monitored" [ "x"; "y" ] (List.rev !seen)
 
