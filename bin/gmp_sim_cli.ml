@@ -299,6 +299,112 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Hunt for GMP violations with random schedules.")
     Term.(const go $ iterations_term $ weaken_term $ seed_term $ n_term)
 
+(* ---- explore: bounded deterministic schedule exploration ---- *)
+
+let explore_cmd =
+  let module E = Gmp_explore.Explore in
+  let depth_term =
+    Arg.(
+      value & opt int 8
+      & info [ "depth" ] ~docv:"D"
+          ~doc:"Branching decisions recorded per execution (the rest of each \
+                run follows the default deterministic order).")
+  in
+  let budget_term =
+    Arg.(
+      value & opt int 3000
+      & info [ "budget" ] ~docv:"K" ~doc:"Maximum executions to enumerate.")
+  in
+  let weaken_term =
+    Arg.(
+      value & flag
+      & info [ "weaken" ]
+          ~doc:
+            "Explore the weakened algorithm (Config.basic, no majority \
+             requirement on updates) under a one-isolation adversary instead \
+             of the full algorithm: exploration should then rediscover the \
+             known partition divergence.")
+  in
+  let expect_violation_term =
+    Arg.(
+      value & flag
+      & info [ "expect-violation" ]
+          ~doc:
+            "Invert the exit code: succeed only if a violation IS found \
+             (for sensitivity runs in CI).")
+  in
+  let procs_term =
+    Arg.(
+      value & opt (some int) None
+      & info [ "procs" ] ~docv:"N"
+          ~doc:"Group size (default: 3 for assurance, 5 for --weaken).")
+  in
+  let horizon_term =
+    Arg.(
+      value & opt (some float) None
+      & info [ "horizon" ] ~docv:"T" ~doc:"Virtual-time horizon per execution.")
+  in
+  let slack_term =
+    Arg.(
+      value & opt (some float) None
+      & info [ "slack" ] ~docv:"S" ~doc:"Ready-window width.")
+  in
+  let crashes_term =
+    Arg.(
+      value & opt (some int) None
+      & info [ "crashes" ] ~docv:"K" ~doc:"Crash-injection budget per execution.")
+  in
+  let suspicions_term =
+    Arg.(
+      value & opt (some int) None
+      & info [ "suspicions" ] ~docv:"K"
+          ~doc:"Spurious-suspicion budget per execution.")
+  in
+  let isolations_term =
+    Arg.(
+      value & opt (some int) None
+      & info [ "isolations" ] ~docv:"K"
+          ~doc:"Single-process partition budget per execution.")
+  in
+  let go depth budget weaken expect_violation procs horizon slack crashes
+      suspicions isolations seed =
+    let base = if weaken then E.sensitivity ~seed () else E.assurance ~seed () in
+    let opt v field = Option.value v ~default:field in
+    let model =
+      { base with
+        E.n = opt procs base.E.n;
+        E.horizon = opt horizon base.E.horizon;
+        E.slack = opt slack base.E.slack;
+        E.adversary =
+          { E.crashes = opt crashes base.E.adversary.E.crashes;
+            E.suspicions = opt suspicions base.E.adversary.E.suspicions;
+            E.isolations = opt isolations base.E.adversary.E.isolations;
+            E.heal = base.E.adversary.E.heal } }
+    in
+    let progress s =
+      Fmt.pr "... %a@." E.pp_stats s
+    in
+    let outcome = E.explore ~progress model ~depth ~budget in
+    Fmt.pr "%a@." E.pp_outcome outcome;
+    (match outcome.E.counterexample with
+    | Some cx ->
+      Fmt.pr "replayable minimal schedule:@.";
+      List.iter (fun line -> Fmt.pr "  %s@." line)
+        (E.describe model cx.E.cx_choices)
+    | None -> ());
+    let found = outcome.E.counterexample <> None in
+    if found = expect_violation then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Systematically enumerate message/timer/fault interleavings \
+          (bounded model checking) and run the GMP safety checker on each.")
+    Term.(
+      const go $ depth_term $ budget_term $ weaken_term $ expect_violation_term
+      $ procs_term $ horizon_term $ slack_term $ crashes_term $ suspicions_term
+      $ isolations_term $ seed_term)
+
 (* ---- table1 ---- *)
 
 let table1_cmd =
@@ -344,6 +450,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "gmp-sim" ~version:"1.0.0" ~doc)
-    [ run_cmd; scenario_cmd; sweep_cmd; fuzz_cmd; table1_cmd ]
+    [ run_cmd; scenario_cmd; sweep_cmd; fuzz_cmd; explore_cmd; table1_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -29,6 +29,7 @@ let create ?(config = Config.default) ?delay ?(seed = 1) ~n () =
 
 let runtime t = t.runtime
 let engine t = Runtime.engine t.runtime
+let network t = Runtime.network t.runtime
 let trace t = t.trace
 let stats t = Runtime.stats t.runtime
 let initial t = t.initial
@@ -119,6 +120,18 @@ let protocol_messages t =
   List.fold_left
     (fun acc category -> acc + Gmp_net.Stats.sent stats ~category)
     0 Wire.protocol_categories
+
+(* Combined protocol + network fingerprint over all members, in pid order.
+   Pending engine events are hashed separately by the explorer (it owns the
+   notion of "relative" event time). *)
+let fingerprint t =
+  let h =
+    Pid.Map.fold
+      (fun _ m h -> (h * 0x01000193) lxor (Member.fingerprint m land max_int))
+      t.members 0x811c9dc5
+  in
+  (h * 0x01000193)
+  lxor (Gmp_net.Network.fingerprint (Runtime.network t.runtime) land max_int)
 
 let pp_summary ppf t =
   let member ppf m = Member.pp ppf m in

@@ -19,6 +19,10 @@ val create :
 
 val runtime : t -> Wire.t Gmp_runtime.Runtime.t
 val engine : t -> Gmp_sim.Engine.t
+
+(** The underlying network (for partitions, channel decoding and
+    fingerprinting by the explorer). *)
+val network : t -> Wire.t Gmp_runtime.Runtime.wrapped Gmp_net.Network.t
 val trace : t -> Trace.t
 val stats : t -> Gmp_net.Stats.t
 val initial : t -> Pid.t list
@@ -59,5 +63,9 @@ val agreed_view : t -> (int * Pid.t list) option
 
 val protocol_messages : t -> int
 (** Messages sent in the protocol categories (§7.2 accounting). *)
+
+val fingerprint : t -> int
+(** Hash of all members' protocol state plus the network's adversarial
+    state, for the explorer's state pruning. *)
 
 val pp_summary : t Fmt.t

@@ -272,6 +272,14 @@ let sync_to t (prop : Wire.proposal) =
     apply_ops t missing
   end
 
+(* A vote (Invite_ok / Propose_ok / interrogation reply) counts only from a
+   current, non-condemned view member: a stale OK from a process that has
+   left the view, or from one we already believe faulty, must not help
+   satisfy a majority gate. Checked both when an OK arrives and when votes
+   are counted — a respondent can become faulty between the two. *)
+let ok_acceptable t src =
+  View.mem t.view src && not (Pid.Set.mem src t.faulty)
+
 (* ---- GetNext: the coordinator's queue (Recovered first, then Faulty) ---- *)
 
 let get_next t ~excluding =
@@ -320,7 +328,8 @@ and recheck_mgr_phase t =
       List.filter (fun p -> not (Pid.Set.mem p mp.mp_oks)) (non_faulty_others t)
     in
     if outstanding = [] then begin
-      let votes = Pid.Set.cardinal mp.mp_oks + 1 in
+      let live_oks = Pid.Set.filter (ok_acceptable t) mp.mp_oks in
+      let votes = Pid.Set.cardinal live_oks + 1 in
       if t.config.require_majority_update && votes < View.majority t.view then
         do_quit t "mgr: could not gather a majority of OKs"
       else commit_update t mp
@@ -430,9 +439,14 @@ and recheck_reconf t =
         List.filter (fun p -> not (responded p)) (non_faulty_others t)
       in
       if outstanding = [] then begin
+        let live_responses =
+          List.filter
+            (fun (p, _) -> Pid.equal p (self t) || ok_acceptable t p)
+            r.responses
+        in
         if
           t.config.Config.require_majority_reconf
-          && List.length r.responses < View.majority t.view
+          && List.length live_responses < View.majority t.view
         then do_quit t "reconf: interrogation could not gather a majority"
         else begin
           let prop = determine t r.responses in
@@ -450,7 +464,8 @@ and recheck_reconf t =
         List.filter (fun p -> not (Pid.Set.mem p r.r_oks)) (non_faulty_others t)
       in
       if outstanding = [] then begin
-        let votes = Pid.Set.cardinal r.r_oks + 1 in
+        let live_oks = Pid.Set.filter (ok_acceptable t) r.r_oks in
+        let votes = Pid.Set.cardinal live_oks + 1 in
         if
           t.config.Config.require_majority_reconf
           && votes < View.majority t.view
@@ -666,7 +681,7 @@ let handle_invite t ~src op invite_ver =
 
 let handle_invite_ok t ~src ok_ver =
   match t.mgr_phase with
-  | Some mp when mp.mp_target_ver = ok_ver ->
+  | Some mp when mp.mp_target_ver = ok_ver && ok_acceptable t src ->
     mp.mp_oks <- Pid.Set.add src mp.mp_oks
   | Some _ | None -> ()
 
@@ -770,7 +785,8 @@ let handle_propose t ~src (prop : Wire.proposal) =
 
 let handle_propose_ok t ~src pok_ver =
   match t.reconf with
-  | Some (R_proposing r) when r.r_prop.Wire.target_ver = pok_ver ->
+  | Some (R_proposing r)
+    when r.r_prop.Wire.target_ver = pok_ver && ok_acceptable t src ->
     r.r_oks <- Pid.Set.add src r.r_oks
   | Some _ | None -> ()
 
@@ -898,7 +914,7 @@ let create ?(joiner = false) ~runtime ~trace ~config ~initial pid_ =
     record t (Trace.Installed { ver = 0; view_members = initial });
   if config.Config.heartbeats then begin
     let d =
-      Heartbeat.create
+      Heartbeat.create ~proc:(Runtime.node_slot node)
         ~engine:(Runtime.engine (Runtime.node_runtime node))
         ~interval:config.Config.heartbeat_interval
         ~timeout:config.Config.heartbeat_timeout
@@ -915,20 +931,25 @@ let create ?(joiner = false) ~runtime ~trace ~config ~initial pid_ =
   t
 
 let start_join ?(retry_interval = 15.0) t ~contacts =
+  (* Self can never admit itself; filtering up front also guards the case of
+     a contacts list containing only self (sending to self would blow up in
+     the network layer). *)
+  let contacts = List.filter (fun p -> not (Pid.equal p (self t))) contacts in
   match contacts with
-  | [] -> invalid_arg "Member.start_join: no contacts"
+  | [] -> invalid_arg "Member.start_join: no contacts besides self"
   | first :: _ ->
     send t ~dst:first Wire.Join_request;
     (* Retry round-robin over the contacts until admitted: the first contact
        (or the coordinator holding our request) may die before our join is
-       committed. *)
+       committed. Use-then-increment, so the first retry goes back to
+       contacts.(0) instead of skipping it until a full wrap. *)
+    let n = List.length contacts in
     let cursor = ref 0 in
     Runtime.every t.node ~interval:retry_interval (fun () ->
         if (not t.joined) && operational t then begin
-          cursor := (!cursor + 1) mod List.length contacts;
-          let contact = List.nth contacts !cursor in
-          if not (Pid.equal contact (self t)) then
-            send t ~dst:contact Wire.Join_request
+          let contact = List.nth contacts (!cursor mod n) in
+          incr cursor;
+          send t ~dst:contact Wire.Join_request
         end)
 
 (* ---- external injection points (scripts, harness) ---- *)
@@ -955,6 +976,82 @@ let broadcast_app t payload =
   if operational t then
     broadcast t ~dsts:(non_faulty_others t)
       (Wire.App { app_ver = t.ver; payload })
+
+(* ---- fingerprint: protocol-state hash for the schedule explorer ---- *)
+
+(* Order-sensitive FNV-style mix; every collection is folded in a canonical
+   order (sets and views are sorted by construction, lists in list order),
+   so equal states hash equally across executions. *)
+let fp_mix h x = (h * 0x01000193) lxor (x land max_int)
+let fp_pid h p = fp_mix (fp_mix h (Pid.id p)) (Pid.incarnation p)
+let fp_bool h b = fp_mix h (if b then 1 else 0)
+let fp_set h s = Pid.Set.fold (fun p h -> fp_pid h p) s h
+
+let fp_op h = function
+  | Types.Remove p -> fp_pid (fp_mix h 1) p
+  | Types.Add p -> fp_pid (fp_mix h 2) p
+
+let fp_seq h seq = List.fold_left fp_op (fp_mix h (List.length seq)) seq
+
+let fp_expect h = function
+  | Types.Awaiting_proposal p -> fp_pid (fp_mix h 3) p
+  | Types.Expected { canonical; coord; ver } ->
+    fp_pid (fp_mix (fp_seq (fp_mix h 4) canonical) ver) coord
+
+let fp_reply h (reply : Wire.interrogate_reply) =
+  let h = fp_mix h reply.reply_ver in
+  let h = fp_seq h reply.reply_seq in
+  List.fold_left fp_expect h reply.reply_next
+
+let fingerprint t =
+  let h = fp_pid 0x811c9dc5 (self t) in
+  let h = fp_mix h t.ver in
+  let h = fp_seq h t.seq in
+  let h = List.fold_left fp_pid (fp_mix h 5) (View.members t.view) in
+  let h = List.fold_left fp_expect (fp_mix h 6) t.next in
+  let h = fp_set (fp_mix h 7) t.faulty in
+  let h = fp_set (fp_mix h 8) t.recovered in
+  let h = fp_set (fp_mix h 9) t.operating in
+  let h = fp_pid (fp_mix h 10) t.mgr in
+  let h =
+    match t.mgr_phase with
+    | None -> fp_mix h 0
+    | Some mp ->
+      fp_bool
+        (fp_set
+           (fp_mix (fp_op (fp_mix h 11) mp.mp_op) mp.mp_target_ver)
+           mp.mp_oks)
+        mp.mp_compressed
+  in
+  let h =
+    match t.reconf with
+    | None -> fp_mix h 0
+    | Some (R_interrogating r) ->
+      List.fold_left
+        (fun h (p, reply) -> fp_reply (fp_pid h p) reply)
+        (fp_mix h 12) r.responses
+    | Some (R_proposing r) ->
+      let prop = r.r_prop in
+      let h = fp_mix (fp_mix h 13) prop.Wire.target_ver in
+      let h = fp_seq h prop.Wire.canonical_seq in
+      let h =
+        match prop.Wire.invis with None -> fp_mix h 0 | Some op -> fp_op h op
+      in
+      let h = List.fold_left fp_pid h prop.Wire.prop_faulty in
+      fp_set h r.r_oks
+  in
+  let h = fp_bool (fp_bool (fp_bool h t.has_quit) t.joined) (crashed t) in
+  let h = fp_bool h t.initiation_deferred in
+  let h =
+    List.fold_left
+      (fun h (p, ver, _) -> fp_mix (fp_pid h p) ver)
+      (fp_mix h (List.length t.app_buffer))
+      t.app_buffer
+  in
+  List.fold_left
+    (fun h (p, reply) -> fp_reply (fp_pid h p) reply)
+    (fp_mix h (List.length t.stash))
+    t.stash
 
 let pp ppf t =
   Fmt.pf ppf "%a v%d %a mgr=%a%s%s" Pid.pp (self t) t.ver View.pp t.view Pid.pp

@@ -79,3 +79,11 @@ val inject_suspicion : t -> Pid.t -> unit
 
 val inject_crash : t -> unit
 (** Really crash the process. *)
+
+(** {1 Explorer support} *)
+
+val fingerprint : t -> int
+(** Hash of the member's full protocol state (view, version, sequence,
+    suspicion sets, coordinator phase, reconfiguration phase, expectations,
+    buffers). Equal states hash equally across executions; used by the
+    schedule explorer's state pruning. *)

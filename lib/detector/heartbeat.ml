@@ -6,12 +6,19 @@
    from a crashed process stop, so its peers' timeouts expire). Like any
    timeout detector in an asynchronous system it can also fire spuriously
    under long delays - exactly the "perceived failures" the protocol is
-   designed to tolerate. *)
+   designed to tolerate.
+
+   [last_heard] tracks only current peers: beats from processes outside
+   [peers ()] are dropped (a late beat from a suspected-and-forgotten peer
+   must not resurrect its slot), and each tick prunes entries for peers that
+   departed via a view change without an explicit [forget]. Without both,
+   the table grows without bound under churn. *)
 
 open Gmp_base
 
 type t = {
   engine : Gmp_sim.Engine.t;
+  proc : int; (* engine tag for this detector's tick timer; -1 = untagged *)
   interval : float;
   timeout : float;
   send_beat : Pid.t -> unit;
@@ -25,11 +32,13 @@ type t = {
   mutable suspects_fired : Pid.Set.t;
 }
 
-let create ~engine ~interval ~timeout ~send_beat ~peers ~suspect () =
+let create ?(proc = -1) ~engine ~interval ~timeout ~send_beat ~peers ~suspect
+    () =
   if interval <= 0.0 then invalid_arg "Heartbeat.create: bad interval";
   if timeout <= interval then
     invalid_arg "Heartbeat.create: timeout must exceed interval";
   { engine;
+    proc;
     interval;
     timeout;
     send_beat;
@@ -40,12 +49,32 @@ let create ~engine ~interval ~timeout ~send_beat ~peers ~suspect () =
     pending = None;
     suspects_fired = Pid.Set.empty }
 
+let is_peer t pid = List.exists (Pid.equal pid) (t.peers ())
+
 let beat_received t ~from =
-  Pid.Tbl.replace t.last_heard from (Gmp_sim.Engine.now t.engine)
+  (* Only current peers are tracked: a beat from a departed or never-known
+     process (late in flight when the sender was excluded) is ignored. *)
+  if is_peer t from then
+    Pid.Tbl.replace t.last_heard from (Gmp_sim.Engine.now t.engine)
 
 let forget t pid =
   Pid.Tbl.remove t.last_heard pid;
   t.suspects_fired <- Pid.Set.remove pid t.suspects_fired
+
+(* Drop state for processes that are no longer peers (departed via a view
+   change that never called [forget]). Keys are collected before removal -
+   mutating a table during fold is undefined. *)
+let prune t peers =
+  let stale =
+    Pid.Tbl.fold
+      (fun pid _ acc ->
+        if List.exists (Pid.equal pid) peers then acc else pid :: acc)
+      t.last_heard []
+  in
+  List.iter (fun pid -> forget t pid) stale;
+  t.suspects_fired <-
+    Pid.Set.filter (fun pid -> List.exists (Pid.equal pid) peers)
+      t.suspects_fired
 
 let check_peer t now pid =
   let deadline_start =
@@ -67,6 +96,7 @@ let tick t =
   if t.running then begin
     let now = Gmp_sim.Engine.now t.engine in
     let peers = t.peers () in
+    prune t peers;
     List.iter t.send_beat peers;
     List.iter (check_peer t now) peers
   end
@@ -74,17 +104,19 @@ let tick t =
 let start t =
   if not t.running then begin
     t.running <- true;
+    let schedule loop =
+      Gmp_sim.Engine.schedule ~proc:t.proc t.engine ~delay:t.interval loop
+    in
     let rec loop () =
       (* This event is firing, so it is no longer pending: a [stop] from
          inside [tick] must not cancel an already-fired handle. *)
       t.pending <- None;
       if t.running then begin
         tick t;
-        if t.running then
-          t.pending <- Some (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop)
+        if t.running then t.pending <- Some (schedule loop)
       end
     in
-    t.pending <- Some (Gmp_sim.Engine.schedule t.engine ~delay:t.interval loop)
+    t.pending <- Some (schedule loop)
   end
 
 let stop t =
@@ -96,3 +128,5 @@ let stop t =
     Gmp_sim.Engine.cancel t.engine handle
 
 let is_running t = t.running
+
+let tracked t = Pid.Tbl.length t.last_heard

@@ -10,6 +10,7 @@ open Gmp_base
 type t
 
 val create :
+  ?proc:int ->
   engine:Gmp_sim.Engine.t ->
   interval:float ->
   timeout:float ->
@@ -19,15 +20,24 @@ val create :
   unit ->
   t
 (** [peers] is consulted on every tick, so the monitored set tracks the
-    current view. [timeout] must exceed [interval]. *)
+    current view. [timeout] must exceed [interval]. [proc] tags the tick
+    timer with the owning process's engine slot (for the schedule
+    explorer); default untagged. *)
 
 val start : t -> unit
 val stop : t -> unit
 val is_running : t -> bool
 
 val beat_received : t -> from:Pid.t -> unit
-(** Call when a heartbeat message arrives. *)
+(** Call when a heartbeat message arrives. Beats from processes not in the
+    current [peers ()] are dropped — a late beat from a forgotten peer must
+    not resurrect its tracking slot. *)
 
 val forget : t -> Pid.t -> unit
 (** Drop state about a departed peer (allows a reincarnation to be
-    monitored afresh). *)
+    monitored afresh). Peers that depart via a view change without an
+    explicit [forget] are pruned on the next tick. *)
+
+val tracked : t -> int
+(** Number of peers with tracking state (size of the last-heard table);
+    bounded by the current peer set once a tick has run. *)

@@ -1,0 +1,567 @@
+(* Bounded deterministic schedule exploration (stateless model checking).
+
+   Each execution rebuilds the group from the model (fixed config, seed and
+   delay distribution make the rebuild a pure function of the choices), then
+   steps the engine by hand: at every branching point — more than one event
+   in the ready window, or an adversarial injection still in budget — a
+   [decide] callback picks the continuation. The explorer enumerates
+   prefixes of such decisions by rightmost-increment DFS with iterative
+   deepening, re-executing from scratch for every prefix; re-execution is
+   cheap (a few hundred events) and keeps the protocol code entirely
+   snapshot-free.
+
+   Two reductions keep the tree tractable:
+
+   - sleep-set-style commutation: right after firing an event of process q,
+     a still-ready event of process p < q that was already ready before is
+     skipped; the p-first order of that commuting pair lives on a sibling
+     branch. Because [Engine.fire] pins [now] to the window base, the two
+     orders are time-identical, so the skipped branch is a true duplicate.
+   - state-hash pruning: branching states are fingerprinted (all members'
+     protocol state + network adversarial state + pending events at
+     quantized relative fire times + adversary budgets spent). A state
+     whose subtree has been fully explored with at least as much remaining
+     depth is not re-entered. Entries are committed only when the DFS pops
+     the subtree (rightmost-increment moves above it) — committing at first
+     visit would prune the very siblings the DFS is about to enumerate. *)
+
+open Gmp_base
+module Engine = Gmp_sim.Engine
+module Network = Gmp_net.Network
+module Delay = Gmp_net.Delay
+module Config = Gmp_core.Config
+module Group = Gmp_core.Group
+module Member = Gmp_core.Member
+module View = Gmp_core.View
+module Trace = Gmp_core.Trace
+module Checker = Gmp_core.Checker
+module Fuzz = Gmp_workload.Fuzz
+
+type adversary = {
+  crashes : int;
+  suspicions : int;
+  isolations : int;
+  heal : bool;
+}
+
+let no_adversary = { crashes = 0; suspicions = 0; isolations = 0; heal = false }
+
+type model = {
+  n : int;
+  config : Config.t;
+  seed : int;
+  delay : Delay.t;
+  horizon : float;
+  slack : float;
+  adversary : adversary;
+}
+
+(* Constant delay keeps every window a clean tie (all heartbeats of a round
+   deliver at the same instant); slack 0.5 < delay 1.0 so a window never
+   swallows a message caused by an event inside it. *)
+let assurance ?(n = 3) ?(seed = 1) () =
+  { n;
+    config = Config.default;
+    seed;
+    delay = Delay.constant 1.0;
+    horizon = 40.0;
+    slack = 0.5;
+    adversary = { no_adversary with crashes = 1; suspicions = 2 } }
+
+let sensitivity ?(n = 5) ?(seed = 1) () =
+  { n;
+    config = Config.basic;
+    seed;
+    delay = Delay.constant 1.0;
+    horizon = 80.0;
+    slack = 0.5;
+    adversary = { no_adversary with isolations = 1 } }
+
+type injection =
+  | Crash of int
+  | Suspect of int * int
+  | Isolate of int
+  | Heal
+
+type choice = Fire of int | Inject of injection
+
+let pp_injection ppf = function
+  | Crash i -> Fmt.pf ppf "crash p%d" i
+  | Suspect (o, tg) -> Fmt.pf ppf "suspect p%d->p%d" o tg
+  | Isolate i -> Fmt.pf ppf "isolate p%d" i
+  | Heal -> Fmt.string ppf "heal"
+
+let pp_choice ppf = function
+  | Fire i -> Fmt.pf ppf "fire#%d" i
+  | Inject inj -> pp_injection ppf inj
+
+type stats = {
+  executions : int;
+  distinct : int;
+  frames : int;
+  state_pruned : int;
+  sleep_pruned : int;
+  max_depth : int;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d executions, %d distinct interleavings, %d frames expanded, %d \
+     state-pruned, %d sleep-pruned, depth<=%d"
+    s.executions s.distinct s.frames s.state_pruned s.sleep_pruned s.max_depth
+
+type counterexample = {
+  cx_choices : choice list;
+  cx_injections : int;
+  cx_violations : Checker.violation list;
+}
+
+type outcome = {
+  stats : stats;
+  counterexample : counterexample option;
+}
+
+let pp_outcome ppf o =
+  match o.counterexample with
+  | None -> Fmt.pf ppf "no violation (%a)" pp_stats o.stats
+  | Some cx ->
+    Fmt.pf ppf "VIOLATION after %d executions: [%a] -> %a"
+      o.stats.executions
+      Fmt.(list ~sep:(any "; ") pp_choice)
+      cx.cx_choices
+      Fmt.(list ~sep:(any "; ") Checker.pp_violation)
+      cx.cx_violations
+
+(* ---- one bounded execution ---- *)
+
+type budgets = {
+  mutable u_crashes : int;
+  mutable u_suspicions : int;
+  mutable u_isolations : int;
+  mutable isolated : int option;
+}
+
+type frame = {
+  f_ncands : int;
+  f_chosen : int;
+  f_choice : choice;
+  f_fp : int;
+  f_remaining : int;
+}
+
+type run_result = {
+  r_frames : frame list; (* in decision order *)
+  r_violations : Checker.violation list;
+  r_pruned : bool;
+  r_hit_depth : bool; (* branching remained beyond the recorded depth *)
+  r_final_fp : int;
+  r_sleep_skips : int;
+}
+
+let fp_mix h x = (h * 0x01000193) lxor (x land max_int)
+
+(* Protocol + network + pending-event + adversary-budget state. Pending
+   events hash by (relative fire time, proc, chan) combined additively, so
+   the heap's internal order is irrelevant; relative times make the hash
+   invariant under time translation. *)
+let state_fp group st =
+  let engine = Group.engine group in
+  let now = Engine.now engine in
+  let pending =
+    Engine.fold_live engine ~init:0 ~f:(fun acc h ->
+        let rel = int_of_float ((Engine.fire_time h -. now) *. 1e6) in
+        let e =
+          fp_mix
+            (fp_mix (fp_mix 0x811c9dc5 rel) (Engine.proc_of h + 1))
+            (Engine.chan_of h + 1)
+        in
+        acc + (e lor 1))
+  in
+  let h = fp_mix (Group.fingerprint group) pending in
+  let h = fp_mix h st.u_crashes in
+  let h = fp_mix h st.u_suspicions in
+  let h = fp_mix h st.u_isolations in
+  fp_mix h (match st.isolated with None -> -1 | Some i -> i)
+
+(* Injections offered at a branching point, in DFS order (adversarial moves
+   first, so the interesting schedules surface early). Pointless branches —
+   crashing a dead process, isolating the already-isolated one, suspecting a
+   process already deemed faulty — are not offered. *)
+let injection_candidates m group st =
+  let adv = m.adversary in
+  let alive i = Member.operational (Group.nth group i) in
+  let acc = ref [] in
+  (* built back-to-front: Isolate, then Crash, then Suspect, then Heal *)
+  if adv.heal && st.isolated <> None then acc := Heal :: !acc;
+  if st.u_suspicions < adv.suspicions then
+    for o = m.n - 1 downto 0 do
+      let obs = Group.nth group o in
+      if Member.operational obs && Member.joined obs then
+        for tg = m.n - 1 downto 0 do
+          if tg <> o then begin
+            let tgt = Member.pid (Group.nth group tg) in
+            if
+              List.exists (Pid.equal tgt) (View.members (Member.view obs))
+              && not (Pid.Set.mem tgt (Member.faulty_set obs))
+            then acc := Suspect (o, tg) :: !acc
+          end
+        done
+    done;
+  if st.u_crashes < adv.crashes then
+    for i = m.n - 1 downto 0 do
+      if alive i then acc := Crash i :: !acc
+    done;
+  if st.u_isolations < adv.isolations then
+    for i = m.n - 1 downto 0 do
+      if alive i && st.isolated <> Some i then acc := Isolate i :: !acc
+    done;
+  !acc
+
+let apply_injection group st inj =
+  match inj with
+  | Crash i ->
+    st.u_crashes <- st.u_crashes + 1;
+    Member.inject_crash (Group.nth group i)
+  | Suspect (o, tg) ->
+    st.u_suspicions <- st.u_suspicions + 1;
+    Member.inject_suspicion (Group.nth group o) (Member.pid (Group.nth group tg))
+  | Isolate i ->
+    st.u_isolations <- st.u_isolations + 1;
+    st.isolated <- Some i;
+    Network.partition (Group.network group) [ [ Member.pid (Group.nth group i) ] ]
+  | Heal ->
+    st.isolated <- None;
+    Network.heal (Group.network group)
+
+let describe_fire group h =
+  let net = Group.network group in
+  let t = Engine.fire_time h in
+  match Network.decode_chan net (Engine.chan_of h) with
+  | Some (src, dst) -> Fmt.str "t=%.2f deliver %a->%a" t Pid.pp src Pid.pp dst
+  | None -> (
+    match Network.pid_of_slot net (Engine.proc_of h) with
+    | Some pid -> Fmt.str "t=%.2f timer at %a" t Pid.pp pid
+    | None -> Fmt.str "t=%.2f event" t)
+
+let build m =
+  let group =
+    Group.create ~config:m.config ~delay:m.delay ~seed:m.seed ~n:m.n ()
+  in
+  Engine.set_slack (Group.engine group) m.slack;
+  group
+
+(* Livelock guard per execution; real runs take a few hundred steps. *)
+let max_exec_steps = 200_000
+
+(* Run one execution, consulting [decide] at every branching point up to
+   [depth] decisions and following the default order beyond. [seen] is only
+   read here (prune lookups); commits happen in the DFS controller once a
+   subtree is exhausted. *)
+let execute m ~depth ~seen ~decide ~narrate =
+  let group = build m in
+  let engine = Group.engine group in
+  let trace = Group.trace group in
+  let initial = Group.initial group in
+  let st =
+    { u_crashes = 0; u_suspicions = 0; u_isolations = 0; isolated = None }
+  in
+  let violations = ref [] in
+  let last_len = ref (Trace.length trace) in
+  let check () =
+    let len = Trace.length trace in
+    if len <> !last_len then begin
+      last_len := len;
+      match Checker.check_safety trace ~initial with
+      | [] -> ()
+      | vs -> violations := vs
+    end
+  in
+  let frames = ref [] in
+  let nframes = ref 0 in
+  let pruned = ref false in
+  let hit_depth = ref false in
+  let sleep_skips = ref 0 in
+  let prev_fired = ref None in
+  let prev_ready = ref [] in
+  let steps = ref 0 in
+  let fire_and_track ready h =
+    (match narrate with Some f -> f (describe_fire group h) | None -> ());
+    Engine.fire engine h;
+    prev_fired := Some h;
+    prev_ready := ready
+  in
+  (try
+     while !violations = [] do
+       incr steps;
+       if !steps > max_exec_steps then raise Exit;
+       match Engine.ready engine with
+       | [] -> raise Exit (* quiescent *)
+       | hd :: _ as ready ->
+         if Engine.fire_time hd > m.horizon then raise Exit;
+         if !nframes >= depth then begin
+           (* decision budget spent: deterministic default tail *)
+           (match ready with _ :: _ :: _ -> hit_depth := true | _ -> ());
+           Engine.fire engine hd;
+           prev_fired := Some hd;
+           prev_ready := ready;
+           check ()
+         end
+         else begin
+           (* Sleep filter: drop events that reorder backwards (towards a
+              lower process slot) against the event just fired — that order
+              was already offered on an earlier sibling. If everything is
+              filtered, fall back to the unfiltered window. *)
+           let fires =
+             match !prev_fired with
+             | Some g when Engine.proc_of g >= 0 ->
+               let gp = Engine.proc_of g in
+               let prev = !prev_ready in
+               List.filter
+                 (fun h ->
+                   let hp = Engine.proc_of h in
+                   not (hp >= 0 && hp < gp && List.memq h prev))
+                 ready
+             | _ -> ready
+           in
+           let fires = if fires = [] then ready else fires in
+           sleep_skips := !sleep_skips + (List.length ready - List.length fires);
+           let injections = injection_candidates m group st in
+           match (injections, fires) with
+           | [], [ only ] ->
+             (* no real branching: apply without consuming depth *)
+             fire_and_track ready only;
+             check ()
+           | _ ->
+             let fp = state_fp group st in
+             let remaining = depth - !nframes in
+             (match Hashtbl.find_opt seen fp with
+             | Some r when r >= remaining ->
+               pruned := true;
+               raise Exit
+             | _ -> ());
+             let cands =
+               Array.of_list
+                 (List.map (fun i -> Inject i) injections
+                 @ List.mapi (fun i _ -> Fire i) fires)
+             in
+             let k = decide !nframes cands in
+             let k = if k < 0 || k >= Array.length cands then 0 else k in
+             frames :=
+               { f_ncands = Array.length cands;
+                 f_chosen = k;
+                 f_choice = cands.(k);
+                 f_fp = fp;
+                 f_remaining = remaining }
+               :: !frames;
+             incr nframes;
+             (match cands.(k) with
+             | Fire i -> fire_and_track ready (List.nth fires i)
+             | Inject inj ->
+               (match narrate with
+               | Some f ->
+                 f (Fmt.str "t=%.2f %a" (Engine.now engine) pp_injection inj)
+               | None -> ());
+               apply_injection group st inj;
+               prev_fired := None;
+               prev_ready := []);
+             check ()
+         end
+     done
+   with Exit -> ());
+  { r_frames = List.rev !frames;
+    r_violations = !violations;
+    r_pruned = !pruned;
+    r_hit_depth = !hit_depth;
+    r_final_fp = state_fp group st;
+    r_sleep_skips = !sleep_skips }
+
+(* ---- replay ---- *)
+
+(* Map a stored choice onto the current candidate array. On an exact replay
+   candidates match one-to-one; during shrinking, dropped choices shift the
+   later ones, so out-of-range fire indices clamp to the last fire and
+   no-longer-legal injections degrade to the first fire candidate. *)
+let resolve c cands =
+  let ncands = Array.length cands in
+  match c with
+  | Inject inj ->
+    let rec find i =
+      if i >= ncands then None
+      else
+        match cands.(i) with
+        | Inject inj' when inj' = inj -> Some i
+        | _ -> find (i + 1)
+    in
+    (match find 0 with
+    | Some i -> i
+    | None ->
+      let rec first_fire i =
+        if i >= ncands then 0
+        else match cands.(i) with Fire _ -> i | Inject _ -> first_fire (i + 1)
+      in
+      first_fire 0)
+  | Fire i ->
+    let base = ref (-1) in
+    let nf = ref 0 in
+    Array.iteri
+      (fun k c' ->
+        match c' with
+        | Fire _ ->
+          if !base < 0 then base := k;
+          incr nf
+        | Inject _ -> ())
+      cands;
+    if !nf = 0 then 0 else !base + min i (!nf - 1)
+
+let run_choices m choices ~narrate =
+  let q = ref choices in
+  let decide _k cands =
+    match !q with
+    | [] -> 0
+    | c :: rest ->
+      q := rest;
+      resolve c cands
+  in
+  execute m ~depth:(List.length choices) ~seen:(Hashtbl.create 16) ~decide
+    ~narrate
+
+let replay m choices = (run_choices m choices ~narrate:None).r_violations
+
+let describe m choices =
+  let lines = ref [] in
+  let r = run_choices m choices ~narrate:(Some (fun s -> lines := s :: !lines)) in
+  let verdicts =
+    List.map (fun v -> Fmt.str "%a" Checker.pp_violation v) r.r_violations
+  in
+  List.rev !lines @ verdicts
+
+(* ---- DFS controller ---- *)
+
+let choice_code = function
+  | Fire i -> (i lsl 3) lor 1
+  | Inject (Crash i) -> (i lsl 3) lor 2
+  | Inject (Suspect (o, tg)) -> (((o lsl 12) lor tg) lsl 3) lor 3
+  | Inject (Isolate i) -> (i lsl 3) lor 4
+  | Inject Heal -> 5
+
+let interleaving_key frames final_fp =
+  List.fold_left
+    (fun h f -> fp_mix h (choice_code f.f_choice))
+    (final_fp land max_int) frames
+
+(* Rightmost frame with an unexplored sibling; returns the advanced prefix
+   and the index that moved. *)
+let next_prefix frames =
+  let arr = Array.of_list frames in
+  let rec scan i =
+    if i < 0 then None
+    else if arr.(i).f_chosen + 1 < arr.(i).f_ncands then
+      Some
+        ( Array.init (i + 1) (fun j ->
+              if j = i then arr.(j).f_chosen + 1 else arr.(j).f_chosen),
+          i )
+    else scan (i - 1)
+  in
+  scan (Array.length arr - 1)
+
+let explore ?progress m ~depth ~budget =
+  if depth < 1 then invalid_arg "Explore.explore: depth must be positive";
+  if budget < 1 then invalid_arg "Explore.explore: budget must be positive";
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 4096 in
+  let distinct : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let execs = ref 0 in
+  let frames_total = ref 0 in
+  let state_pruned = ref 0 in
+  let sleep_skips = ref 0 in
+  let max_d = ref 0 in
+  let cex = ref None in
+  let stats () =
+    { executions = !execs;
+      distinct = Hashtbl.length distinct;
+      frames = !frames_total;
+      state_pruned = !state_pruned;
+      sleep_pruned = !sleep_skips;
+      max_depth = !max_d }
+  in
+  (* Frames strictly below the incremented index have exhausted their
+     subtrees: remember their states so other paths reaching them are
+     pruned. Committing any earlier would prune unexplored siblings. *)
+  let commit frames upto =
+    List.iteri
+      (fun i f ->
+        if i > upto then begin
+          let prev =
+            match Hashtbl.find_opt seen f.f_fp with
+            | Some r -> r
+            | None -> min_int
+          in
+          if f.f_remaining > prev then Hashtbl.replace seen f.f_fp f.f_remaining
+        end)
+      frames
+  in
+  let round d =
+    max_d := max !max_d d;
+    let prefix = ref [||] in
+    let exhausted = ref false in
+    let deeper = ref false in
+    while (not !exhausted) && !execs < budget && !cex = None do
+      incr execs;
+      let p = !prefix in
+      let decide k _cands = if k < Array.length p then p.(k) else 0 in
+      let r = execute m ~depth:d ~seen ~decide ~narrate:None in
+      frames_total := !frames_total + List.length r.r_frames;
+      sleep_skips := !sleep_skips + r.r_sleep_skips;
+      if r.r_pruned then incr state_pruned
+      else begin
+        let key = interleaving_key r.r_frames r.r_final_fp in
+        if not (Hashtbl.mem distinct key) then Hashtbl.add distinct key ()
+      end;
+      if r.r_hit_depth then deeper := true;
+      if r.r_violations <> [] then
+        cex := Some (List.map (fun f -> f.f_choice) r.r_frames, r.r_violations)
+      else begin
+        match next_prefix r.r_frames with
+        | None ->
+          commit r.r_frames (-1);
+          exhausted := true
+        | Some (p, i) ->
+          commit r.r_frames i;
+          prefix := p
+      end;
+      match progress with
+      | Some f when !execs mod 200 = 0 -> f (stats ())
+      | _ -> ()
+    done;
+    !deeper
+  in
+  let rec rounds d =
+    let deeper = round d in
+    (* Deepen only while executions were actually cut off by the depth
+       bound — once the full tree fits, further rounds would just repeat. *)
+    if !cex = None && !execs < budget && d < depth && deeper then
+      rounds (min depth (d * 2))
+  in
+  rounds (min depth 4);
+  let counterexample =
+    match !cex with
+    | None -> None
+    | Some (choices, found_violations) ->
+      let still_fails cs = replay m cs <> [] in
+      let minimal = Fuzz.delta_debug ~still_fails choices in
+      let violations = replay m minimal in
+      (* delta_debug keeps lists non-empty; if even the empty/default
+         schedule violates, fall back to what the search recorded *)
+      let minimal, violations =
+        if violations = [] then (choices, found_violations)
+        else (minimal, violations)
+      in
+      Some
+        { cx_choices = minimal;
+          cx_injections =
+            List.length
+              (List.filter
+                 (function Inject _ -> true | Fire _ -> false)
+                 minimal);
+          cx_violations = violations }
+  in
+  { stats = stats (); counterexample }

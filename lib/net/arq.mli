@@ -31,6 +31,17 @@ val set_handler : 'm t -> (dst:Pid.t -> src:Pid.t -> 'm -> unit) -> unit
 
 val send : 'm t -> src:Pid.t -> dst:Pid.t -> 'm -> unit
 
+val teardown : 'm t -> src:Pid.t -> dst:Pid.t -> unit
+(** Tear down the sender side of the [src -> dst] channel: cancel the
+    retransmit timer and drop the outstanding datagram and backlog. Call
+    when [dst] is deemed crashed or faulty — otherwise the stop-and-wait
+    loop retransmits forever toward a peer that will never ack, and the
+    event queue never drains. Idempotent; never creates channel state. *)
+
+val teardown_to : 'm t -> Pid.t -> unit
+(** {!teardown} every existing sender channel whose destination is the
+    given pid. *)
+
 val retransmissions : 'm t -> int
 val datagrams_sent : 'm t -> int
 val datagrams_lost : 'm t -> int

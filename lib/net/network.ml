@@ -209,6 +209,11 @@ let deliver t ch ~src ~dst ~category payload =
     t.handler ~dst ~src payload
   end
 
+(* Channel tag for the explorer: src and dst slots packed into one int. The
+   proc tag is the destination slot — delivering a message only acts on the
+   receiving process. *)
+let chan_tag ch = (ch.src_slot lsl 16) lor ch.dst_slot
+
 let schedule_on t ch ~src ~dst ~category ~extra_delay payload =
   let sample = Delay.sample t.delay t.rng +. extra_delay in
   let now = Gmp_sim.Engine.now t.engine in
@@ -219,8 +224,8 @@ let schedule_on t ch ~src ~dst ~category ~extra_delay payload =
   let at = Float.max (now +. sample) earliest in
   ch.last_delivery <- at;
   let (_ : Gmp_sim.Engine.handle) =
-    Gmp_sim.Engine.schedule_at t.engine ~time:at (fun () ->
-        deliver t ch ~src ~dst ~category payload)
+    Gmp_sim.Engine.schedule_at ~proc:ch.dst_slot ~chan:(chan_tag ch) t.engine
+      ~time:at (fun () -> deliver t ch ~src ~dst ~category payload)
   in
   ()
 
@@ -281,3 +286,52 @@ let parked_count t =
     done
   done;
   !acc
+
+let slot_for t pid = pid_slot t pid
+
+let pid_of_slot t slot =
+  if slot >= 0 && slot < t.npids then Some t.pids.(slot) else None
+
+let decode_chan t tag =
+  if tag < 0 then None
+  else
+    let src = tag lsr 16 and dst = tag land 0xffff in
+    match (pid_of_slot t src, pid_of_slot t dst) with
+    | Some s, Some d -> Some (s, d)
+    | _ -> None
+
+(* Order-sensitive FNV-style mix; each component's position in the fold
+   disambiguates it, so plain int mixing is enough. *)
+let fp_combine h x = (h * 0x01000193) lxor (x land max_int)
+
+let fingerprint t =
+  let h = ref (fp_combine 0x811c9dc5 t.npids) in
+  for i = 0 to t.npids - 1 do
+    if t.crash_flags.(i) then h := fp_combine !h (i + 1)
+  done;
+  h := fp_combine !h 0x5eed;
+  for i = 0 to t.npids - 1 do
+    let row = t.disc_rows.(i) in
+    for j = 0 to t.npids - 1 do
+      if row.(j) then h := fp_combine !h ((i lsl 16) lor j)
+    done
+  done;
+  (match t.partition with
+   | None -> h := fp_combine !h 0
+   | Some groups ->
+     h := fp_combine !h 1;
+     Pid.Map.iter
+       (fun pid g -> h := fp_combine (fp_combine !h (Pid.id pid)) g)
+       groups);
+  for i = 0 to t.npids - 1 do
+    let row = t.chan_rows.(i) in
+    for j = 0 to t.npids - 1 do
+      let ch = row.(j) in
+      if ch != t.dummy && not (Queue.is_empty ch.parked) then
+        h :=
+          fp_combine
+            (fp_combine (fp_combine !h i) j)
+            (Queue.length ch.parked)
+    done
+  done;
+  !h

@@ -64,5 +64,23 @@ val heal : 'm t -> unit
 val reachable : 'm t -> Pid.t -> Pid.t -> bool
 val parked_count : 'm t -> int
 
+val slot_for : 'm t -> Pid.t -> int
+(** Dense per-network slot of a pid, interning it on first use. Deliveries
+    scheduled on the engine are tagged [~proc:dst_slot] and
+    [~chan:(src_slot lsl 16 lor dst_slot)]; this exposes the same slot space
+    so the explorer can relate engine tags back to processes. *)
+
+val pid_of_slot : 'm t -> int -> Pid.t option
+(** Inverse of {!slot_for} for already-interned slots. *)
+
+val decode_chan : 'm t -> int -> (Pid.t * Pid.t) option
+(** Decode an engine channel tag back to [(src, dst)], if both endpoints are
+    known to this network. *)
+
+val fingerprint : 'm t -> int
+(** Order-insensitive-to-construction hash of the network's adversarial
+    state: crash flags, disconnections, partition assignment, and parked
+    queue lengths per channel. Used by the explorer's state pruning. *)
+
 val stats : 'm t -> Stats.t
 val engine : 'm t -> Gmp_sim.Engine.t

@@ -12,6 +12,7 @@ type 'm wrapped = { payload : 'm; sender_vc : Vector_clock.t }
 
 type 'm node = {
   pid : Pid.t;
+  slot : int; (* the network's dense slot for [pid]; tags this node's timers *)
   runtime : 'm t;
   mutable alive : bool;
   mutable vc : Vector_clock.t;
@@ -60,6 +61,7 @@ let spawn t pid =
     invalid_arg (Printf.sprintf "Runtime.spawn: %s exists" (Pid.to_string pid));
   let node =
     { pid;
+      slot = Gmp_net.Network.slot_for t.net pid;
       runtime = t;
       alive = true;
       vc = Vector_clock.empty;
@@ -78,6 +80,7 @@ let set_receiver node on_recv = node.on_recv <- on_recv
 let set_on_crash node on_crash = node.on_crash <- on_crash
 
 let pid node = node.pid
+let node_slot node = node.slot
 let alive node = node.alive
 let clock node = node.vc
 let node_now node = Gmp_sim.Engine.now node.runtime.engine
@@ -128,7 +131,7 @@ let disconnect_from node ~from =
 type timer = Gmp_sim.Engine.handle
 
 let set_timer node ~delay f =
-  Gmp_sim.Engine.schedule node.runtime.engine ~delay (fun () ->
+  Gmp_sim.Engine.schedule ~proc:node.slot node.runtime.engine ~delay (fun () ->
       if node.alive then f ())
 
 let cancel_timer node timer = Gmp_sim.Engine.cancel node.runtime.engine timer
@@ -139,11 +142,15 @@ let every node ~interval f =
     if node.alive then begin
       f ();
       if node.alive then
-        ignore (Gmp_sim.Engine.schedule node.runtime.engine ~delay:interval loop
-                : Gmp_sim.Engine.handle)
+        ignore
+          (Gmp_sim.Engine.schedule ~proc:node.slot node.runtime.engine
+             ~delay:interval loop
+            : Gmp_sim.Engine.handle)
     end
   in
-  ignore (Gmp_sim.Engine.schedule node.runtime.engine ~delay:interval loop
-          : Gmp_sim.Engine.handle)
+  ignore
+    (Gmp_sim.Engine.schedule ~proc:node.slot node.runtime.engine
+       ~delay:interval loop
+      : Gmp_sim.Engine.handle)
 
 let run ?max_steps ?until t = Gmp_sim.Engine.run ?max_steps ?until t.engine

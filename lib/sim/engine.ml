@@ -3,23 +3,52 @@
    be reset cheaply: cancelled events become tombstones in the queue and are
    skipped when popped. When tombstones outnumber live entries the queue is
    compacted in place, so long runs with heavy timer churn keep the heap
-   proportional to the number of live timers. *)
+   proportional to the number of live timers.
+
+   Determinism contract: without a picker, ties at equal timestamps break by
+   insertion sequence, so a run is a pure function of the schedule calls. A
+   picker (see [set_picker]) overrides the tie-break *within a ready window*:
+   all live events whose fire time falls within [slack] of the earliest one
+   are offered as interchangeable choices, and every event fired out of a
+   window fires at the window's base time. Reordering events inside a window
+   therefore produces time-identical downstream schedules, which is what lets
+   the explorer treat such reorderings as commuting. *)
 
 (* Handle and action live in one record so a schedule is a single allocation
    and the queue's payload column holds the handle directly: [step] pops the
-   handle, reads [fire_at] from it, and fires — no per-event wrapper. *)
-type handle = { mutable cancelled : bool; fire_at : float; action : unit -> unit }
+   handle, reads [fire_at] from it, and fires — no per-event wrapper.
+
+   [proc]/[chan] are scheduling tags for the explorer: the process slot an
+   event acts on (-1 = global or unknown) and the FIFO channel it belongs to
+   (-1 = not a channel delivery). They never influence default execution. *)
+type handle = {
+  mutable cancelled : bool;
+  fire_at : float;
+  proc : int;
+  chan : int;
+  action : unit -> unit;
+}
 
 type t = {
   queue : handle Event_queue.t;
   mutable now : float;
   mutable fired : int;
   mutable live : int; (* scheduled and not cancelled *)
+  mutable slack : float;
+  mutable window_base : float; (* NaN = no open window *)
+  mutable picker : (handle list -> handle) option;
 }
 
 exception Stop
 
-let create () = { queue = Event_queue.create (); now = 0.0; fired = 0; live = 0 }
+let create () =
+  { queue = Event_queue.create ();
+    now = 0.0;
+    fired = 0;
+    live = 0;
+    slack = 0.0;
+    window_base = Float.nan;
+    picker = None }
 
 let now t = t.now
 
@@ -42,19 +71,19 @@ let maybe_compact t =
   if len >= compact_threshold && len > 2 * t.live then
     Event_queue.filter_in_place t.queue (fun h -> not h.cancelled)
 
-let schedule_at t ~time action =
+let schedule_at ?(proc = -1) ?(chan = -1) t ~time action =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is in the past (now %g)"
          time t.now);
-  let handle = { cancelled = false; fire_at = time; action } in
+  let handle = { cancelled = false; fire_at = time; proc; chan; action } in
   Event_queue.add t.queue ~time handle;
   t.live <- t.live + 1;
   handle
 
-let schedule t ~delay action =
+let schedule ?proc ?chan t ~delay action =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.now +. delay) action
+  schedule_at ?proc ?chan t ~time:(t.now +. delay) action
 
 let cancel t handle =
   if not handle.cancelled then begin
@@ -67,22 +96,9 @@ let is_cancelled handle = handle.cancelled
 
 let fire_time handle = handle.fire_at
 
-let step t =
-  let rec next () =
-    if Event_queue.is_empty t.queue then false
-    else begin
-      let h = Event_queue.pop_exn t.queue in
-      if h.cancelled then next ()
-      else begin
-        t.now <- h.fire_at;
-        t.live <- t.live - 1;
-        t.fired <- t.fired + 1;
-        h.action ();
-        true
-      end
-    end
-  in
-  next ()
+let proc_of handle = handle.proc
+
+let chan_of handle = handle.chan
 
 (* Timestamp of the earliest *live* event, or NaN when the queue is drained:
    tombstones at the top of the queue are discarded on the way (a cancelled
@@ -100,6 +116,118 @@ let rec peek_live_time t =
     end
     else h.fire_at
   end
+
+let set_slack t slack =
+  if slack < 0.0 || Float.is_nan slack then invalid_arg "Engine.set_slack";
+  t.slack <- slack
+
+let set_picker ?slack t pick =
+  (match slack with Some s -> set_slack t s | None -> ());
+  t.picker <- Some pick
+
+let clear_picker t = t.picker <- None
+
+(* The window stays anchored while live events remain inside it; it re-anchors
+   to the earliest live event when it empties, or when something was scheduled
+   *before* the base (an injection at a virtual time earlier than the frozen
+   base — possible because [now] only catches up to the base on fire). *)
+let refresh_window t =
+  let min_t = peek_live_time t in
+  if Float.is_nan min_t then t.window_base <- Float.nan
+  else if
+    Float.is_nan t.window_base
+    || min_t < t.window_base
+    || min_t > t.window_base +. t.slack
+  then t.window_base <- min_t
+
+let ready t =
+  refresh_window t;
+  if Float.is_nan t.window_base then []
+  else begin
+    let hi = t.window_base +. t.slack in
+    let acc = ref [] in
+    Event_queue.iter_entries t.queue (fun ~time ~seq (h : handle) ->
+        if (not h.cancelled) && time <= hi then acc := (time, seq, h) :: !acc);
+    let sorted =
+      List.sort
+        (fun (t1, s1, _) (t2, s2, _) ->
+          if t1 < t2 then -1
+          else if t1 > t2 then 1
+          else compare (s1 : int) s2)
+        !acc
+    in
+    (* FIFO fronts: per-channel delivery order is fixed, so only the earliest
+       event of each channel is a genuine choice; later ones are hidden
+       behind it. Events without a channel tag are always choices. *)
+    let seen_chans = Hashtbl.create 16 in
+    List.filter_map
+      (fun (_, _, h) ->
+        if h.chan < 0 then Some h
+        else if Hashtbl.mem seen_chans h.chan then None
+        else begin
+          Hashtbl.add seen_chans h.chan ();
+          Some h
+        end)
+      sorted
+  end
+
+let fire t h =
+  if h.cancelled then
+    invalid_arg "Engine.fire: event already fired or cancelled";
+  (* Consume via the tombstone mechanism: the queue entry is skipped when it
+     surfaces, exactly like a cancellation. *)
+  h.cancelled <- true;
+  t.live <- t.live - 1;
+  let base =
+    if Float.is_nan t.window_base then h.fire_at
+    else Float.min t.window_base h.fire_at
+  in
+  if base > t.now then t.now <- base;
+  t.fired <- t.fired + 1;
+  h.action ();
+  maybe_compact t
+
+let fold_live t ~init ~f =
+  let acc = ref init in
+  Event_queue.iter_entries t.queue (fun ~time:_ ~seq:_ (h : handle) ->
+      if not h.cancelled then acc := f !acc h);
+  !acc
+
+let default_step t =
+  let rec next () =
+    if Event_queue.is_empty t.queue then false
+    else begin
+      let h = Event_queue.pop_exn t.queue in
+      if h.cancelled then next ()
+      else begin
+        (* Mark consumed: a later [cancel] on this handle must be a no-op,
+           not a second decrement of [live]. *)
+        h.cancelled <- true;
+        t.now <- h.fire_at;
+        t.live <- t.live - 1;
+        t.fired <- t.fired + 1;
+        h.action ();
+        true
+      end
+    end
+  in
+  next ()
+
+let step t =
+  match t.picker with
+  | None -> default_step t
+  | Some pick -> (
+    match ready t with
+    | [] -> false
+    | [ h ] ->
+      fire t h;
+      true
+    | candidates ->
+      let h = pick candidates in
+      if not (List.memq h candidates) then
+        invalid_arg "Engine.step: picker returned a non-candidate event";
+      fire t h;
+      true)
 
 let default_max_steps = 10_000_000
 

@@ -185,6 +185,14 @@ let filter_in_place t pred =
     sift_down t i
   done
 
+(* Unordered scan of the live entries (heap order, not firing order). The
+   explorer uses this to build ready sets; callers must not mutate the queue
+   during the scan. *)
+let iter_entries t f =
+  for i = 0 to t.size - 1 do
+    f ~time:t.times.(i) ~seq:t.seqs.(i) (Obj.obj t.payloads.(i) : 'a)
+  done
+
 let to_sorted_list t =
   (* Non-destructive drain: copy and pop. Used in tests only. *)
   if t.size = 0 then []

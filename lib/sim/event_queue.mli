@@ -44,6 +44,11 @@ val pop_exn : 'a t -> 'a
 (** Remove the earliest event and return its payload; raises
     [Invalid_argument] on an empty queue. Allocation-free. *)
 
+val iter_entries : 'a t -> (time:float -> seq:int -> 'a -> unit) -> unit
+(** Visit every queued entry with its timestamp and tie-breaking sequence
+    number, in internal heap order (not firing order). O(n), allocation-free;
+    the queue must not be mutated during the scan. *)
+
 val filter_in_place : 'a t -> ('a -> bool) -> unit
 (** Drop every entry whose payload fails the predicate, in O(n). Relative
     firing order of the survivors is unchanged. *)

@@ -123,31 +123,37 @@ let run_schedule ?(config = Config.default) ~seed s =
       ~initial:(Group.initial group) in
   (violations, group)
 
-(* ---- search ---- *)
+(* ---- shrinking ---- *)
 
-(* Greedy delta-debugging: drop actions one at a time while the schedule
-   still violates, to a fixpoint. The returned counterexample is usually
-   down to the one or two actions that matter. *)
-let shrink ?(config = Config.default) ~seed s =
-  let still_fails candidate =
-    let violations, _ = run_schedule ~config ~seed candidate in
-    violations <> []
-  in
-  let rec pass s =
-    let n = List.length s.actions in
+(* Greedy delta-debugging over any list of schedule items: drop items one at
+   a time while the predicate still fails, to a fixpoint. Keeps the list
+   non-empty and is the identity when the input does not fail. Shared by the
+   fuzzer (items = adversarial actions) and the schedule explorer (items =
+   recorded choices). The returned counterexample is usually down to the one
+   or two items that matter. *)
+let delta_debug ~still_fails items =
+  let rec pass items =
+    let n = List.length items in
     let rec try_drop i =
       if i >= n then None
       else begin
-        let candidate =
-          { s with actions = List.filteri (fun j _ -> j <> i) s.actions }
-        in
-        if candidate.actions <> [] && still_fails candidate then Some candidate
+        let candidate = List.filteri (fun j _ -> j <> i) items in
+        if candidate <> [] && still_fails candidate then Some candidate
         else try_drop (i + 1)
       end
     in
-    match try_drop 0 with Some smaller -> pass smaller | None -> s
+    match try_drop 0 with Some smaller -> pass smaller | None -> items
   in
-  if still_fails s then pass s else s
+  if still_fails items then pass items else items
+
+let shrink ?(config = Config.default) ~seed s =
+  let still_fails actions =
+    let violations, _ = run_schedule ~config ~seed { s with actions } in
+    violations <> []
+  in
+  { s with actions = delta_debug ~still_fails s.actions }
+
+(* ---- search ---- *)
 
 type outcome = {
   iterations_run : int;

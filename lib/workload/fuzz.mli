@@ -29,10 +29,16 @@ val run_schedule :
   Gmp_core.Checker.violation list * Gmp_core.Group.t
 (** Run one schedule and return the safety verdicts. *)
 
+val delta_debug : still_fails:('a list -> bool) -> 'a list -> 'a list
+(** Greedy delta-debugging over any item list: drop items one at a time
+    while [still_fails] holds, to a fixpoint. Keeps the result non-empty;
+    identity when the input does not fail. Shared with the schedule
+    explorer, which shrinks recorded choice lists with it. *)
+
 val shrink :
   ?config:Gmp_core.Config.t -> seed:int -> schedule -> schedule
-(** Greedy delta-debugging: drop actions while the schedule still violates.
-    Identity on non-violating schedules. *)
+(** Greedy delta-debugging ({!delta_debug}): drop actions while the
+    schedule still violates. Identity on non-violating schedules. *)
 
 type outcome = {
   iterations_run : int;

@@ -187,8 +187,43 @@ let prop_arq_exactly_once_in_order =
       Gmp_sim.Engine.run engine;
       List.rev !received = List.init n (fun i -> i + 1))
 
+let test_arq_teardown_drains_event_queue () =
+  (* A retransmit timer toward a destination that will never ack (crashed,
+     or total loss) used to run forever and keep the simulation alive.
+     Tearing the channel down must cancel it so the engine drains. *)
+  let engine, arq = setup ~loss:0.99 ~duplicate:0.0 () in
+  Arq.set_handler arq (fun ~dst:_ ~src:_ () -> ());
+  Arq.send arq ~src:p0 ~dst:p1 ();
+  Arq.send arq ~src:p2 ~dst:p1 ();
+  Gmp_sim.Engine.run ~until:50.0 engine;
+  check bool "retransmitting into the void" true
+    (Arq.retransmissions arq > 0 && Gmp_sim.Engine.pending_events engine > 0);
+  Arq.teardown_to arq p1;
+  Gmp_sim.Engine.run ~until:200.0 engine;
+  check int "event queue drains after teardown" 0
+    (Gmp_sim.Engine.pending_events engine)
+
+let test_arq_teardown_single_channel () =
+  (* Teardown is per-channel and drops the backlog: the first p0->p1
+     datagram is already in flight (its late ack must be ignored), the
+     queued second one must never go out, and p2's channel is untouched. *)
+  let engine, arq = setup ~loss:0.0 ~duplicate:0.0 () in
+  let got = ref 0 in
+  Arq.set_handler arq (fun ~dst:_ ~src:_ () -> incr got);
+  Arq.send arq ~src:p0 ~dst:p1 ();
+  Arq.send arq ~src:p0 ~dst:p1 ();
+  Arq.teardown arq ~src:p0 ~dst:p1;
+  Arq.send arq ~src:p2 ~dst:p1 ();
+  Gmp_sim.Engine.run ~until:100.0 engine;
+  check int "backlogged message dropped" 2 !got;
+  check int "nothing pending" 0 (Gmp_sim.Engine.pending_events engine)
+
 let suite =
   [ Alcotest.test_case "lossy: drops" `Quick test_lossy_drops;
+    Alcotest.test_case "arq: teardown drains the event queue" `Quick
+      test_arq_teardown_drains_event_queue;
+    Alcotest.test_case "arq: teardown is per-channel" `Quick
+      test_arq_teardown_single_channel;
     Alcotest.test_case "lossy: duplicates" `Quick test_lossy_duplicates;
     Alcotest.test_case "lossy: reorders with ~fifo:false" `Quick
       test_lossy_reorders;

@@ -125,6 +125,40 @@ let test_forget_allows_fresh_monitoring () =
   Gmp_sim.Engine.run ~until:20.0 engine;
   check int "suspected again after forget" 2 (List.length !suspects)
 
+let test_beat_from_non_peer_ignored () =
+  (* A beat from a process outside the peer set (departed, or never a
+     member) must not create tracking state: otherwise a dead peer's
+     last in-flight beat resurrects its entry after [forget]. *)
+  let engine, d, _, suspects =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
+  in
+  Heartbeat.start d;
+  Heartbeat.beat_received d ~from:(p 5);
+  check int "stranger not tracked" 0 (Heartbeat.tracked d);
+  (* A late beat from a forgotten (departed) peer is equally ignored. *)
+  Gmp_sim.Engine.run ~until:10.0 engine;
+  check int "p1 suspected" 1 (List.length !suspects);
+  Heartbeat.forget d (p 1);
+  let tracked_before = Heartbeat.tracked d in
+  Heartbeat.beat_received d ~from:(p 5);
+  check int "late stranger beat still ignored" tracked_before
+    (Heartbeat.tracked d)
+
+let test_departed_peer_pruned () =
+  (* Peers that leave the view must drop out of [last_heard] at the next
+     tick, not linger forever. *)
+  let current = ref [ p 1; p 2 ] in
+  let engine, d, _, _ =
+    make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> !current)
+  in
+  Heartbeat.start d;
+  Heartbeat.beat_received d ~from:(p 1);
+  Heartbeat.beat_received d ~from:(p 2);
+  check int "both tracked" 2 (Heartbeat.tracked d);
+  current := [ p 1 ];
+  Gmp_sim.Engine.run ~until:2.5 engine;
+  check int "departed peer pruned at tick" 1 (Heartbeat.tracked d)
+
 let test_stop () =
   let engine, d, beats, _ =
     make ~interval:1.0 ~timeout:3.0 ~peers:(fun () -> [ p 1 ])
@@ -187,6 +221,10 @@ let suite =
       test_grace_period_for_new_peer;
     Alcotest.test_case "heartbeat: forget re-arms" `Quick
       test_forget_allows_fresh_monitoring;
+    Alcotest.test_case "heartbeat: non-peer beats ignored" `Quick
+      test_beat_from_non_peer_ignored;
+    Alcotest.test_case "heartbeat: departed peers pruned" `Quick
+      test_departed_peer_pruned;
     Alcotest.test_case "heartbeat: stop" `Quick test_stop;
     Alcotest.test_case "heartbeat: invalid config" `Quick test_invalid_config;
     Alcotest.test_case "scripted: suspicion entries" `Quick test_scripted;

@@ -19,6 +19,7 @@ let () =
       ("vsync", Test_vsync.suite);
       ("baselines", Test_baselines.suite);
       ("fuzz", Test_fuzz.suite);
+      ("explore", Test_explore.suite);
       ("epistemic", Test_epistemic.suite);
       ("knowledge", Test_knowledge.suite);
       ("scale", Test_scale.suite);

@@ -178,9 +178,83 @@ let test_partition_heal_keeps_safety () =
     (List.length
        (Checker.check_safety (Group.trace group) ~initial:(Group.initial group)))
 
+(* ---- majority gates count only live, current-view voters ---- *)
+
+let test_stale_oks_cannot_fake_majority () =
+  (* n=5, scripted detector, constant delay. p3 is dead from the start but
+     nobody knows. p0 suspects p4 and invites; p1 and p2 send their OKs
+     (arriving t=12). Then p0 comes to suspect p1 and p2 — their recorded
+     OKs are now votes from condemned processes — and finally p3, which
+     closes the outstanding set and forces the decision. Live votes: p0
+     alone, 1 < majority(5) = 3, so p0 must QUIT rather than commit a
+     minority view on the strength of stale OKs (which is exactly what the
+     unfiltered count "|oks| + 1 = 3 >= 3" used to do). *)
+  let group =
+    Group.create ~config:Config.scripted_only
+      ~delay:(Gmp_net.Delay.constant 1.0) ~seed:3 ~n:5 ()
+  in
+  Group.crash_at group 5.0 (p 3);
+  Group.suspect_at group 10.0 ~observer:(p 0) ~target:(p 4);
+  Group.suspect_at group 13.0 ~observer:(p 0) ~target:(p 1);
+  Group.suspect_at group 13.0 ~observer:(p 0) ~target:(p 2);
+  Group.suspect_at group 13.5 ~observer:(p 0) ~target:(p 3);
+  Group.run ~until:60.0 group;
+  let m0 = Group.member group (p 0) in
+  check bool "p0 quit instead of committing" true (Member.has_quit m0);
+  check int "p0 never installed a view" 0 (Member.version m0);
+  check int "no safety violations" 0
+    (List.length
+       (Checker.check_safety (Group.trace group)
+          ~initial:(Group.initial group)))
+
+(* ---- join retry round-robin ---- *)
+
+let test_join_retry_starts_at_first_contact () =
+  (* p1 is crashed (and already excluded, so the group can still admit).
+     The joiner's contact list is [p1; p2]: the initial request and the
+     FIRST retry must both go to p1 — the old cursor arithmetic skipped
+     contacts.(0) on the first wrap — and the second retry reaches p2,
+     which forwards and gets the join committed. *)
+  let group =
+    Group.create ~config:Config.scripted_only
+      ~delay:(Gmp_net.Delay.constant 1.0) ~seed:4 ~n:3 ()
+  in
+  let requests = ref [] in
+  Gmp_net.Network.set_monitor (Group.network group) (fun r ->
+      if
+        String.equal
+          (Gmp_net.Stats.name r.Gmp_net.Network.record_category)
+          "join-request"
+      then requests := Pid.id r.Gmp_net.Network.record_dst :: !requests);
+  Group.crash_at group 1.0 (p 1);
+  Group.suspect_at group 2.0 ~observer:(p 0) ~target:(p 1);
+  Group.join_at group 10.0 (p 9) ~contact:(p 1) ~contacts:[ p 2 ];
+  Group.run ~until:80.0 group;
+  check (Alcotest.list int) "initial, retry to contacts.(0), then wrap"
+    [ 1; 1; 2 ] (List.rev !requests);
+  check bool "joined via the second contact" true
+    (Member.joined (Group.member group (p 9)))
+
+let test_join_with_only_self_contact_rejected () =
+  (* A contacts list that filters down to nothing (only the joiner itself)
+     must be rejected up front instead of dividing by zero at retry time. *)
+  let group = Group.create ~config:Config.scripted_only ~seed:5 ~n:3 () in
+  Group.join_at group 5.0 (p 9) ~contact:(p 9) ~contacts:[ p 9 ];
+  check bool "rejected" true
+    (try
+       Group.run ~until:20.0 group;
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   [ Alcotest.test_case "app: future-view message buffered" `Quick
       test_app_future_view_buffered;
+    Alcotest.test_case "member: stale OKs cannot fake a majority" `Quick
+      test_stale_oks_cannot_fake_majority;
+    Alcotest.test_case "member: join retry starts at contacts.(0)" `Quick
+      test_join_retry_starts_at_first_contact;
+    Alcotest.test_case "member: self-only contacts rejected" `Quick
+      test_join_with_only_self_contact_rejected;
     Alcotest.test_case "app: same-view immediate" `Quick
       test_app_same_view_immediate;
     Alcotest.test_case "app: broadcast skips suspects" `Quick
