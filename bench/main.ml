@@ -13,6 +13,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 open Gmp_workload
 
 let pr = Fmt.pr
@@ -230,7 +231,7 @@ let f3 () =
       Group.crash_at group 10.0 (Pid.make 5);
       Group.crash_at group (21.0 +. (0.5 *. float_of_int tenths)) (Pid.make 0);
       Group.run ~until:500.0 group;
-      let violations = Checker.check_group group in
+      let violations = Group.check group in
       if violations <> [] then all_ok := false)
     [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
   pr "10 crash offsets across the commit window: unique view restored every time  %s@."
@@ -331,7 +332,7 @@ let ab1 () =
             let group = Group.create ~config ~delay:jittery ~seed ~n:6 () in
             Group.crash_at group 20.0 (Pid.make 5);
             Group.run ~until:400.0 group;
-            if Checker.check_group group <> [] then None
+            if Group.check group <> [] then None
             else
               let last_install =
                 List.fold_left
@@ -382,7 +383,7 @@ let ab2 () =
           Group.crash_at group (10.0 +. (float_of_int i *. 14.0)) (Pid.make i)
         done;
         Group.run ~until:2000.0 group;
-        (Group.protocol_messages group, List.length (Checker.check_group group))
+        (Group.protocol_messages group, List.length (Group.check group))
       in
       let base, v1 = run Config.default in
       let reuse, v2 = run Config.optimized in
@@ -402,7 +403,7 @@ let ab3 () =
     let group = Group.create ~seed ~n:8 () in
     Group.crash_at group 20.0 (Pid.make (if crash_mgr then 0 else 7));
     Group.run ~until:400.0 group;
-    if Checker.check_group group <> [] then None
+    if Group.check group <> [] then None
     else
       let last =
         List.fold_left
@@ -490,7 +491,7 @@ let scale_run ~name ~n scenario =
   let minor0 = Gc.minor_words () in
   let (m, group), wall = time_of (fun () -> scenario ~n ()) in
   let minor_words = Gc.minor_words () -. minor0 in
-  let (violations, checker_s) = time_of (fun () -> Checker.check_group group) in
+  let (violations, checker_s) = time_of (fun () -> Group.check group) in
   let engine = Group.engine group in
   let trace = Group.trace group in
   let events_fired = Gmp_sim.Engine.fired_events engine in

@@ -1,0 +1,511 @@
+(* gmp-cluster: spawn a fleet of gmp-node processes on loopback, drive a
+   fault workload against them, and judge the run.
+
+   The orchestrator is deliberately outside the protocol: it allocates
+   ports, forks real OS processes, injects faults the way an unkind world
+   would (SIGKILL for crashes, receiver-side blackholing for partitions),
+   and afterwards reassembles the per-node JSONL event logs into one
+   global trace for [Gmp_core.Checker.check_run] - the same judge every
+   simulated run faces. Survivor views come from each node's own log (its
+   last Installed event), so a SIGKILLed process needs no cooperation.
+
+   Exit codes (stable, for CI):
+     0  run completed and the checker found no violations
+     1  harness failure (spawn error, unreadable log, stuck node)
+     2  checker violations on the reassembled trace *)
+
+open Gmp_base
+open Gmp_core
+open Cmdliner
+module J = Json
+
+(* ---- workload specs ---- *)
+
+type action =
+  | Kill of Pid.t
+  | Join of Pid.t
+  | Blackhole of { at : Pid.t; from : Pid.t }
+  | Unblackhole of { at : Pid.t; from : Pid.t }
+
+let split_spec s = String.split_on_char ':' s
+
+let time_of s =
+  match float_of_string_opt s with
+  | Some t when t >= 0.0 -> Some t
+  | _ -> None
+
+let pid_of s = Pid.of_string s
+
+let timed_pid_conv what =
+  let parse s =
+    match split_spec s with
+    | [ t; p ] -> (
+      match (time_of t, pid_of p) with
+      | Some t, Some p -> Ok (t, p)
+      | _ -> Error (`Msg (Printf.sprintf "bad %s spec %S" what s)))
+    | _ ->
+      Error (`Msg (Printf.sprintf "bad %s spec %S (expected T:PID)" what s))
+  in
+  Arg.conv (parse, fun ppf (t, p) -> Fmt.pf ppf "%g:%a" t Pid.pp p)
+
+let timed_pair_conv what =
+  let parse s =
+    match split_spec s with
+    | [ t; at; from ] -> (
+      match (time_of t, pid_of at, pid_of from) with
+      | Some t, Some at, Some from -> Ok (t, at, from)
+      | _ -> Error (`Msg (Printf.sprintf "bad %s spec %S" what s)))
+    | _ ->
+      Error
+        (`Msg (Printf.sprintf "bad %s spec %S (expected T:AT:FROM)" what s))
+  in
+  Arg.conv
+    (parse, fun ppf (t, at, from) -> Fmt.pf ppf "%g:%a:%a" t Pid.pp at Pid.pp from)
+
+(* ---- infrastructure ---- *)
+
+let alloc_port () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname s with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close s;
+  port
+
+let default_node_bin () =
+  (* gmp-node is built alongside this binary; prefer the sibling, fall back
+     to PATH. *)
+  let dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [ Filename.concat dir "gmp_node.exe";
+      Filename.concat dir "gmp_node";
+      Filename.concat dir "gmp-node" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "gmp-node"
+
+type proc = {
+  pid : Pid.t;
+  port : int;
+  ospid : int;
+  log_file : string;
+  mutable killed : bool;
+  mutable reaped : bool;
+}
+
+let pids_arg ps = String.concat "," (List.map Pid.to_string ps)
+
+let spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto
+    ~run_for ~verbose ~joiner pid =
+  let port = List.assoc pid ports in
+  let log_file = Filename.concat dir (Pid.to_string pid ^ ".jsonl") in
+  let peers =
+    List.filter_map
+      (fun (p, port) ->
+        if Pid.equal p pid then None
+        else Some (Printf.sprintf "%s:%d" (Pid.to_string p) port))
+      ports
+  in
+  let args =
+    [ node_bin; "--self"; Pid.to_string pid; "--port"; string_of_int port;
+      "--initial"; pids_arg initial; "--log"; log_file; "--hb-interval";
+      string_of_float hb_interval; "--hb-timeout"; string_of_float hb_timeout;
+      "--rto"; string_of_float rto; "--run-for"; string_of_float run_for ]
+    @ List.concat_map (fun p -> [ "--peer"; p ]) peers
+    @ (if joiner then [ "--joiner"; "--contacts"; pids_arg initial ] else [])
+    @ if verbose then [ "--verbose" ] else []
+  in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let ospid =
+    Unix.create_process node_bin (Array.of_list args) null Unix.stdout
+      Unix.stderr
+  in
+  Unix.close null;
+  { pid; port; ospid; log_file; killed = false; reaped = false }
+
+let send_ctrl sock ~port ctrl =
+  let bytes = Gmp_live.Codec.encode_frame (Gmp_live.Codec.Ctrl ctrl) in
+  ignore
+    (Unix.sendto sock (Bytes.of_string bytes) 0 (String.length bytes) []
+       (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+      : int)
+
+let reap_with_grace procs ~grace =
+  (* Poll-reap every live child; SIGKILL whoever outstays the grace. *)
+  let deadline = Unix.gettimeofday () +. grace in
+  let stuck = ref [] in
+  let rec wait_all () =
+    let pending =
+      List.filter (fun p -> not (p.reaped || p.killed)) procs
+    in
+    if pending <> [] then
+      if Unix.gettimeofday () > deadline then
+        List.iter
+          (fun p ->
+            stuck := p.pid :: !stuck;
+            (try Unix.kill p.ospid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Unix.waitpid [] p.ospid);
+            p.reaped <- true)
+          pending
+      else begin
+        List.iter
+          (fun p ->
+            match Unix.waitpid [ Unix.WNOHANG ] p.ospid with
+            | 0, _ -> ()
+            | _, _ -> p.reaped <- true
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              p.reaped <- true)
+          pending;
+        if List.exists (fun p -> not (p.reaped || p.killed)) procs then begin
+          Unix.sleepf 0.05;
+          wait_all ()
+        end
+      end
+  in
+  wait_all ();
+  List.rev !stuck
+
+(* ---- harvest ---- *)
+
+let last_install events =
+  List.fold_left
+    (fun acc (e : Trace.event) ->
+      match e.kind with
+      | Trace.Installed { ver; view_members } -> Some (ver, view_members)
+      | _ -> acc)
+    None events
+
+let has_quit events =
+  List.exists
+    (fun (e : Trace.event) ->
+      match e.kind with Trace.Quit _ | Trace.Crashed -> true | _ -> false)
+    events
+
+(* ---- the run ---- *)
+
+let run_cluster n joiners run_for kills joins blackholes unblackholes
+    hb_interval hb_timeout rto dir node_bin json liveness keep_logs verbose =
+  let initial = Pid.group n in
+  let join_pids = List.map snd joins in
+  (match
+     List.find_opt (fun p -> List.exists (Pid.equal p) initial) join_pids
+   with
+  | Some p ->
+    Fmt.epr "join pid %a is already an initial member@." Pid.pp p;
+    exit 1
+  | None -> ());
+  ignore joiners;
+  let all_pids = initial @ join_pids in
+  let dir =
+    match dir with
+    | Some d ->
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      d
+    | None ->
+      let d =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "gmp-cluster-%d" (Unix.getpid ()))
+      in
+      if not (Sys.file_exists d) then Sys.mkdir d 0o755;
+      d
+  in
+  let node_bin = match node_bin with Some b -> b | None -> default_node_bin () in
+  let ports = List.map (fun p -> (p, alloc_port ())) all_pids in
+  let ctrl_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let harness_errors = ref [] in
+  let note fmt = Printf.ksprintf (fun m -> harness_errors := m :: !harness_errors) fmt in
+  (* Nodes outlive the orchestrated window by a shutdown grace, never more:
+     --run-for is their own deadman switch. *)
+  let node_run_for = run_for +. 30.0 in
+  let spawn1 ~joiner pid =
+    spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto
+      ~run_for:node_run_for ~verbose ~joiner pid
+  in
+  let procs = ref (List.map (spawn1 ~joiner:false) initial) in
+  let proc_of pid = List.find_opt (fun p -> Pid.equal p.pid pid) !procs in
+  let started = Unix.gettimeofday () in
+  let timeline =
+    List.sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (List.map (fun (t, p) -> (t, Kill p)) kills
+      @ List.map (fun (t, p) -> (t, Join p)) joins
+      @ List.map (fun (t, at, from) -> (t, Blackhole { at; from })) blackholes
+      @ List.map
+          (fun (t, at, from) -> (t, Unblackhole { at; from }))
+          unblackholes)
+  in
+  let sleep_until t =
+    let remaining = started +. t -. Unix.gettimeofday () in
+    if remaining > 0.0 then Unix.sleepf remaining
+  in
+  List.iter
+    (fun (t, act) ->
+      sleep_until t;
+      match act with
+      | Kill p -> (
+        match proc_of p with
+        | None -> note "kill %s: no such node" (Pid.to_string p)
+        | Some proc ->
+          if not json then
+            Fmt.pr "t=%.1f  SIGKILL %a (os pid %d)@." t Pid.pp p proc.ospid;
+          (try Unix.kill proc.ospid Sys.sigkill
+           with Unix.Unix_error _ -> note "kill %s failed" (Pid.to_string p));
+          ignore (Unix.waitpid [] proc.ospid);
+          proc.killed <- true;
+          proc.reaped <- true)
+      | Join p ->
+        if not json then Fmt.pr "t=%.1f  spawn joiner %a@." t Pid.pp p;
+        procs := !procs @ [ spawn1 ~joiner:true p ]
+      | Blackhole { at; from } -> (
+        match proc_of at with
+        | None -> note "blackhole at %s: no such node" (Pid.to_string at)
+        | Some proc ->
+          if not json then
+            Fmt.pr "t=%.1f  blackhole %a -> %a@." t Pid.pp from Pid.pp at;
+          send_ctrl ctrl_sock ~port:proc.port (Gmp_live.Codec.Blackhole from))
+      | Unblackhole { at; from } -> (
+        match proc_of at with
+        | None -> note "unblackhole at %s: no such node" (Pid.to_string at)
+        | Some proc ->
+          if not json then
+            Fmt.pr "t=%.1f  unblackhole %a -> %a@." t Pid.pp from Pid.pp at;
+          send_ctrl ctrl_sock ~port:proc.port (Gmp_live.Codec.Unblackhole from)))
+    timeline;
+  sleep_until run_for;
+  (* Ask survivors to stop; a lost datagram is caught by the resend below
+     and ultimately by the nodes' own --run-for. *)
+  let shutdown_survivors () =
+    List.iter
+      (fun p ->
+        if not (p.killed || p.reaped) then
+          send_ctrl ctrl_sock ~port:p.port Gmp_live.Codec.Shutdown)
+      !procs
+  in
+  shutdown_survivors ();
+  Unix.sleepf 0.5;
+  shutdown_survivors ();
+  let stuck = reap_with_grace !procs ~grace:8.0 in
+  List.iter
+    (fun p -> note "node %s ignored shutdown; SIGKILLed" (Pid.to_string p))
+    stuck;
+  Unix.close ctrl_sock;
+  (* ---- harvest and judge ---- *)
+  let per_node =
+    List.map
+      (fun p ->
+        match Gmp_live.Trace_io.read_file p.log_file with
+        | Ok events -> (p, events)
+        | Error m ->
+          note "unreadable log %s: %s" p.log_file m;
+          (p, []))
+      !procs
+  in
+  let killed = List.filter_map (fun p -> if p.killed then Some p.pid else None) !procs in
+  let stuck_dead = stuck in
+  let dead =
+    List.sort_uniq Pid.compare
+      (killed @ stuck_dead
+      @ List.filter_map
+          (fun (p, events) -> if has_quit events then Some p.pid else None)
+          per_node)
+  in
+  let is_dead p = List.exists (Pid.equal p) dead in
+  let surviving_views =
+    List.filter_map
+      (fun (p, events) ->
+        if is_dead p.pid then None
+        else
+          match last_install events with
+          | Some (ver, members) -> Some (p.pid, ver, members)
+          | None -> None (* never-admitted joiner: holds no view *))
+      per_node
+  in
+  let final_view =
+    match surviving_views with
+    | [] -> []
+    | (_, ver0, m0) :: rest ->
+      let same_members a b =
+        List.length a = List.length b && List.for_all2 Pid.equal a b
+      in
+      if
+        List.for_all
+          (fun (_, ver, m) -> ver = ver0 && same_members m m0)
+          rest
+      then m0
+      else []
+  in
+  let trace = Gmp_live.Trace_io.reassemble (List.map snd per_node) in
+  let violations =
+    Checker.check_run ~liveness trace ~initial ~surviving_views ~dead
+      ~final_view
+  in
+  let harness_errors = List.rev !harness_errors in
+  let exit_code =
+    if harness_errors <> [] then 1 else if violations <> [] then 2 else 0
+  in
+  if json then
+    Fmt.pr "%s@."
+      (J.to_compact_string
+         (J.obj
+            [ ("n", J.int n);
+              ("run_for", J.float run_for);
+              ("events", J.int (Trace.length trace));
+              ("dead", J.list (List.map Export.json_of_pid dead));
+              ( "surviving_views",
+                J.list
+                  (List.map
+                     (fun (p, ver, members) ->
+                       J.obj
+                         [ ("pid", Export.json_of_pid p);
+                           ("version", J.int ver);
+                           ("view", J.list (List.map Export.json_of_pid members))
+                         ])
+                     surviving_views) );
+              ("final_view", J.list (List.map Export.json_of_pid final_view));
+              ( "violations",
+                J.list (List.map Export.json_of_violation violations) );
+              ("harness_errors", J.list (List.map J.string harness_errors));
+              ("logs", J.string dir);
+              ("exit", J.int exit_code) ]))
+  else begin
+    Fmt.pr "@.%d nodes, %.1fs, %d trace events reassembled from %s@."
+      (List.length !procs) run_for (Trace.length trace) dir;
+    Fmt.pr "dead: %a@." Fmt.(list ~sep:(any " ") Pid.pp) dead;
+    List.iter
+      (fun (p, ver, members) ->
+        Fmt.pr "%a: v%d %a@." Pid.pp p ver
+          Fmt.(list ~sep:(any ",") Pid.pp)
+          members)
+      surviving_views;
+    List.iter (fun m -> Fmt.pr "harness error: %s@." m) harness_errors;
+    (match violations with
+    | [] -> Fmt.pr "checker: OK (GMP-0..GMP-5 hold on the live trace)@."
+    | vs ->
+      List.iter (fun v -> Fmt.pr "checker: %a@." Checker.pp_violation v) vs)
+  end;
+  if not keep_logs && exit_code = 0 then begin
+    List.iter
+      (fun p -> try Sys.remove p.log_file with Sys_error _ -> ())
+      !procs;
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end;
+  exit_code
+
+(* ---- cmdliner plumbing ---- *)
+
+let n_term =
+  Arg.(
+    value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Initial group size.")
+
+let joiners_term =
+  Arg.(
+    value & opt int 0
+    & info [ "joiners" ] ~docv:"K"
+        ~doc:"Reserved for symmetry with the sim CLI (joins come from \
+              --join specs).")
+
+let run_for_term =
+  Arg.(
+    value & opt float 12.0
+    & info [ "run-for" ] ~docv:"SECS" ~doc:"Orchestrated window length.")
+
+let kills_term =
+  Arg.(
+    value
+    & opt_all (timed_pid_conv "kill") []
+    & info [ "kill" ] ~docv:"T:PID"
+        ~doc:"SIGKILL the node at T seconds, repeatable.")
+
+let joins_term =
+  Arg.(
+    value
+    & opt_all (timed_pid_conv "join") []
+    & info [ "join" ] ~docv:"T:PID"
+        ~doc:"Spawn PID as a joiner at T seconds, repeatable.")
+
+let blackholes_term =
+  Arg.(
+    value
+    & opt_all (timed_pair_conv "blackhole") []
+    & info [ "blackhole" ] ~docv:"T:AT:FROM"
+        ~doc:"At T, tell node AT to drop all traffic from FROM.")
+
+let unblackholes_term =
+  Arg.(
+    value
+    & opt_all (timed_pair_conv "unblackhole") []
+    & info [ "unblackhole" ] ~docv:"T:AT:FROM"
+        ~doc:"At T, lift a blackhole injected earlier.")
+
+let hb_interval_term =
+  Arg.(
+    value & opt float 0.5
+    & info [ "hb-interval" ] ~docv:"SECS" ~doc:"Heartbeat interval.")
+
+let hb_timeout_term =
+  Arg.(
+    value & opt float 2.5
+    & info [ "hb-timeout" ] ~docv:"SECS" ~doc:"Heartbeat timeout.")
+
+let rto_term =
+  Arg.(
+    value & opt float 0.25
+    & info [ "rto" ] ~docv:"SECS" ~doc:"ARQ retransmission timeout.")
+
+let dir_term =
+  Arg.(
+    value & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:"Directory for per-node event logs (default: a fresh /tmp dir).")
+
+let node_bin_term =
+  Arg.(
+    value & opt (some string) None
+    & info [ "node-bin" ] ~docv:"PATH"
+        ~doc:"gmp-node binary (default: sibling of this executable).")
+
+let json_term =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Machine-readable one-line JSON summary.")
+
+let no_liveness_term =
+  Arg.(
+    value & flag
+    & info [ "no-liveness" ]
+        ~doc:"Check safety only (skip convergence and GMP-5).")
+
+let keep_logs_term =
+  Arg.(
+    value & flag
+    & info [ "keep-logs" ] ~doc:"Keep event logs even on a clean run.")
+
+let verbose_term =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Node debug chatter.")
+
+let cmd =
+  let go n joiners run_for kills joins blackholes unblackholes hb_interval
+      hb_timeout rto dir node_bin json no_liveness keep_logs verbose =
+    run_cluster n joiners run_for kills joins blackholes unblackholes
+      hb_interval hb_timeout rto dir node_bin json (not no_liveness) keep_logs
+      verbose
+  in
+  Cmd.v
+    (Cmd.info "gmp-cluster" ~version:"1.0.0"
+       ~doc:
+         "Run the GMP protocol as real processes over real sockets: spawn a \
+          loopback fleet of gmp-node daemons, inject SIGKILLs / joins / \
+          blackholes on schedule, reassemble the per-node event logs and \
+          check GMP-0..GMP-5 on the live trace.")
+    Term.(
+      const go $ n_term $ joiners_term $ run_for_term $ kills_term
+      $ joins_term $ blackholes_term $ unblackholes_term $ hb_interval_term
+      $ hb_timeout_term $ rto_term $ dir_term $ node_bin_term $ json_term
+      $ no_liveness_term $ keep_logs_term $ verbose_term)
+
+let () = exit (Cmd.eval' cmd)

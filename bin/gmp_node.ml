@@ -1,0 +1,168 @@
+(* gmp-node: one GMP member as a real OS process.
+
+   Runs the same [Gmp_core.Member] state machine the simulator drives, but
+   on [Gmp_live.Node]: a UDP socket on loopback, wall-clock timers, ARQ
+   channels. Every trace event is flushed to the --log file as a JSON line
+   the moment it happens, so the log is complete (up to one torn line) even
+   if the orchestrator SIGKILLs this process mid-protocol.
+
+   Exits 0 on a clean stop (orchestrator Shutdown, protocol quit, or
+   --run-for expiry); argument errors exit 124 per cmdliner convention. *)
+
+open Gmp_base
+open Gmp_core
+open Cmdliner
+
+let pid_conv =
+  let parse s =
+    match Pid.of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "bad pid %S (expected pN or pN#k)" s))
+  in
+  Arg.conv (parse, Pid.pp)
+
+let peer_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "bad peer %S (expected PID:PORT)" s))
+    | Some i -> (
+      let pid = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Pid.of_string pid, int_of_string_opt port) with
+      | Some p, Some port when port > 0 && port < 65536 -> Ok (p, port)
+      | _ -> Error (`Msg (Printf.sprintf "bad peer %S (expected PID:PORT)" s)))
+  in
+  Arg.conv (parse, fun ppf (p, port) -> Fmt.pf ppf "%a:%d" Pid.pp p port)
+
+let self_term =
+  Arg.(
+    required
+    & opt (some pid_conv) None
+    & info [ "self" ] ~docv:"PID" ~doc:"This process's pid (e.g. p2, p5#1).")
+
+let port_term =
+  Arg.(
+    value & opt int 0
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"UDP port to bind on 127.0.0.1 (0 picks an ephemeral port).")
+
+let peers_term =
+  Arg.(
+    value & opt_all peer_conv []
+    & info [ "peer" ] ~docv:"PID:PORT"
+        ~doc:
+          "Address-book entry, repeatable. Unknown peers are also learnt \
+           from their traffic, so a joiner needs only its contacts.")
+
+let initial_term =
+  Arg.(
+    non_empty
+    & opt (list pid_conv) []
+    & info [ "initial" ] ~docv:"PIDS"
+        ~doc:"The initial group membership (comma-separated pids).")
+
+let joiner_term =
+  Arg.(
+    value & flag
+    & info [ "joiner" ]
+        ~doc:"Start with no view and request admission via --contacts.")
+
+let contacts_term =
+  Arg.(
+    value
+    & opt (list pid_conv) []
+    & info [ "contacts" ] ~docv:"PIDS"
+        ~doc:"Processes a --joiner asks for admission (round-robin).")
+
+let hb_interval_term =
+  Arg.(
+    value & opt float 0.5
+    & info [ "hb-interval" ] ~docv:"SECS" ~doc:"Heartbeat interval (F1).")
+
+let hb_timeout_term =
+  Arg.(
+    value & opt float 2.5
+    & info [ "hb-timeout" ] ~docv:"SECS"
+        ~doc:"Silence before suspecting a peer; must exceed --hb-interval.")
+
+let rto_term =
+  Arg.(
+    value & opt float 0.25
+    & info [ "rto" ] ~docv:"SECS" ~doc:"ARQ retransmission timeout.")
+
+let log_term =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "log" ] ~docv:"PATH"
+        ~doc:"Event log (JSON lines, one per trace event, flushed per line).")
+
+let run_for_term =
+  Arg.(
+    value & opt (some float) None
+    & info [ "run-for" ] ~docv:"SECS"
+        ~doc:"Exit after this long regardless (safety stop; default: run \
+              until Shutdown or protocol exit).")
+
+let join_retry_term =
+  Arg.(
+    value & opt float 2.0
+    & info [ "join-retry" ] ~docv:"SECS"
+        ~doc:"Interval between a joiner's admission retries.")
+
+let verbose_term =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug chatter on stderr.")
+
+let main self port peers initial joiner contacts hb_interval hb_timeout rto
+    log_path run_for join_retry verbose =
+  if joiner && contacts = [] then
+    `Error (false, "--joiner requires --contacts")
+  else if hb_timeout <= hb_interval then
+    `Error (false, "--hb-timeout must exceed --hb-interval")
+  else begin
+    let config =
+      { Config.default with
+        heartbeat_interval = hb_interval;
+        heartbeat_timeout = hb_timeout }
+    in
+    let rto = Option.value (Config.arq_rto_for config self) ~default:rto in
+    let log =
+      if verbose then fun s ->
+        Printf.eprintf "[%s] %s\n%!" (Pid.to_string self) s
+      else fun _ -> ()
+    in
+    let node = Gmp_live.Node.create ~peers ~rto ~log ~pid:self ~port () in
+    let trace = Trace.create () in
+    let writer = Gmp_live.Trace_io.attach trace ~path:log_path in
+    let member =
+      Member.create ~joiner
+        ~node:(Gmp_live.Node.platform node)
+        ~trace ~config ~initial ()
+    in
+    if joiner then
+      Member.start_join ~retry_interval:join_retry member ~contacts;
+    log
+      (Printf.sprintf "listening on 127.0.0.1:%d" (Gmp_live.Node.port node));
+    Gmp_live.Node.run ?until:run_for node;
+    log
+      (Fmt.str "stopping: view v%d %a" (Member.version member)
+         Fmt.(list ~sep:(any ",") Pid.pp)
+         (View.members (Member.view member)));
+    Gmp_live.Trace_io.close writer;
+    Gmp_live.Node.close node;
+    `Ok 0
+  end
+
+let cmd =
+  Cmd.v
+    (Cmd.info "gmp-node" ~version:"1.0.0"
+       ~doc:
+         "One GMP group member as a real process (UDP loopback, wall-clock \
+          timers). Spawned in fleets by gmp-cluster.")
+    Term.(
+      ret
+        (const main $ self_term $ port_term $ peers_term $ initial_term
+       $ joiner_term $ contacts_term $ hb_interval_term $ hb_timeout_term
+       $ rto_term $ log_term $ run_for_term $ join_retry_term $ verbose_term))
+
+let () = exit (Cmd.eval' cmd)

@@ -9,6 +9,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 open Cmdliner
 
 (* ---- shared options ---- *)
@@ -113,7 +114,7 @@ let report_text ?(timeline = false) group ~show_trace =
   Fmt.pr "--- message statistics ---@.%a@." Gmp_net.Stats.pp (Group.stats group);
   Fmt.pr "protocol messages (s7.2 accounting): %d@."
     (Group.protocol_messages group);
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   if violations = [] then begin
     Fmt.pr "GMP-0..GMP-5 + convergence: all hold@.";
     0
@@ -126,8 +127,8 @@ let report_text ?(timeline = false) group ~show_trace =
 
 let report ?(json = false) ?timeline group ~show_trace =
   if json then begin
-    Fmt.pr "%a@." Gmp_base.Json.pp (Export.json_of_group group);
-    if Checker.check_group group = [] then 0 else 1
+    Fmt.pr "%a@." Gmp_base.Json.pp (Group.to_json group);
+    if Group.check group = [] then 0 else 1
   end
   else report_text ?timeline group ~show_trace
 
@@ -366,7 +367,15 @@ let explore_cmd =
       & info [ "isolations" ] ~docv:"K"
           ~doc:"Single-process partition budget per execution.")
   in
-  let go depth budget weaken expect_violation procs horizon slack crashes
+  let json_term =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "One-line machine-readable JSON summary on stdout (suppresses \
+             progress output).")
+  in
+  let go depth budget weaken expect_violation json procs horizon slack crashes
       suspicions isolations seed =
     let base = if weaken then E.sensitivity ~seed () else E.assurance ~seed () in
     let opt v field = Option.value v ~default:field in
@@ -382,18 +391,64 @@ let explore_cmd =
             E.heal = base.E.adversary.E.heal } }
     in
     let progress s =
-      Fmt.pr "... %a@." E.pp_stats s
+      if not json then Fmt.pr "... %a@." E.pp_stats s
     in
     let outcome = E.explore ~progress model ~depth ~budget in
-    Fmt.pr "%a@." E.pp_outcome outcome;
-    (match outcome.E.counterexample with
-    | Some cx ->
-      Fmt.pr "replayable minimal schedule:@.";
-      List.iter (fun line -> Fmt.pr "  %s@." line)
-        (E.describe model cx.E.cx_choices)
-    | None -> ());
     let found = outcome.E.counterexample <> None in
-    if found = expect_violation then 0 else 1
+    (* Stable exit codes, for CI gates:
+         0  outcome matches expectation (violation iff --expect-violation)
+         2  unexpected violation found
+         3  violation expected (--expect-violation) but none found *)
+    let code =
+      if found = expect_violation then 0 else if found then 2 else 3
+    in
+    if json then begin
+      let module J = Gmp_base.Json in
+      let s = outcome.E.stats in
+      Fmt.pr "%s@."
+        (J.to_compact_string
+           (J.obj
+              [ ("mode", J.string (if weaken then "sensitivity" else "assurance"));
+                ("n", J.int model.E.n);
+                ("depth", J.int depth);
+                ("budget", J.int budget);
+                ( "stats",
+                  J.obj
+                    [ ("executions", J.int s.E.executions);
+                      ("distinct", J.int s.E.distinct);
+                      ("frames", J.int s.E.frames);
+                      ("state_pruned", J.int s.E.state_pruned);
+                      ("sleep_pruned", J.int s.E.sleep_pruned);
+                      ("max_depth", J.int s.E.max_depth) ] );
+                ("violation_found", J.bool found);
+                ("violation_expected", J.bool expect_violation);
+                ( "counterexample",
+                  match outcome.E.counterexample with
+                  | None -> J.null
+                  | Some cx ->
+                    J.obj
+                      [ ("injections", J.int cx.E.cx_injections);
+                        ( "violations",
+                          J.list
+                            (List.map Export.json_of_violation
+                               cx.E.cx_violations) );
+                        ( "schedule",
+                          J.list
+                            (List.map J.string
+                               (E.describe model cx.E.cx_choices)) ) ] );
+                ("exit", J.int code) ]))
+    end
+    else begin
+      Fmt.pr "%a@." E.pp_outcome outcome;
+      match outcome.E.counterexample with
+      | Some cx ->
+        Fmt.pr "replayable minimal schedule:@.";
+        List.iter
+          (fun line -> Fmt.pr "  %s@." line)
+          (E.describe model cx.E.cx_choices)
+      | None -> ()
+    end;
+    code
   in
   Cmd.v
     (Cmd.info "explore"
@@ -402,8 +457,8 @@ let explore_cmd =
           (bounded model checking) and run the GMP safety checker on each.")
     Term.(
       const go $ depth_term $ budget_term $ weaken_term $ expect_violation_term
-      $ procs_term $ horizon_term $ slack_term $ crashes_term $ suspicions_term
-      $ isolations_term $ seed_term)
+      $ json_term $ procs_term $ horizon_term $ slack_term $ crashes_term
+      $ suspicions_term $ isolations_term $ seed_term)
 
 (* ---- table1 ---- *)
 

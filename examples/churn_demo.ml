@@ -11,6 +11,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let () =
   let n = 8 in
@@ -23,7 +24,7 @@ let () =
           (* Only one narrator per version: the coordinator. *)
           if Member.is_mgr m then
             Fmt.pr "  t=%7.2f v%-3d {%s}  (coordinator %s)@."
-              (Gmp_runtime.Runtime.node_now (Member.node m))
+              (Member.now m)
               (Member.version m)
               (String.concat ","
                  (List.map Pid.to_string (View.members (Member.view m))))
@@ -67,7 +68,7 @@ let () =
     (float_of_int msgs /. float_of_int (max 1 changes))
     n;
 
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   Fmt.pr "GMP specification across the whole session: %s@."
     (if violations = [] then "all hold"
      else Fmt.str "%d violations" (List.length violations));

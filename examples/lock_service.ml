@@ -14,6 +14,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 type Wire.app +=
   | Lk_acquire of { lock : string; who : Pid.t }
@@ -42,11 +43,11 @@ let commit server lock next =
      match next.holder with
      | Some holder ->
        Fmt.pr "  t=%6.2f %s GRANTED to %s@."
-         (Gmp_runtime.Runtime.node_now (Member.node server.member))
+         (Member.now server.member)
          lock (Pid.to_string holder)
      | None ->
        Fmt.pr "  t=%6.2f %s is free@."
-         (Gmp_runtime.Runtime.node_now (Member.node server.member))
+         (Member.now server.member)
          lock);
   Member.broadcast_app server.member
     (Lk_commit { lseq = server.lseq; lock; holder = next.holder; queue = next.queue })
@@ -82,7 +83,7 @@ let sweep_departed server =
         let live_queue = List.filter (View.mem view) st.queue in
         if holder_gone then begin
           Fmt.pr "  t=%6.2f %s REVOKED from departed %s@."
-            (Gmp_runtime.Runtime.node_now (Member.node server.member))
+            (Member.now server.member)
             lock
             (match st.holder with Some h -> Pid.to_string h | None -> "?");
           grant_next server lock { holder = None; queue = live_queue }
@@ -152,7 +153,7 @@ let () =
      | Some (Some h) -> Pid.to_string h
      | _ -> "none")
     agreed;
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   Fmt.pr "GMP specification: %s@."
     (if violations = [] then "all hold"
      else Fmt.str "%d violations" (List.length violations))

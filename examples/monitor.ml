@@ -10,6 +10,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let () =
   (* p0 is the control station; p1..p5 are workers. *)
@@ -29,7 +30,7 @@ let () =
       List.iter
         (fun p ->
           Fmt.pr "  [station t=%6.2f] ALERT worker %s is down (view v%d)@."
-            (Gmp_runtime.Runtime.node_now (Member.node m))
+            (Member.now m)
             (Pid.to_string p) (Member.version m))
         gone;
       List.iter
@@ -38,7 +39,7 @@ let () =
             if Pid.incarnation p > 0 then " (restarted incarnation)" else ""
           in
           Fmt.pr "  [station t=%6.2f] worker %s enrolled%s (view v%d)@."
-            (Gmp_runtime.Runtime.node_now (Member.node m))
+            (Member.now m)
             (Pid.to_string p) note (Member.version m))
         fresh;
       known := current);
@@ -59,7 +60,7 @@ let () =
 
   (* The station's alerts are exactly the removals in its local history -
      and GMP guarantees every other surviving process saw the same ones. *)
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   Fmt.pr "GMP specification: %s@."
     (if violations = [] then "all hold"
      else Fmt.str "%d violations" (List.length violations))

@@ -11,6 +11,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let () =
   (* A deterministic simulated world: same seed, same run. *)
@@ -45,7 +46,7 @@ let () =
    | None -> Fmt.pr "@.No agreement - this would be a bug.@.");
 
   (* Check the paper's specification on the whole run. *)
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   Fmt.pr "GMP-0..GMP-5 + convergence: %s@."
     (if violations = [] then "all hold"
      else Fmt.str "%d violations!" (List.length violations));

@@ -17,6 +17,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 (* Application message vocabulary (extends the wire's extensible [app]). *)
 type Wire.app +=
@@ -143,7 +144,7 @@ let () =
     | first :: rest -> List.for_all (fun s -> s = first) rest
   in
   Fmt.pr "@.Replicas consistent: %b@." consistent;
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   Fmt.pr "GMP specification: %s@."
     (if violations = [] then "all hold"
      else Fmt.str "%d violations" (List.length violations))

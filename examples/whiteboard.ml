@@ -11,6 +11,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 module Vsync = Gmp_vsync.Vsync
 
 type board = { vsync : Vsync.t; mutable strokes : string list }
@@ -73,7 +74,7 @@ let () =
     | first :: rest -> List.for_all (fun x -> x = first) rest
   in
   Fmt.pr "@.Boards identical across survivors: %b@." agreed;
-  let violations = Checker.check_group group in
+  let violations = Group.check group in
   Fmt.pr "GMP specification: %s@."
     (if violations = [] then "all hold"
      else Fmt.str "%d violations" (List.length violations))

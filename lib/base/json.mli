@@ -1,4 +1,4 @@
-(** Minimal dependency-free JSON builder and printer (encoding only). *)
+(** Minimal dependency-free JSON builder, printer and parser. *)
 
 type t =
   | Null
@@ -19,3 +19,31 @@ val obj : (string * t) list -> t
 val of_option : ('a -> t) -> 'a option -> t
 val pp : t Fmt.t
 val to_string : t -> string
+
+val to_compact_string : t -> string
+(** Single-line rendering (no newlines regardless of width) — the JSONL
+    form live nodes log events in. *)
+
+(** {1 Parsing}
+
+    Enough JSON for what this repository itself emits, which is all it ever
+    reads back (the orchestrator consuming live nodes' event logs). Numbers
+    without ['.']/[e] parse as {!Int}, others as {!Float}; [\uXXXX] escapes
+    (surrogate pairs included) are decoded to UTF-8. *)
+
+val of_string : string -> (t, string) result
+(** Whole-string parse; the error carries the byte offset. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj} ([None] on other constructors or a missing key). *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts {!Int} too (JSON does not distinguish). *)
+
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option

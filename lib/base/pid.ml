@@ -29,6 +29,24 @@ let to_string t =
   if t.incarnation = 0 then Printf.sprintf "p%d" t.id
   else Printf.sprintf "p%d#%d" t.id t.incarnation
 
+(* Inverse of [to_string]; the live trace reader round-trips pids through
+   their printed form. *)
+let of_string s =
+  let parse_nat x =
+    match int_of_string_opt x with Some n when n >= 0 -> Some n | _ -> None
+  in
+  if String.length s < 2 || s.[0] <> 'p' then None
+  else
+    let rest = String.sub s 1 (String.length s - 1) in
+    match String.index_opt rest '#' with
+    | None -> Option.map (fun id -> { id; incarnation = 0 }) (parse_nat rest)
+    | Some i -> (
+      let id = String.sub rest 0 i in
+      let inc = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match (parse_nat id, parse_nat inc) with
+      | Some id, Some incarnation -> Some { id; incarnation }
+      | _ -> None)
+
 let pp ppf t = Fmt.string ppf (to_string t)
 
 module Set = struct

@@ -16,6 +16,10 @@ val reincarnate : t -> t
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} ("p3", "p3#1"); [None] on anything else. *)
+
 val pp : t Fmt.t
 
 module Set : sig

@@ -230,25 +230,14 @@ let check_convergence ~surviving_views ~dead =
     in
     agreement @ no_dead @ all_present
 
-(* Full check for a quiescent run of a Group. *)
-let check_group ?(liveness = true) group =
-  let trace = Group.trace group in
-  let safety = check_safety trace ~initial:(Group.initial group) in
+(* Full check for a quiescent run: safety over the trace, plus liveness
+   (convergence and GMP-5) against the final states. The sim's Group harness
+   and the live cluster's trace reassembly both call this. *)
+let check_run ?(liveness = true) trace ~initial ~surviving_views ~dead
+    ~final_view =
+  let safety = check_safety trace ~initial in
   if not liveness then safety
-  else begin
-    let surviving = Group.surviving_views group in
-    let dead =
-      List.filter_map
-        (fun m ->
-          if Member.operational m then None else Some (Member.pid m))
-        (Group.members group)
-    in
-    let final_view =
-      match Group.agreed_view group with
-      | Some (_, members) -> members
-      | None -> []
-    in
+  else
     safety
-    @ check_convergence ~surviving_views:surviving ~dead
+    @ check_convergence ~surviving_views ~dead
     @ check_gmp5 trace ~final_view
-  end

@@ -66,6 +66,15 @@ val check_convergence :
 (** Liveness on a quiescent run: operational processes agree on one view
     that contains them all and none of the dead. *)
 
-val check_group : ?liveness:bool -> Group.t -> violation list
-(** Full check for a quiescent {!Group} run; [~liveness:false] restricts to
-    safety. *)
+val check_run :
+  ?liveness:bool ->
+  Trace.t ->
+  initial:Pid.t list ->
+  surviving_views:(Pid.t * int * Pid.t list) list ->
+  dead:Pid.t list ->
+  final_view:Pid.t list ->
+  violation list
+(** Full check for a quiescent run (safety, and with [liveness] also
+    convergence and GMP-5 against the final states). World-agnostic: the
+    sim's [Group.check] and the live cluster's reassembled traces both land
+    here. [final_view] is the agreed final membership ([[]] if none). *)

@@ -38,11 +38,18 @@ let json_of_kind = function
   | Trace.Became_mgr { at_ver } -> J.obj [ ("became_mgr", J.int at_ver) ]
   | Trace.Violation v -> J.obj [ ("violation", J.string v) ]
 
+let json_of_vc vc =
+  J.obj
+    (List.map
+       (fun (p, n) -> (Pid.to_string p, J.int n))
+       (Gmp_causality.Vector_clock.to_list vc))
+
 let json_of_event (e : Trace.event) =
   J.obj
     [ ("owner", json_of_pid e.Trace.owner);
       ("index", J.int e.Trace.index);
       ("time", J.float e.Trace.time);
+      ("vc", json_of_vc e.Trace.vc);
       ("event", json_of_kind e.Trace.kind) ]
 
 let json_of_trace trace =
@@ -59,7 +66,7 @@ let json_of_stats stats =
              [ ("sent", J.int sent);
                ("delivered", J.int delivered);
                ("dropped", J.int dropped) ] ))
-       (Gmp_net.Stats.snapshot stats))
+       (Gmp_platform.Stats.snapshot stats))
 
 let json_of_member m =
   J.obj
@@ -75,22 +82,3 @@ let json_of_violation (v : Checker.violation) =
   J.obj
     [ ("property", J.string v.Checker.property);
       ("detail", J.string v.Checker.detail) ]
-
-let json_of_group ?(include_trace = true) group =
-  let violations = Checker.check_group group in
-  J.obj
-    [ ("initial", J.list (List.map json_of_pid (Group.initial group)));
-      ("members", J.list (List.map json_of_member (Group.members group)));
-      ( "agreed_view",
-        match Group.agreed_view group with
-        | Some (ver, members) ->
-          J.obj
-            [ ("version", J.int ver);
-              ("members", J.list (List.map json_of_pid members)) ]
-        | None -> J.null );
-      ("protocol_messages", J.int (Group.protocol_messages group));
-      ("stats", json_of_stats (Group.stats group));
-      ("violations", J.list (List.map json_of_violation violations));
-      ( "trace",
-        if include_trace then json_of_trace (Group.trace group) else J.null )
-    ]

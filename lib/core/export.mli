@@ -1,16 +1,16 @@
 (** JSON export of runs (traces, statistics, final states) for external
-    tooling. *)
+    tooling. The full-run dump of a sim harness lives with it
+    ([Gmp_runtime.Group.to_json]); live nodes write events through
+    {!json_of_event} one line at a time. *)
 
 open Gmp_base
 
 val json_of_pid : Pid.t -> Json.t
 val json_of_op : Types.op -> Json.t
+val json_of_kind : Trace.kind -> Json.t
+val json_of_vc : Gmp_causality.Vector_clock.t -> Json.t
 val json_of_event : Trace.event -> Json.t
 val json_of_trace : Trace.t -> Json.t
-val json_of_stats : Gmp_net.Stats.t -> Json.t
+val json_of_stats : Gmp_platform.Stats.t -> Json.t
 val json_of_member : Member.t -> Json.t
 val json_of_violation : Checker.violation -> Json.t
-
-val json_of_group : ?include_trace:bool -> Group.t -> Json.t
-(** Full run dump: members, agreed view, statistics, checker verdicts and
-    (optionally) the complete trace. *)

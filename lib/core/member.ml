@@ -17,7 +17,7 @@
    state machine's transitions atomic with respect to each other. *)
 
 open Gmp_base
-module Runtime = Gmp_runtime.Runtime
+module Platform = Gmp_platform.Platform
 module Heartbeat = Gmp_detector.Heartbeat
 
 type mgr_phase = {
@@ -35,7 +35,7 @@ type reconf_phase =
   | R_proposing of { r_prop : Wire.proposal; mutable r_oks : Pid.Set.t }
 
 type t = {
-  node : Wire.t Runtime.node;
+  node : Wire.t Platform.node;
   trace : Trace.t;
   config : Config.t;
   mutable view : View.t;
@@ -68,7 +68,7 @@ type t = {
 
 (* ---- accessors ---- *)
 
-let self t = Runtime.pid t.node
+let self t = t.node.Platform.pid
 let pid = self
 let view t = t.view
 let version t = t.ver
@@ -78,25 +78,26 @@ let manager t = t.mgr
 let faulty_set t = t.faulty
 let recovered_set t = t.recovered
 let has_quit t = t.has_quit
-let crashed t = not (Runtime.alive t.node)
-let operational t = (not t.has_quit) && Runtime.alive t.node
+let crashed t = not (t.node.Platform.alive ())
+let operational t = (not t.has_quit) && t.node.Platform.alive ()
 let joined t = t.joined
 let is_mgr t = t.joined && Pid.equal t.mgr (self t)
 let node t = t.node
+let now t = t.node.Platform.now ()
 
 let set_app_handler t handler = t.app_handler <- handler
 let set_on_view_change t handler = t.on_view_change <- handler
 
 let record t kind =
-  let index, vc = Runtime.local_event t.node in
-  Trace.record t.trace ~owner:(self t) ~index ~time:(Runtime.node_now t.node)
-    ~vc kind
+  let index, vc = t.node.Platform.local_event () in
+  Trace.record t.trace ~owner:(self t) ~index
+    ~time:(t.node.Platform.now ()) ~vc kind
 
 let send t ~dst payload =
-  Runtime.send t.node ~dst ~category:(Wire.category_id payload) payload
+  t.node.Platform.send ~dst ~category:(Wire.category_id payload) payload
 
 let broadcast t ~dsts payload =
-  Runtime.broadcast t.node ~dsts ~category:(Wire.category_id payload) payload
+  t.node.Platform.broadcast ~dsts ~category:(Wire.category_id payload) payload
 
 let view_others t = List.filter (fun p -> not (Pid.equal p (self t))) (View.members t.view)
 
@@ -127,7 +128,7 @@ let do_quit t reason =
     t.mgr_phase <- None;
     t.reconf <- None;
     (match t.detector with None -> () | Some d -> Heartbeat.stop d);
-    Runtime.crash t.node
+    t.node.Platform.halt ()
   end
 
 (* ---- faultyp(q): the single suspicion entry point (F1 and F2) ---- *)
@@ -147,7 +148,7 @@ let suspect ?(report = true) t q =
     t.recovered <- Pid.Set.remove q t.recovered;
     t.operating <- Pid.Set.remove q t.operating;
     (* S1: never receive from q again. *)
-    Runtime.disconnect_from t.node ~from:q;
+    t.node.Platform.disconnect_from ~from:q;
     (match t.detector with None -> () | Some d -> Heartbeat.forget d q);
     record t (Trace.Faulty q);
     (* Ask the coordinator to start the exclusion (unless that is us, or the
@@ -394,9 +395,9 @@ and maybe_initiate t =
         then begin
           t.initiation_deferred <- true;
           ignore
-            (Runtime.set_timer t.node ~delay:t.config.Config.reconf_reuse_grace
+            (t.node.Platform.set_timer ~delay:t.config.Config.reconf_reuse_grace
                (fun () -> poke t)
-              : Runtime.timer)
+              : Platform.timer)
         end
         else begin
         (* HiFaulty(p) is full: initiate (§4.2). *)
@@ -878,8 +879,8 @@ let dispatch t ~src (msg : Wire.t) =
 
 (* ---- construction ---- *)
 
-let create ?(joiner = false) ~runtime ~trace ~config ~initial pid_ =
-  let node = Runtime.spawn runtime pid_ in
+let create ?(joiner = false) ~node ~trace ~config ~initial () =
+  let pid_ = node.Platform.pid in
   let t =
     { node;
       trace;
@@ -909,15 +910,14 @@ let create ?(joiner = false) ~runtime ~trace ~config ~initial pid_ =
       initiation_deferred = false;
       peer_cache = None }
   in
-  Runtime.set_receiver node (fun ~src msg -> dispatch t ~src msg);
+  node.Platform.set_receiver (fun ~src msg -> dispatch t ~src msg);
   if t.joined then
     record t (Trace.Installed { ver = 0; view_members = initial });
   if config.Config.heartbeats then begin
     let d =
-      Heartbeat.create ~proc:(Runtime.node_slot node)
-        ~engine:(Runtime.engine (Runtime.node_runtime node))
-        ~interval:config.Config.heartbeat_interval
-        ~timeout:config.Config.heartbeat_timeout
+      Heartbeat.create ~now:node.Platform.now ~set_timer:node.Platform.set_timer
+        ~interval:(Config.heartbeat_interval_for config pid_)
+        ~timeout:(Config.heartbeat_timeout_for config pid_)
         ~send_beat:(fun p -> send t ~dst:p Wire.Heartbeat)
         ~peers:(fun () -> heartbeat_peers t)
         ~suspect:(fun q ->
@@ -945,7 +945,7 @@ let start_join ?(retry_interval = 15.0) t ~contacts =
        contacts.(0) instead of skipping it until a full wrap. *)
     let n = List.length contacts in
     let cursor = ref 0 in
-    Runtime.every t.node ~interval:retry_interval (fun () ->
+    t.node.Platform.every ~interval:retry_interval (fun () ->
         if (not t.joined) && operational t then begin
           let contact = List.nth contacts (!cursor mod n) in
           incr cursor;
@@ -959,11 +959,11 @@ let inject_suspicion t q =
   poke t
 
 let inject_crash t =
-  if Runtime.alive t.node then begin
+  if t.node.Platform.alive () then begin
     record t Trace.Crashed;
     invalidate_peers t;
     (match t.detector with None -> () | Some d -> Heartbeat.stop d);
-    Runtime.crash t.node
+    t.node.Platform.halt ()
   end
 
 (* ---- application traffic ---- *)

@@ -3,7 +3,9 @@
     Implements the paper's Final Update Algorithm (Figures 8-9), the Final
     Reconfiguration Algorithm (Figure 10) with procedures [Determine] and
     [GetStable] (Figure 6), and the Join procedure (§7), in event-driven
-    form over the simulated runtime.
+    form over an abstract {!Gmp_platform.Platform.node} — the same state
+    machine runs unchanged on the simulator's virtual clock and on real
+    sockets under wall clocks ([lib/live]).
 
     System properties realized here:
     - {b F1}: the heartbeat detector (when configured) feeds suspicions;
@@ -20,18 +22,20 @@ open Gmp_base
 
 type t
 
-(** {1 Construction (used by {!Group})} *)
+(** {1 Construction (used by the sim's [Group] harness and [lib/live])} *)
 
 val create :
   ?joiner:bool ->
-  runtime:Wire.t Gmp_runtime.Runtime.t ->
+  node:Wire.t Gmp_platform.Platform.node ->
   trace:Trace.t ->
   config:Config.t ->
   initial:Pid.t list ->
-  Pid.t ->
+  unit ->
   t
 (** A member of the initial group, or (with [~joiner:true]) a process with
-    no view yet that must be admitted via {!start_join}. *)
+    no view yet that must be admitted via {!start_join}. The member's pid is
+    the node's; heartbeat knobs honor the config's per-member
+    {!Config.tuning}. *)
 
 val start_join : ?retry_interval:float -> t -> contacts:Pid.t list -> unit
 (** Ask to be admitted, retrying round-robin over [contacts] (default every
@@ -58,7 +62,13 @@ val crashed : t -> bool
 val operational : t -> bool
 val joined : t -> bool
 val is_mgr : t -> bool
-val node : t -> Wire.t Gmp_runtime.Runtime.node
+
+val node : t -> Wire.t Gmp_platform.Platform.node
+(** The platform node the member runs on (its clock, pid and liveness). *)
+
+val now : t -> float
+(** The member's clock — virtual time in the sim, wall time live. *)
+
 val pp : t Fmt.t
 
 (** {1 Application layer} *)

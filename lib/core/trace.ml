@@ -73,6 +73,10 @@ type t = {
   quit_ix : Ivec.t; (* Quit and Crashed events *)
   violation_ix : Ivec.t; (* Violation events *)
   mutable owners_rev : Pid.t list; (* first-appearance order, reversed *)
+  mutable on_record : (event -> unit) option;
+      (* observer called on every recorded event; lets a live node flush
+         each event to disk the moment it happens, so the log survives a
+         SIGKILL mid-run *)
 }
 
 let create () =
@@ -84,7 +88,10 @@ let create () =
     detection_ix = Ivec.create ();
     quit_ix = Ivec.create ();
     violation_ix = Ivec.create ();
-    owners_rev = [] }
+    owners_rev = [];
+    on_record = None }
+
+let set_on_record t f = t.on_record <- Some f
 
 let push_owner_table table owner i =
   match Pid.Tbl.find_opt table owner with
@@ -109,7 +116,7 @@ let record t ~owner ~index ~time ~vc kind =
   if not (Pid.Tbl.mem t.owner_ix owner) then
     t.owners_rev <- owner :: t.owners_rev;
   push_owner_table t.owner_ix owner i;
-  match kind with
+  (match kind with
   | Installed _ ->
     Ivec.push t.install_ix i;
     push_owner_table t.owner_install_ix owner i
@@ -118,7 +125,8 @@ let record t ~owner ~index ~time ~vc kind =
   | Violation _ -> Ivec.push t.violation_ix i
   | Operating _ | Removed _ | Added _ | Initiated_reconf _ | Proposed _
   | Committed _ | Became_mgr _ ->
-    ()
+    ());
+  match t.on_record with None -> () | Some f -> f e
 
 let length t = t.len
 

@@ -36,6 +36,12 @@ val create : unit -> t
 val record :
   t -> owner:Pid.t -> index:int -> time:float -> vc:Vector_clock.t -> kind -> unit
 
+val set_on_record : t -> (event -> unit) -> unit
+(** Install an observer called with every event as it is recorded (after
+    indexing). A live node uses this to flush each event to its on-disk log
+    the moment it happens, so the log survives a SIGKILL mid-run. At most
+    one observer; the last one installed wins. *)
+
 val events : t -> event list
 (** In global recording order. O(length); prefer {!iter} / {!fold} / {!get}
     on hot paths. *)

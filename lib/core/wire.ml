@@ -57,20 +57,20 @@ type t =
 
 (* Message categories for Stats accounting, pre-interned so the per-send
    path passes a dense id instead of hashing a string. *)
-let heartbeat_id = Gmp_net.Stats.intern "heartbeat"
-let report_id = Gmp_net.Stats.intern "report"
-let join_request_id = Gmp_net.Stats.intern "join-request"
-let join_forward_id = Gmp_net.Stats.intern "join-forward"
-let invite_id = Gmp_net.Stats.intern "invite"
-let invite_ok_id = Gmp_net.Stats.intern "invite-ok"
-let commit_id = Gmp_net.Stats.intern "commit"
-let welcome_id = Gmp_net.Stats.intern "welcome"
-let interrogate_id = Gmp_net.Stats.intern "interrogate"
-let interrogate_ok_id = Gmp_net.Stats.intern "interrogate-ok"
-let propose_id = Gmp_net.Stats.intern "propose"
-let propose_ok_id = Gmp_net.Stats.intern "propose-ok"
-let reconf_commit_id = Gmp_net.Stats.intern "reconf-commit"
-let app_id = Gmp_net.Stats.intern "app"
+let heartbeat_id = Gmp_platform.Stats.intern "heartbeat"
+let report_id = Gmp_platform.Stats.intern "report"
+let join_request_id = Gmp_platform.Stats.intern "join-request"
+let join_forward_id = Gmp_platform.Stats.intern "join-forward"
+let invite_id = Gmp_platform.Stats.intern "invite"
+let invite_ok_id = Gmp_platform.Stats.intern "invite-ok"
+let commit_id = Gmp_platform.Stats.intern "commit"
+let welcome_id = Gmp_platform.Stats.intern "welcome"
+let interrogate_id = Gmp_platform.Stats.intern "interrogate"
+let interrogate_ok_id = Gmp_platform.Stats.intern "interrogate-ok"
+let propose_id = Gmp_platform.Stats.intern "propose"
+let propose_ok_id = Gmp_platform.Stats.intern "propose-ok"
+let reconf_commit_id = Gmp_platform.Stats.intern "reconf-commit"
+let app_id = Gmp_platform.Stats.intern "app"
 
 let category_id = function
   | Heartbeat -> heartbeat_id
@@ -88,7 +88,7 @@ let category_id = function
   | Reconf_commit _ -> reconf_commit_id
   | App _ -> app_id
 
-let category m = Gmp_net.Stats.name (category_id m)
+let category m = Gmp_platform.Stats.name (category_id m)
 
 (* The categories §7.2 counts: the membership protocol proper. Heartbeats,
    reports, joins and state transfer are the detection mechanism / plumbing

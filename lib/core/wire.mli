@@ -58,7 +58,7 @@ type t =
       (** [app_ver] is the sender's view version, for the paper's "no
           messages from future views" buffering rule *)
 
-val category_id : t -> Gmp_net.Stats.category
+val category_id : t -> Gmp_platform.Stats.category
 (** Interned Stats category of a message (per-send hot path). *)
 
 val category : t -> string

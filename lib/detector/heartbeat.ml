@@ -8,6 +8,11 @@
    under long delays - exactly the "perceived failures" the protocol is
    designed to tolerate.
 
+   The detector is platform-agnostic: it reads time through [now] and
+   schedules its tick through [set_timer] (both normally the owning node's
+   {!Gmp_platform.Platform.node} operations), so the same code drives F1 in
+   the simulator and on wall clocks.
+
    [last_heard] tracks only current peers: beats from processes outside
    [peers ()] are dropped (a late beat from a suspected-and-forgotten peer
    must not resurrect its slot), and each tick prunes entries for peers that
@@ -17,8 +22,8 @@
 open Gmp_base
 
 type t = {
-  engine : Gmp_sim.Engine.t;
-  proc : int; (* engine tag for this detector's tick timer; -1 = untagged *)
+  now : unit -> float;
+  set_timer : delay:float -> (unit -> unit) -> Gmp_platform.Platform.timer;
   interval : float;
   timeout : float;
   send_beat : Pid.t -> unit;
@@ -26,19 +31,18 @@ type t = {
   suspect : Pid.t -> unit;
   last_heard : float Pid.Tbl.t; (* peer -> time of last beat (or enrolment) *)
   mutable running : bool;
-  mutable pending : Gmp_sim.Engine.handle option;
+  mutable pending : Gmp_platform.Platform.timer option;
       (* the scheduled next tick, so [stop] can cancel it instead of leaving
          the closure live in the heap until its fire time *)
   mutable suspects_fired : Pid.Set.t;
 }
 
-let create ?(proc = -1) ~engine ~interval ~timeout ~send_beat ~peers ~suspect
-    () =
+let create ~now ~set_timer ~interval ~timeout ~send_beat ~peers ~suspect () =
   if interval <= 0.0 then invalid_arg "Heartbeat.create: bad interval";
   if timeout <= interval then
     invalid_arg "Heartbeat.create: timeout must exceed interval";
-  { engine;
-    proc;
+  { now;
+    set_timer;
     interval;
     timeout;
     send_beat;
@@ -54,8 +58,7 @@ let is_peer t pid = List.exists (Pid.equal pid) (t.peers ())
 let beat_received t ~from =
   (* Only current peers are tracked: a beat from a departed or never-known
      process (late in flight when the sender was excluded) is ignored. *)
-  if is_peer t from then
-    Pid.Tbl.replace t.last_heard from (Gmp_sim.Engine.now t.engine)
+  if is_peer t from then Pid.Tbl.replace t.last_heard from (t.now ())
 
 let forget t pid =
   Pid.Tbl.remove t.last_heard pid;
@@ -94,7 +97,7 @@ let check_peer t now pid =
 
 let tick t =
   if t.running then begin
-    let now = Gmp_sim.Engine.now t.engine in
+    let now = t.now () in
     let peers = t.peers () in
     prune t peers;
     List.iter t.send_beat peers;
@@ -104,28 +107,25 @@ let tick t =
 let start t =
   if not t.running then begin
     t.running <- true;
-    let schedule loop =
-      Gmp_sim.Engine.schedule ~proc:t.proc t.engine ~delay:t.interval loop
-    in
     let rec loop () =
       (* This event is firing, so it is no longer pending: a [stop] from
          inside [tick] must not cancel an already-fired handle. *)
       t.pending <- None;
       if t.running then begin
         tick t;
-        if t.running then t.pending <- Some (schedule loop)
+        if t.running then t.pending <- Some (t.set_timer ~delay:t.interval loop)
       end
     in
-    t.pending <- Some (schedule loop)
+    t.pending <- Some (t.set_timer ~delay:t.interval loop)
   end
 
 let stop t =
   t.running <- false;
   match t.pending with
   | None -> ()
-  | Some handle ->
+  | Some timer ->
     t.pending <- None;
-    Gmp_sim.Engine.cancel t.engine handle
+    timer.Gmp_platform.Platform.cancel ()
 
 let is_running t = t.running
 

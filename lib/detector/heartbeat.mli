@@ -3,15 +3,20 @@
     Emits a beat to every current peer each [interval] and fires [suspect]
     once per peer whose last beat is older than [timeout]. Guarantees the
     paper's liveness assumption (a real crash is suspected in finite time);
-    may fire spuriously under delay — the protocol must tolerate that. *)
+    may fire spuriously under delay — the protocol must tolerate that.
+
+    Platform-agnostic: time and scheduling come in as closures (normally
+    the owning node's {!Gmp_platform.Platform.node} operations), so the
+    same detector runs on the simulator's virtual clock and on wall
+    clocks. *)
 
 open Gmp_base
 
 type t
 
 val create :
-  ?proc:int ->
-  engine:Gmp_sim.Engine.t ->
+  now:(unit -> float) ->
+  set_timer:(delay:float -> (unit -> unit) -> Gmp_platform.Platform.timer) ->
   interval:float ->
   timeout:float ->
   send_beat:(Pid.t -> unit) ->
@@ -20,9 +25,7 @@ val create :
   unit ->
   t
 (** [peers] is consulted on every tick, so the monitored set tracks the
-    current view. [timeout] must exceed [interval]. [proc] tags the tick
-    timer with the owning process's engine slot (for the schedule
-    explorer); default untagged. *)
+    current view. [timeout] must exceed [interval]. *)
 
 val start : t -> unit
 val stop : t -> unit

@@ -3,7 +3,11 @@
    Experiments that reproduce a specific figure need exact control over who
    suspects whom and when; this module schedules those faultyp(q) events
    directly, bypassing timeouts. It composes with Heartbeat: both feed the
-   same suspicion entry point of the protocol layer. *)
+   same suspicion entry point of the protocol layer.
+
+   Scheduling is abstract ([schedule_at] is normally a thin wrapper around
+   the simulator engine's absolute-time scheduler), keeping this library
+   free of any particular platform. *)
 
 open Gmp_base
 
@@ -11,17 +15,13 @@ type entry = { at : float; observer : Pid.t; suspect : Pid.t }
 
 let entry ~at ~observer ~suspect = { at; observer; suspect }
 
-let install engine entries ~fire =
+let install ~schedule_at entries ~fire =
   List.iter
     (fun { at; observer; suspect } ->
-      ignore (Gmp_sim.Engine.schedule_at engine ~time:at (fun () ->
-                  fire ~observer ~suspect)
-              : Gmp_sim.Engine.handle))
+      schedule_at ~time:at (fun () -> fire ~observer ~suspect))
     entries
 
-let crash_script engine entries ~crash =
+let crash_script ~schedule_at entries ~crash =
   List.iter
-    (fun (at, pid) ->
-      ignore (Gmp_sim.Engine.schedule_at engine ~time:at (fun () -> crash pid)
-              : Gmp_sim.Engine.handle))
+    (fun (at, pid) -> schedule_at ~time:at (fun () -> crash pid))
     entries

@@ -1,7 +1,9 @@
 (** Scripted failure-detection oracle for reproducing exact scenarios.
 
     Schedules [faultyp(q)] events at chosen instants, bypassing timeouts.
-    Table 1 and the figure-specific experiments are driven this way. *)
+    Table 1 and the figure-specific experiments are driven this way.
+    [schedule_at] abstracts the scheduler (normally
+    [Gmp_sim.Engine.schedule_at] wrapped to discard the handle). *)
 
 open Gmp_base
 
@@ -10,11 +12,14 @@ type entry
 val entry : at:float -> observer:Pid.t -> suspect:Pid.t -> entry
 
 val install :
-  Gmp_sim.Engine.t ->
+  schedule_at:(time:float -> (unit -> unit) -> unit) ->
   entry list ->
   fire:(observer:Pid.t -> suspect:Pid.t -> unit) ->
   unit
 
 val crash_script :
-  Gmp_sim.Engine.t -> (float * Pid.t) list -> crash:(Pid.t -> unit) -> unit
+  schedule_at:(time:float -> (unit -> unit) -> unit) ->
+  (float * Pid.t) list ->
+  crash:(Pid.t -> unit) ->
+  unit
 (** Schedule real crashes. *)

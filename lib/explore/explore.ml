@@ -30,7 +30,7 @@ module Engine = Gmp_sim.Engine
 module Network = Gmp_net.Network
 module Delay = Gmp_net.Delay
 module Config = Gmp_core.Config
-module Group = Gmp_core.Group
+module Group = Gmp_runtime.Group
 module Member = Gmp_core.Member
 module View = Gmp_core.View
 module Trace = Gmp_core.Trace

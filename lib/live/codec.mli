@@ -1,0 +1,62 @@
+(** Versioned binary codec for the live runtime's datagrams.
+
+    Frames carry a fixed header (magic ["GM"], a version byte, a 32-bit
+    body length) so truncated, oversized or foreign datagrams are rejected
+    before any field is read. The exact byte layout is pinned by the golden
+    files under [test/golden]. *)
+
+open Gmp_base
+open Gmp_causality
+open Gmp_core
+
+type Wire.app += Blob of string
+      (** The only application payload that exists on the real wire:
+          serialized bytes. Encoding any other [Wire.app] constructor
+          raises [Invalid_argument]. *)
+
+(** Out-of-band orchestrator commands (fault injection, teardown). *)
+type ctrl =
+  | Shutdown  (** exit cleanly after flushing the event log *)
+  | Blackhole of Pid.t  (** silently drop all traffic from this peer *)
+  | Unblackhole of Pid.t
+
+type frame =
+  | Data of {
+      src : Pid.t;
+      chan_seq : int;  (** per-(src,dst) ARQ sequence number *)
+      vc : Vector_clock.t;  (** sender's clock at send time *)
+      msg : Wire.t;
+    }
+  | Ack of { src : Pid.t; ack_next : int }
+      (** cumulative: "I have delivered everything below [ack_next]" *)
+  | Ctrl of ctrl
+
+type error =
+  | Truncated of string
+  | Oversized of { declared : int; max : int }
+  | Bad_magic
+  | Unsupported_version of int
+  | Malformed of string
+
+val pp_error : error Fmt.t
+
+val version : int
+(** Codec revision this build speaks. *)
+
+val max_frame : int
+(** Upper bound on an encoded body's length; larger declared lengths are
+    rejected without allocation. *)
+
+val encode_msg : Wire.t -> string
+(** Body-only encoding of a protocol message (no frame header); the
+    round-trip surface the golden tests pin. *)
+
+val decode_msg : string -> (Wire.t, error) result
+(** Inverse of {!encode_msg}; rejects trailing bytes. *)
+
+val encode_frame : frame -> string
+(** Full datagram: header plus body. *)
+
+val decode_frame : string -> (frame, error) result
+(** Inverse of {!encode_frame}. Every failure mode is a clean [Error] -
+    decoding never raises on hostile input. *)

@@ -1,0 +1,394 @@
+(* One live GMP process: the real-world implementation of the Platform
+   seam.
+
+   A node owns one UDP socket on the loopback interface and a single
+   thread: the poll loop alternates between draining the socket and firing
+   due wall-clock timers, so - exactly as in the simulator - protocol
+   callbacks never run concurrently and the core needs no locks.
+
+   Between nodes runs a go-back-N ARQ per ordered process pair (the
+   paper's footnote 2 channel: sequence numbers plus acknowledgements over
+   a lossy medium). UDP on loopback rarely drops, but the cluster
+   orchestrator injects loss deliberately (blackholing), and the protocol's
+   liveness depends on retransmission riding through it:
+
+     - sender: frames get consecutive [chan_seq] numbers and wait in an
+       unacked queue; a per-destination timer retransmits the whole window
+       every rto until a cumulative ack covers it;
+     - receiver: delivers exactly the next expected sequence number (FIFO,
+       exactly-once), acks cumulatively on every data frame, drops
+       out-of-order frames (go-back-N keeps no reorder buffer).
+
+   Vector clocks follow the same discipline as the simulator's runtime:
+   tick on send, broadcast and local event; merge+tick on delivery. The
+   clock itself is a monotonicized [Unix.gettimeofday] - absolute, so the
+   logs of separately-spawned processes share one time axis and the
+   orchestrator can merge them; monotonicized, because timer logic breaks
+   if NTP steps the wall clock backwards. *)
+
+open Gmp_base
+open Gmp_causality
+open Gmp_core
+module Platform = Gmp_platform.Platform
+module Stats = Gmp_platform.Stats
+
+type out_chan = {
+  mutable next_seq : int;
+  mutable base : int; (* lowest unacked seq *)
+  unacked : (int * string) Queue.t; (* (seq, encoded datagram) *)
+  mutable rtimer : Timers.entry option;
+}
+
+type in_chan = { mutable next_expected : int }
+
+type t = {
+  pid : Pid.t;
+  sock : Unix.file_descr;
+  port : int;
+  timers : Timers.t;
+  peers : Unix.sockaddr Pid.Tbl.t;
+  out_chans : out_chan Pid.Tbl.t;
+  in_chans : in_chan Pid.Tbl.t;
+  mutable blackholed : Pid.Set.t; (* fault injection: drop their frames *)
+  mutable disconnected : Pid.Set.t; (* S1: permanent incoming disconnect *)
+  mutable vc : Vector_clock.t;
+  mutable events : int; (* local history length *)
+  mutable alive : bool;
+  mutable stopping : bool; (* orchestrator asked for clean shutdown *)
+  mutable receiver : src:Pid.t -> Wire.t -> unit;
+  mutable last_now : float; (* monotonicity floor *)
+  mutable retransmissions : int;
+  stats : Stats.t;
+  rto : float;
+  log : string -> unit;
+  recv_buf : Bytes.t;
+}
+
+let default_rto = 0.25
+
+let create ?(peers = []) ?(rto = default_rto) ?(log = fun _ -> ()) ~pid ~port
+    () =
+  if rto <= 0.0 then invalid_arg "Node.create: non-positive rto";
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.set_nonblock sock;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    { pid;
+      sock;
+      port;
+      timers = Timers.create ();
+      peers = Pid.Tbl.create 16;
+      out_chans = Pid.Tbl.create 16;
+      in_chans = Pid.Tbl.create 16;
+      blackholed = Pid.Set.empty;
+      disconnected = Pid.Set.empty;
+      vc = Vector_clock.empty;
+      events = 0;
+      alive = true;
+      stopping = false;
+      receiver = (fun ~src:_ _ -> ());
+      last_now = 0.0;
+      retransmissions = 0;
+      stats = Stats.create ();
+      rto;
+      log;
+      recv_buf = Bytes.create (Codec.max_frame + 64) }
+  in
+  List.iter
+    (fun (p, port) ->
+      Pid.Tbl.replace t.peers p
+        (Unix.ADDR_INET (Unix.inet_addr_loopback, port)))
+    peers;
+  t
+
+let pid t = t.pid
+let port t = t.port
+let stats t = t.stats
+let alive t = t.alive
+let stopping t = t.stopping
+let retransmissions t = t.retransmissions
+let clock t = t.vc
+
+let add_peer t p ~port =
+  Pid.Tbl.replace t.peers p (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let now t =
+  let w = Unix.gettimeofday () in
+  if w > t.last_now then t.last_now <- w;
+  t.last_now
+
+let local_event t =
+  t.vc <- Vector_clock.tick t.vc t.pid;
+  t.events <- t.events + 1;
+  (t.events, t.vc)
+
+(* ---- raw datagram out ---- *)
+
+let sendto t ~dst bytes =
+  match Pid.Tbl.find_opt t.peers dst with
+  | None -> t.log (Printf.sprintf "no address for %s" (Pid.to_string dst))
+  | Some addr -> (
+    try
+      ignore
+        (Unix.sendto t.sock (Bytes.of_string bytes) 0 (String.length bytes)
+           [] addr
+          : int)
+    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
+      (* A full buffer or a dead peer's closed port: both look like loss to
+         the ARQ, which is what retransmission exists for. *)
+      ())
+
+(* ---- ARQ sender side ---- *)
+
+let out_chan t dst =
+  match Pid.Tbl.find_opt t.out_chans dst with
+  | Some c -> c
+  | None ->
+    let c =
+      { next_seq = 0; base = 0; unacked = Queue.create (); rtimer = None }
+    in
+    Pid.Tbl.replace t.out_chans dst c;
+    c
+
+let cancel_rtimer c =
+  match c.rtimer with
+  | None -> ()
+  | Some e ->
+    Timers.cancel e;
+    c.rtimer <- None
+
+let rec arm_rtimer t dst c =
+  cancel_rtimer c;
+  if not (Queue.is_empty c.unacked) then
+    c.rtimer <-
+      Some
+        (Timers.schedule t.timers
+           ~at:(now t +. t.rto)
+           (fun () ->
+             c.rtimer <- None;
+             if t.alive && not (Queue.is_empty c.unacked) then begin
+               Queue.iter
+                 (fun (_, bytes) ->
+                   t.retransmissions <- t.retransmissions + 1;
+                   sendto t ~dst bytes)
+                 c.unacked;
+               arm_rtimer t dst c
+             end))
+
+let transmit t ~dst msg =
+  let c = out_chan t dst in
+  let seq = c.next_seq in
+  c.next_seq <- seq + 1;
+  let bytes =
+    Codec.encode_frame
+      (Codec.Data { src = t.pid; chan_seq = seq; vc = t.vc; msg })
+  in
+  Queue.add (seq, bytes) c.unacked;
+  sendto t ~dst bytes;
+  if c.rtimer = None then arm_rtimer t dst c
+
+let handle_ack t ~src ~ack_next =
+  match Pid.Tbl.find_opt t.out_chans src with
+  | None -> ()
+  | Some c ->
+    while
+      (not (Queue.is_empty c.unacked)) && fst (Queue.peek c.unacked) < ack_next
+    do
+      ignore (Queue.pop c.unacked : int * string)
+    done;
+    if ack_next > c.base then c.base <- ack_next;
+    if Queue.is_empty c.unacked then cancel_rtimer c
+
+let teardown_to t dst =
+  (match Pid.Tbl.find_opt t.out_chans dst with
+  | None -> ()
+  | Some c ->
+    cancel_rtimer c;
+    Queue.clear c.unacked);
+  Pid.Tbl.remove t.out_chans dst
+
+(* ---- platform operations ---- *)
+
+let send t ~dst ~category payload =
+  if t.alive then begin
+    t.vc <- Vector_clock.tick t.vc t.pid;
+    t.events <- t.events + 1;
+    Stats.record_sent t.stats ~category;
+    transmit t ~dst payload
+  end
+
+let broadcast t ~dsts ~category payload =
+  (* One vc tick for the whole broadcast, as in the simulator; the sends
+     themselves are sequential datagrams (indivisible in the paper's sense,
+     not failure-atomic). *)
+  if t.alive then begin
+    t.vc <- Vector_clock.tick t.vc t.pid;
+    t.events <- t.events + 1;
+    List.iter
+      (fun dst ->
+        if not (Pid.equal dst t.pid) then begin
+          Stats.record_sent t.stats ~category;
+          transmit t ~dst payload
+        end)
+      dsts
+  end
+
+let disconnect_from t ~from =
+  (* S1: sever the incoming channel permanently. Also stop retransmitting
+     toward the severed peer - it is being excluded; an unacked window
+     kept alive forever would spin the timer wheel for a corpse. *)
+  t.disconnected <- Pid.Set.add from t.disconnected;
+  Pid.Tbl.remove t.in_chans from;
+  teardown_to t from
+
+let halt t =
+  if t.alive then begin
+    t.alive <- false;
+    Pid.Tbl.iter (fun _ c -> cancel_rtimer c) t.out_chans;
+    Pid.Tbl.reset t.out_chans
+  end
+
+let set_timer t ~delay f =
+  let e =
+    Timers.schedule t.timers
+      ~at:(now t +. delay)
+      (fun () -> if t.alive then f ())
+  in
+  { Platform.cancel = (fun () -> Timers.cancel e) }
+
+let every t ~interval f =
+  if interval <= 0.0 then invalid_arg "Node.every: non-positive interval";
+  let rec loop () =
+    if t.alive then begin
+      f ();
+      if t.alive then
+        ignore
+          (Timers.schedule t.timers ~at:(now t +. interval) loop
+            : Timers.entry)
+    end
+  in
+  ignore (Timers.schedule t.timers ~at:(now t +. interval) loop : Timers.entry)
+
+let platform t =
+  { Platform.pid = t.pid;
+    alive = (fun () -> t.alive);
+    now = (fun () -> now t);
+    clock = (fun () -> t.vc);
+    local_event = (fun () -> local_event t);
+    send = (fun ~dst ~category payload -> send t ~dst ~category payload);
+    broadcast =
+      (fun ~dsts ~category payload -> broadcast t ~dsts ~category payload);
+    disconnect_from = (fun ~from -> disconnect_from t ~from);
+    halt = (fun () -> halt t);
+    set_receiver = (fun f -> t.receiver <- f);
+    set_timer = (fun ~delay f -> set_timer t ~delay f);
+    every = (fun ~interval f -> every t ~interval f);
+    log = t.log }
+
+(* ---- ARQ receiver side / frame dispatch ---- *)
+
+let in_chan t src =
+  match Pid.Tbl.find_opt t.in_chans src with
+  | Some c -> c
+  | None ->
+    let c = { next_expected = 0 } in
+    Pid.Tbl.replace t.in_chans src c;
+    c
+
+let send_ack t ~dst ~ack_next =
+  sendto t ~dst (Codec.encode_frame (Codec.Ack { src = t.pid; ack_next }))
+
+let handle_data t ~sender_addr ~src ~chan_seq ~sender_vc msg =
+  (* Learn the peer's address from its traffic: joiners announce
+     themselves, no static address book required. *)
+  if not (Pid.Tbl.mem t.peers src) then Pid.Tbl.replace t.peers src sender_addr;
+  let c = in_chan t src in
+  if chan_seq = c.next_expected then begin
+    c.next_expected <- chan_seq + 1;
+    send_ack t ~dst:src ~ack_next:c.next_expected;
+    t.vc <- Vector_clock.merge_tick t.vc sender_vc t.pid;
+    t.events <- t.events + 1;
+    Stats.record_delivered t.stats ~category:(Wire.category_id msg);
+    t.receiver ~src msg
+  end
+  else
+    (* Duplicate or out-of-order: no delivery, but always re-ack so the
+       sender's window can advance past a lost ack. *)
+    send_ack t ~dst:src ~ack_next:c.next_expected
+
+let handle_frame t ~sender_addr = function
+  | Codec.Data { src; chan_seq; vc; msg } ->
+    if
+      t.alive
+      && (not (Pid.Set.mem src t.blackholed))
+      && not (Pid.Set.mem src t.disconnected)
+    then handle_data t ~sender_addr ~src ~chan_seq ~sender_vc:vc msg
+    else if t.alive && Pid.Set.mem src t.blackholed then
+      Stats.record_dropped t.stats ~category:(Wire.category_id msg)
+  | Codec.Ack { src; ack_next } ->
+    if t.alive && not (Pid.Set.mem src t.blackholed) then
+      handle_ack t ~src ~ack_next
+  | Codec.Ctrl Codec.Shutdown -> t.stopping <- true
+  | Codec.Ctrl (Codec.Blackhole p) ->
+    t.blackholed <- Pid.Set.add p t.blackholed;
+    t.log (Printf.sprintf "blackholing %s" (Pid.to_string p))
+  | Codec.Ctrl (Codec.Unblackhole p) ->
+    t.blackholed <- Pid.Set.remove p t.blackholed;
+    t.log (Printf.sprintf "unblackholing %s" (Pid.to_string p))
+
+let drain_socket t =
+  let rec go () =
+    match Unix.recvfrom t.sock t.recv_buf 0 (Bytes.length t.recv_buf) [] with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+      (* Linux surfaces a previous send's ICMP port-unreachable here. *)
+      go ()
+    | n, sender_addr ->
+      let raw = Bytes.sub_string t.recv_buf 0 n in
+      (match Codec.decode_frame raw with
+      | Ok frame -> handle_frame t ~sender_addr frame
+      | Error e ->
+        t.log (Fmt.str "dropping undecodable datagram: %a" Codec.pp_error e));
+      go ()
+  in
+  go ()
+
+(* ---- poll loop ---- *)
+
+let max_poll = 0.2
+(* Upper bound on one select sleep: keeps the loop responsive to [run]'s
+   deadline and cheap to reason about; idle wakeups at 5 Hz are free. *)
+
+let step t =
+  let n = now t in
+  ignore (Timers.fire_due t.timers ~now:n : int);
+  let timeout =
+    match Timers.next_deadline t.timers with
+    | None -> max_poll
+    | Some at -> Float.min max_poll (Float.max 0.0 (at -. n))
+  in
+  (match Unix.select [ t.sock ] [] [] timeout with
+  | [ _ ], _, _ -> drain_socket t
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  ignore (Timers.fire_due t.timers ~now:(now t) : int)
+
+let run ?until t =
+  let deadline = Option.map (fun d -> now t +. d) until in
+  let expired () =
+    match deadline with None -> false | Some d -> now t >= d
+  in
+  while t.alive && (not t.stopping) && not (expired ()) do
+    step t
+  done
+
+let close t =
+  halt t;
+  try Unix.close t.sock with Unix.Unix_error _ -> ()

@@ -1,0 +1,56 @@
+(** One live GMP process: real sockets, wall-clock timers, the Platform
+    seam's second implementation.
+
+    A node owns a UDP socket on loopback and a single-threaded poll loop;
+    protocol callbacks (message delivery, timers) run only inside {!run},
+    never concurrently — the concurrency model the protocol core was
+    written against. Reliable FIFO channels between nodes come from a
+    go-back-N ARQ (sequence numbers + cumulative acks + timed
+    retransmission), the paper's footnote-2 channel realized over a medium
+    that can genuinely lose datagrams. *)
+
+open Gmp_base
+open Gmp_core
+
+type t
+
+val create :
+  ?peers:(Pid.t * int) list ->
+  ?rto:float ->
+  ?log:(string -> unit) ->
+  pid:Pid.t ->
+  port:int ->
+  unit ->
+  t
+(** Bind a UDP socket on [127.0.0.1:port] ([port = 0] picks an ephemeral
+    port; read it back with {!port}). [peers] seeds the address book;
+    addresses of unknown peers are also learnt from their traffic, so a
+    joiner only needs its contacts. [rto] is the ARQ retransmission
+    timeout (default 0.25 s); per-member overrides come from
+    [Config.arq_rto_for] at daemon level. *)
+
+val platform : t -> Wire.t Gmp_platform.Platform.node
+(** The node seen through the world-agnostic seam — what
+    [Gmp_core.Member.create] takes. *)
+
+val run : ?until:float -> t -> unit
+(** The poll loop: drain the socket, fire due timers, sleep on [select]
+    until the next deadline. Returns when the node halts (protocol quit or
+    crash), an orchestrator [Shutdown] arrives, or [until] seconds elapse. *)
+
+val pid : t -> Pid.t
+val port : t -> int
+
+val add_peer : t -> Pid.t -> port:int -> unit
+
+val stats : t -> Gmp_platform.Stats.t
+val alive : t -> bool
+
+val stopping : t -> bool
+(** An orchestrator [Shutdown] control frame arrived. *)
+
+val retransmissions : t -> int
+val clock : t -> Gmp_causality.Vector_clock.t
+
+val close : t -> unit
+(** Halt and release the socket. *)

@@ -1,0 +1,29 @@
+(** Wall-clock timer wheel for the live poll loop.
+
+    A lazy-deletion binary min-heap: cancellation marks the entry dead and
+    the heap discards it when it reaches the top. All callbacks run on the
+    loop thread (inside {!fire_due}); nothing here is thread-safe, and
+    nothing needs to be. *)
+
+type t
+type entry
+
+val create : unit -> t
+
+val schedule : t -> at:float -> (unit -> unit) -> entry
+(** Absolute deadline on the caller's clock. Entries with equal deadlines
+    fire in scheduling order. *)
+
+val cancel : entry -> unit
+(** Idempotent; cancelling a fired entry is a no-op. *)
+
+val next_deadline : t -> float option
+(** Earliest live deadline — the poll loop's select-timeout bound. *)
+
+val fire_due : t -> now:float -> int
+(** Run every live entry with [at <= now], in deadline order; returns how
+    many fired. Callbacks may schedule further entries (a periodic timer
+    re-arms itself); entries they add in the past fire in the same call. *)
+
+val pending : t -> int
+(** Live entries still scheduled (test instrumentation). *)

@@ -18,13 +18,18 @@ val create :
   ?loss:float ->
   ?duplicate:float ->
   ?rto:float ->
+  ?rto_of:(src:Pid.t -> dst:Pid.t -> float option) ->
   ?fifo:bool ->
   engine:Gmp_sim.Engine.t ->
   rng:Gmp_sim.Rng.t ->
   delay:Delay.t ->
   unit ->
   'm t
-(** Defaults: 20% loss, 5% duplication, retransmit every 5 time units. *)
+(** Defaults: 20% loss, 5% duplication, retransmit every 5 time units.
+    [rto_of] overrides the retransmission timeout per ordered channel; it
+    is consulted at every (re)transmission and falls back to [rto] on
+    [None]. Keyed by the {e sender}, so a member's [Config.tuning]
+    ([arq_rto]) maps directly onto its outgoing channels. *)
 
 val set_handler : 'm t -> (dst:Pid.t -> src:Pid.t -> 'm -> unit) -> unit
 (** Upper-layer delivery: exactly once, per-channel FIFO. *)

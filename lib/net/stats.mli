@@ -1,45 +1,7 @@
-(** Per-category message statistics.
+(** Alias of {!Gmp_platform.Stats} (the implementation moved there so the
+    protocol core can tag sends without depending on the simulated
+    network); kept here so network-layer users keep their module path. *)
 
-    The paper's §7.2 counts protocol messages only (the failure-detection
-    mechanism is an oracle); tagging every send with a category lets the
-    benches count exactly what the paper counts.
-
-    Categories are interned into dense integer ids through a global,
-    process-wide registry ({!intern} is idempotent and cheap to call at
-    module-initialization time). The recording path takes the interned id
-    and is a single array increment; the query API stays string-keyed. *)
-
-type t
-
-type category
-(** An interned category id (dense, process-global). *)
-
-val intern : string -> category
-(** Intern a category name; returns the same id for the same name. *)
-
-val name : category -> string
-(** Inverse of {!intern}. *)
-
-val create : unit -> t
-
-val record_sent : t -> category:category -> unit
-val record_delivered : t -> category:category -> unit
-val record_dropped : t -> category:category -> unit
-
-val sent : t -> category:string -> int
-val delivered : t -> category:string -> int
-val dropped : t -> category:string -> int
-
-val total_sent : t -> int
-val total_delivered : t -> int
-val total_dropped : t -> int
-
-val sent_excluding : t -> categories:string list -> int
-(** Total sends outside the given categories (e.g. excluding heartbeats). *)
-
-val categories : t -> string list
-val snapshot : t -> (string * int * int * int) list
-(** [(category, sent, delivered, dropped)] rows. *)
-
-val reset : t -> unit
-val pp : t Fmt.t
+include module type of struct
+  include Gmp_platform.Stats
+end

@@ -3,7 +3,7 @@
    engine, and hands back the trace, statistics and final states. *)
 
 open Gmp_base
-module Runtime = Gmp_runtime.Runtime
+open Gmp_core
 
 type t = {
   runtime : Wire.t Runtime.t;
@@ -21,7 +21,8 @@ let create ?(config = Config.default) ?delay ?(seed = 1) ~n () =
   let members =
     List.fold_left
       (fun acc pid ->
-        let m = Member.create ~runtime ~trace ~config ~initial pid in
+        let node = Runtime.platform (Runtime.spawn runtime pid) in
+        let m = Member.create ~node ~trace ~config ~initial () in
         Pid.Map.add pid m acc)
       Pid.Map.empty initial
   in
@@ -61,9 +62,10 @@ let join_at ?contacts t time pid ~contact =
   at t time (fun () ->
       if Pid.Map.mem pid t.members then
         invalid_arg (Fmt.str "Group.join_at: pid %a already exists" Pid.pp pid);
+      let node = Runtime.platform (Runtime.spawn t.runtime pid) in
       let m =
-        Member.create ~joiner:true ~runtime:t.runtime ~trace:t.trace
-          ~config:t.config ~initial:t.initial pid
+        Member.create ~joiner:true ~node ~trace:t.trace ~config:t.config
+          ~initial:t.initial ()
       in
       t.members <- Pid.Map.add pid m t.members;
       let contacts =
@@ -136,3 +138,37 @@ let fingerprint t =
 let pp_summary ppf t =
   let member ppf m = Member.pp ppf m in
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@\n") member) (members t)
+
+(* ---- verdicts and export ---- *)
+
+let check ?liveness t =
+  let dead =
+    List.filter_map
+      (fun m -> if Member.operational m then None else Some (Member.pid m))
+      (members t)
+  in
+  let final_view =
+    match agreed_view t with Some (_, members) -> members | None -> []
+  in
+  Checker.check_run ?liveness t.trace ~initial:t.initial
+    ~surviving_views:(surviving_views t) ~dead ~final_view
+
+let to_json ?(include_trace = true) t =
+  let module J = Json in
+  let violations = check t in
+  J.obj
+    [ ("initial", J.list (List.map Export.json_of_pid t.initial));
+      ("members", J.list (List.map Export.json_of_member (members t)));
+      ( "agreed_view",
+        match agreed_view t with
+        | Some (ver, members) ->
+          J.obj
+            [ ("version", J.int ver);
+              ("members", J.list (List.map Export.json_of_pid members)) ]
+        | None -> J.null );
+      ("protocol_messages", J.int (protocol_messages t));
+      ("stats", Export.json_of_stats (stats t));
+      ("violations", J.list (List.map Export.json_of_violation violations));
+      ( "trace",
+        if include_trace then Export.json_of_trace t.trace else J.null )
+    ]

@@ -5,6 +5,7 @@
     checkers and benches consume. *)
 
 open Gmp_base
+open Gmp_core
 
 type t
 
@@ -17,12 +18,12 @@ val create :
   t
 (** A group of [n] processes [p0 .. p(n-1)], [p0] most senior. *)
 
-val runtime : t -> Wire.t Gmp_runtime.Runtime.t
+val runtime : t -> Wire.t Runtime.t
 val engine : t -> Gmp_sim.Engine.t
 
 (** The underlying network (for partitions, channel decoding and
     fingerprinting by the explorer). *)
-val network : t -> Wire.t Gmp_runtime.Runtime.wrapped Gmp_net.Network.t
+val network : t -> Wire.t Runtime.wrapped Gmp_net.Network.t
 val trace : t -> Trace.t
 val stats : t -> Gmp_net.Stats.t
 val initial : t -> Pid.t list
@@ -67,5 +68,13 @@ val protocol_messages : t -> int
 val fingerprint : t -> int
 (** Hash of all members' protocol state plus the network's adversarial
     state, for the explorer's state pruning. *)
+
+val check : ?liveness:bool -> t -> Checker.violation list
+(** Full checker verdict for this run ({!Checker.check_run} fed from the
+    harness's final states); [~liveness:false] restricts to safety. *)
+
+val to_json : ?include_trace:bool -> t -> Json.t
+(** Full run dump: members, agreed view, statistics, checker verdicts and
+    (optionally) the complete trace. *)
 
 val pp_summary : t Fmt.t

@@ -154,3 +154,27 @@ let every node ~interval f =
       : Gmp_sim.Engine.handle)
 
 let run ?max_steps ?until t = Gmp_sim.Engine.run ?max_steps ?until t.engine
+
+(* The node's view of itself through the world-agnostic platform seam.
+   Protocol layers built against {!Gmp_platform.Platform.node} (Member, the
+   detectors) run on these closures in the sim and on lib/live's sockets in
+   the real world, byte-identically. *)
+let platform node =
+  let module P = Gmp_platform.Platform in
+  { P.pid = node.pid;
+    alive = (fun () -> node.alive);
+    now = (fun () -> node_now node);
+    clock = (fun () -> node.vc);
+    local_event = (fun () -> local_event node);
+    send = (fun ~dst ~category payload -> send node ~dst ~category payload);
+    broadcast =
+      (fun ~dsts ~category payload -> broadcast node ~dsts ~category payload);
+    disconnect_from = (fun ~from -> disconnect_from node ~from);
+    halt = (fun () -> crash node);
+    set_receiver = (fun f -> set_receiver node f);
+    set_timer =
+      (fun ~delay f ->
+        let h = set_timer node ~delay f in
+        { P.cancel = (fun () -> cancel_timer node h) });
+    every = (fun ~interval f -> every node ~interval f);
+    log = (fun _ -> ()) }

@@ -78,3 +78,9 @@ val every : 'm node -> interval:float -> (unit -> unit) -> unit
 (** Periodic timer; stops when the node dies. *)
 
 val run : ?max_steps:int -> ?until:float -> 'm t -> unit
+
+val platform : 'm node -> 'm Gmp_platform.Platform.node
+(** The node's operations as the world-agnostic platform record. Protocol
+    layers built against {!Gmp_platform.Platform.node} run on the simulator
+    through this and on real sockets through [lib/live], byte-identically.
+    [halt] is {!crash}; [log] is a no-op (the sim's trace is the log). *)

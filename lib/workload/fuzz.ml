@@ -14,7 +14,7 @@
      others. *)
 
 open Gmp_base
-module Group = Gmp_core.Group
+module Group = Gmp_runtime.Group
 module Checker = Gmp_core.Checker
 module Config = Gmp_core.Config
 

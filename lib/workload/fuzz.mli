@@ -26,7 +26,7 @@ val run_schedule :
   ?config:Gmp_core.Config.t ->
   seed:int ->
   schedule ->
-  Gmp_core.Checker.violation list * Gmp_core.Group.t
+  Gmp_core.Checker.violation list * Gmp_runtime.Group.t
 (** Run one schedule and return the safety verdicts. *)
 
 val delta_debug : still_fails:('a list -> bool) -> 'a list -> 'a list

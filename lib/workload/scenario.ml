@@ -3,7 +3,7 @@
    the measurements the paper's §7.2 analysis talks about. *)
 
 open Gmp_base
-module Group = Gmp_core.Group
+module Group = Gmp_runtime.Group
 module Checker = Gmp_core.Checker
 module Config = Gmp_core.Config
 module Wire = Gmp_core.Wire
@@ -35,7 +35,7 @@ let measure ?(liveness = true) group =
     update_msgs = count stats Wire.update_categories;
     reconf_msgs = count stats Wire.reconf_categories;
     views_installed;
-    violations = Checker.check_group ~liveness group }
+    violations = Group.check ~liveness group }
 
 (* E1 / Figure 1-2: a single crash of the junior member, handled by the
    plain two-phase update. Paper: at most 3n - 5 messages. *)

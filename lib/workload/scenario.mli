@@ -1,11 +1,12 @@
 (** Scenario builders: one per experiment in DESIGN.md's index.
 
-    Each builds a {!Gmp_core.Group}, injects the experiment's schedule,
+    Each builds a {!Gmp_runtime.Group}, injects the experiment's schedule,
     runs to quiescence and returns the measurements §7.2 talks about,
     together with the group for further inspection. *)
 
 open Gmp_base
 open Gmp_core
+open Gmp_runtime
 
 type measurement = {
   n : int;  (** initial group size *)

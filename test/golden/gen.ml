@@ -1,0 +1,86 @@
+(* Regenerates the golden codec files:
+
+     dune exec test/golden/gen.exe -- test/golden
+
+   One .bin per Wire.t constructor (body-only encoding) plus one per frame
+   kind. The committed bytes pin the wire format: if an edit to the codec
+   or to Wire.t changes any encoding, test_codec fails against these files
+   and the change must either be reverted or ship as a codec version bump
+   with regenerated goldens. *)
+
+open Gmp_base
+open Gmp_core
+open Gmp_live
+
+let p ?(i = 0) id = Pid.make ~incarnation:i id
+
+let messages : (string * Wire.t) list =
+  [ ("heartbeat", Wire.Heartbeat);
+    ("faulty_report", Wire.Faulty_report (p 3));
+    ("join_request", Wire.Join_request);
+    ("join_forward", Wire.Join_forward (p ~i:1 5));
+    ("invite", Wire.Invite { op = Types.Add (p 5); invite_ver = 3 });
+    ("invite_ok", Wire.Invite_ok { ok_ver = 3 });
+    ( "commit",
+      Wire.Commit
+        { op = Types.Remove (p 2);
+          commit_ver = 4;
+          contingent = Some (Types.Add (p 6));
+          faulty = [ p 2; p 3 ];
+          recovered = [ p 6 ] } );
+    ( "welcome",
+      Wire.Welcome
+        { w_members = [ p 0; p 1; p ~i:1 5 ];
+          w_ver = 2;
+          w_seq = [ Types.Add (p ~i:1 5); Types.Remove (p 2) ] } );
+    ("interrogate", Wire.Interrogate);
+    ( "interrogate_ok",
+      Wire.Interrogate_ok
+        { reply_ver = 2;
+          reply_seq = [ Types.Remove (p 1) ];
+          reply_next =
+            [ Types.Awaiting_proposal (p 4);
+              Types.Expected
+                { canonical = [ Types.Add (p 2); Types.Remove (p 0) ];
+                  coord = p 4;
+                  ver = 5 } ] } );
+    ( "propose",
+      Wire.Propose
+        { target_ver = 6;
+          canonical_seq = [ Types.Add (p 1); Types.Remove (p 3) ];
+          invis = Some (Types.Remove (p 0));
+          prop_faulty = [ p 0 ] } );
+    ("propose_ok", Wire.Propose_ok { pok_ver = 6 });
+    ( "reconf_commit",
+      Wire.Reconf_commit
+        { target_ver = 2;
+          canonical_seq = [ Types.Remove (p 4) ];
+          invis = None;
+          prop_faulty = [] } );
+    ("app", Wire.App { app_ver = 1; payload = Codec.Blob "hi\x00\xff" }) ]
+
+let frames : (string * Codec.frame) list =
+  [ ( "frame_data",
+      Codec.Data
+        { src = p ~i:2 1;
+          chan_seq = 42;
+          vc = Gmp_causality.Vector_clock.of_list [ (p 0, 3); (p ~i:2 1, 9) ];
+          msg = Wire.Invite { op = Types.Add (p 5); invite_ver = 3 } } );
+    ("frame_ack", Codec.Ack { src = p 4; ack_next = 17 });
+    ("frame_ctrl_shutdown", Codec.Ctrl Codec.Shutdown);
+    ("frame_ctrl_blackhole", Codec.Ctrl (Codec.Blackhole (p 2)));
+    ("frame_ctrl_unblackhole", Codec.Ctrl (Codec.Unblackhole (p 2))) ]
+
+let write dir name bytes =
+  let path = Filename.concat dir (name ^ ".bin") in
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length bytes)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  List.iter (fun (name, msg) -> write dir name (Codec.encode_msg msg)) messages;
+  List.iter
+    (fun (name, frame) -> write dir name (Codec.encode_frame frame))
+    frames

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Live smoke: a real 5-node loopback cluster must survive kill -9 of a
+# non-coordinator AND of the coordinator, converge to the correct 4-member
+# view, and pass the GMP checker on the reassembled trace (exit 0 from
+# gmp-cluster already implies zero violations).
+#
+# Wall-clock tests on shared CI machines are noisy, so timeouts are
+# generous and each scenario gets one retry before failing the job.
+set -u
+
+CLUSTER="$1"
+
+run_case() {
+  desc="$1"; shift
+  expect_view="$1"; shift
+  for attempt in 1 2; do
+    out=$("$CLUSTER" "$@" --json 2>&1)
+    code=$?
+    if [ "$code" -eq 0 ]; then
+      view=$(printf '%s' "$out" | sed -n 's/.*"final_view": \[\([^]]*\)\].*/\1/p' | tr -d '" ')
+      if [ "$view" = "$expect_view" ]; then
+        echo "ok: $desc -> [$view] (attempt $attempt)"
+        return 0
+      fi
+      echo "attempt $attempt: $desc converged to [$view], wanted [$expect_view]" >&2
+    else
+      echo "attempt $attempt: $desc exited $code" >&2
+      printf '%s\n' "$out" >&2
+    fi
+    sleep 2
+  done
+  echo "FAIL: $desc" >&2
+  return 1
+}
+
+run_case "SIGKILL non-coordinator p2" "p0,p1,p3,p4" \
+  --nodes 5 --run-for 10 --kill 3:p2 || exit 1
+
+run_case "SIGKILL coordinator p0" "p1,p2,p3,p4" \
+  --nodes 5 --run-for 10 --kill 3:p0 || exit 1
+
+echo "live smoke passed"

@@ -49,7 +49,7 @@ let test_real_protocol_survives_split () =
     List.filter_map
       (fun ((_ : Gmp_core.Trace.event), ver, members) ->
         if ver = 1 then Some members else None)
-      (Gmp_core.Trace.installs (Gmp_core.Group.trace group))
+      (Gmp_core.Trace.installs (Gmp_runtime.Group.trace group))
   in
   (match installs_v1 with
    | [] -> ()
@@ -84,7 +84,7 @@ let test_three_phase_fig11_consistent () =
   (* p1 (the would-be invisible committer) must have been blocked: it never
      reaches version 1. *)
   let p1_installs =
-    Gmp_core.Trace.installs_of (Gmp_core.Group.trace group) (p 1)
+    Gmp_core.Trace.installs_of (Gmp_runtime.Group.trace group) (p 1)
   in
   check bool "p1 blocked before commit" true
     (List.for_all (fun (ver, _) -> ver = 0) p1_installs)

@@ -1,0 +1,476 @@
+(* The live wire codec: golden files, fuzzed round-trips, hostile frames,
+   the timer wheel, and JSONL trace I/O. *)
+
+open Gmp_base
+open Gmp_causality
+open Gmp_core
+open Gmp_live
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let p ?(i = 0) id = Pid.make ~incarnation:i id
+
+let msg_testable =
+  Alcotest.testable Wire.pp (fun (a : Wire.t) b -> a = b)
+
+let result_of_error e = Fmt.str "%a" Codec.pp_error e
+
+(* ---- golden files: one per Wire.t constructor ----
+
+   The same messages test/golden/gen.ml writes; the committed bytes are
+   the specification. An encoding change must ship as a version bump with
+   regenerated goldens, never silently. *)
+
+let golden_messages : (string * Wire.t) list =
+  [ ("heartbeat", Wire.Heartbeat);
+    ("faulty_report", Wire.Faulty_report (p 3));
+    ("join_request", Wire.Join_request);
+    ("join_forward", Wire.Join_forward (p ~i:1 5));
+    ("invite", Wire.Invite { op = Types.Add (p 5); invite_ver = 3 });
+    ("invite_ok", Wire.Invite_ok { ok_ver = 3 });
+    ( "commit",
+      Wire.Commit
+        { op = Types.Remove (p 2);
+          commit_ver = 4;
+          contingent = Some (Types.Add (p 6));
+          faulty = [ p 2; p 3 ];
+          recovered = [ p 6 ] } );
+    ( "welcome",
+      Wire.Welcome
+        { w_members = [ p 0; p 1; p ~i:1 5 ];
+          w_ver = 2;
+          w_seq = [ Types.Add (p ~i:1 5); Types.Remove (p 2) ] } );
+    ("interrogate", Wire.Interrogate);
+    ( "interrogate_ok",
+      Wire.Interrogate_ok
+        { reply_ver = 2;
+          reply_seq = [ Types.Remove (p 1) ];
+          reply_next =
+            [ Types.Awaiting_proposal (p 4);
+              Types.Expected
+                { canonical = [ Types.Add (p 2); Types.Remove (p 0) ];
+                  coord = p 4;
+                  ver = 5 } ] } );
+    ( "propose",
+      Wire.Propose
+        { target_ver = 6;
+          canonical_seq = [ Types.Add (p 1); Types.Remove (p 3) ];
+          invis = Some (Types.Remove (p 0));
+          prop_faulty = [ p 0 ] } );
+    ("propose_ok", Wire.Propose_ok { pok_ver = 6 });
+    ( "reconf_commit",
+      Wire.Reconf_commit
+        { target_ver = 2;
+          canonical_seq = [ Types.Remove (p 4) ];
+          invis = None;
+          prop_faulty = [] } );
+    ("app", Wire.App { app_ver = 1; payload = Codec.Blob "hi\x00\xff" }) ]
+
+let read_golden name =
+  let path = Filename.concat "golden" (name ^ ".bin") in
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_covers_every_constructor () =
+  (* One golden per Wire.t constructor; this count must move with the
+     type, so a new constructor cannot ship unpinned. *)
+  check Alcotest.int "constructor count" 14 (List.length golden_messages)
+
+let test_golden_encode () =
+  List.iter
+    (fun (name, msg) ->
+      check Alcotest.string
+        (Printf.sprintf "%s encodes to its golden bytes" name)
+        (read_golden name) (Codec.encode_msg msg))
+    golden_messages
+
+let test_golden_decode () =
+  List.iter
+    (fun (name, msg) ->
+      match Codec.decode_msg (read_golden name) with
+      | Ok decoded ->
+        check msg_testable
+          (Printf.sprintf "%s decodes from its golden bytes" name)
+          msg decoded
+      | Error e -> Alcotest.failf "%s: decode failed: %s" name (result_of_error e))
+    golden_messages
+
+let test_golden_frames () =
+  (* Frame goldens round-trip through decode_frame. *)
+  List.iter
+    (fun name ->
+      match Codec.decode_frame (read_golden name) with
+      | Ok frame ->
+        check Alcotest.string
+          (Printf.sprintf "%s re-encodes identically" name)
+          (read_golden name) (Codec.encode_frame frame)
+      | Error e -> Alcotest.failf "%s: decode failed: %s" name (result_of_error e))
+    [ "frame_data"; "frame_ack"; "frame_ctrl_shutdown"; "frame_ctrl_blackhole";
+      "frame_ctrl_unblackhole" ]
+
+(* ---- fuzzed round-trips ---- *)
+
+let pid_gen =
+  QCheck.Gen.map2
+    (fun id i -> Pid.make ~incarnation:i id)
+    (QCheck.Gen.int_bound 9) (QCheck.Gen.int_bound 2)
+
+let op_gen =
+  QCheck.Gen.map2
+    (fun remove pid -> if remove then Types.Remove pid else Types.Add pid)
+    QCheck.Gen.bool pid_gen
+
+let seq_gen = QCheck.Gen.(list_size (int_bound 4) op_gen)
+
+let expectation_gen =
+  QCheck.Gen.(
+    frequency
+      [ (1, map (fun p -> Types.Awaiting_proposal p) pid_gen);
+        ( 1,
+          map3
+            (fun canonical coord ver ->
+              Types.Expected { canonical; coord; ver })
+            seq_gen pid_gen (int_bound 20) ) ])
+
+let proposal_gen =
+  QCheck.Gen.(
+    map
+      (fun (((target_ver, canonical_seq), invis), prop_faulty) ->
+        { Wire.target_ver; canonical_seq; invis; prop_faulty })
+      (pair
+         (pair (pair (int_bound 20) seq_gen) (option op_gen))
+         (list_size (int_bound 3) pid_gen)))
+
+let msg_gen =
+  QCheck.Gen.(
+    frequency
+      [ (1, return Wire.Heartbeat);
+        (1, map (fun p -> Wire.Faulty_report p) pid_gen);
+        (1, return Wire.Join_request);
+        (1, map (fun p -> Wire.Join_forward p) pid_gen);
+        ( 2,
+          map2
+            (fun op invite_ver -> Wire.Invite { op; invite_ver })
+            op_gen (int_bound 20) );
+        (1, map (fun ok_ver -> Wire.Invite_ok { ok_ver }) (int_bound 20));
+        ( 2,
+          map
+            (fun ((op, commit_ver, contingent), (faulty, recovered)) ->
+              Wire.Commit { op; commit_ver; contingent; faulty; recovered })
+            (pair
+               (triple op_gen (int_bound 20) (option op_gen))
+               (pair
+                  (list_size (int_bound 3) pid_gen)
+                  (list_size (int_bound 3) pid_gen))) );
+        ( 1,
+          map3
+            (fun w_members w_ver w_seq -> Wire.Welcome { w_members; w_ver; w_seq })
+            (list_size (int_bound 5) pid_gen)
+            (int_bound 20) seq_gen );
+        (1, return Wire.Interrogate);
+        ( 2,
+          map3
+            (fun reply_ver reply_seq reply_next ->
+              Wire.Interrogate_ok { reply_ver; reply_seq; reply_next })
+            (int_bound 20) seq_gen
+            (list_size (int_bound 3) expectation_gen) );
+        (2, map (fun prop -> Wire.Propose prop) proposal_gen);
+        (1, map (fun pok_ver -> Wire.Propose_ok { pok_ver }) (int_bound 20));
+        (1, map (fun prop -> Wire.Reconf_commit prop) proposal_gen);
+        ( 1,
+          map2
+            (fun app_ver payload ->
+              Wire.App { app_ver; payload = Codec.Blob payload })
+            (int_bound 20) (string_size (int_bound 40)) ) ])
+
+let msg_arbitrary = QCheck.make ~print:(Fmt.str "%a" Wire.pp) msg_gen
+
+let fuzz_msg_roundtrip =
+  QCheck.Test.make ~name:"codec: decode (encode m) = m" ~count:1000
+    msg_arbitrary (fun m ->
+      match Codec.decode_msg (Codec.encode_msg m) with
+      | Ok m' -> m = m'
+      | Error _ -> false)
+
+let vc_gen =
+  QCheck.Gen.map Vector_clock.of_list
+    QCheck.Gen.(list_size (int_bound 4) (pair pid_gen (int_bound 50)))
+
+let frame_gen =
+  QCheck.Gen.(
+    frequency
+      [ ( 4,
+          map
+            (fun (((src, chan_seq), vc), msg) ->
+              Codec.Data { src; chan_seq; vc; msg })
+            (pair (pair (pair pid_gen (int_bound 10000)) vc_gen) msg_gen) );
+        ( 2,
+          map2
+            (fun src ack_next -> Codec.Ack { src; ack_next })
+            pid_gen (int_bound 10000) );
+        (1, return (Codec.Ctrl Codec.Shutdown));
+        (1, map (fun p -> Codec.Ctrl (Codec.Blackhole p)) pid_gen);
+        (1, map (fun p -> Codec.Ctrl (Codec.Unblackhole p)) pid_gen) ])
+
+let frame_arbitrary =
+  QCheck.make
+    ~print:(fun f -> Printf.sprintf "%d-byte frame" (String.length (Codec.encode_frame f)))
+    frame_gen
+
+let fuzz_frame_roundtrip =
+  QCheck.Test.make ~name:"codec: decode_frame (encode_frame f) = f"
+    ~count:1000 frame_arbitrary (fun f ->
+      match Codec.decode_frame (Codec.encode_frame f) with
+      | Ok f' -> Codec.encode_frame f = Codec.encode_frame f'
+      | Error _ -> false)
+
+let fuzz_truncation_never_raises =
+  (* Every proper prefix of a valid frame decodes to a clean Error. *)
+  QCheck.Test.make ~name:"codec: truncated frames fail cleanly" ~count:300
+    frame_arbitrary (fun f ->
+      let bytes = Codec.encode_frame f in
+      let ok = ref true in
+      for n = 0 to String.length bytes - 1 do
+        match Codec.decode_frame (String.sub bytes 0 n) with
+        | Ok _ -> ok := false (* a strict prefix must never decode *)
+        | Error _ -> ()
+      done;
+      !ok)
+
+let fuzz_bitflip_never_raises =
+  (* Arbitrary corruption: decode must return, never raise. *)
+  QCheck.Test.make ~name:"codec: corrupted frames never raise" ~count:500
+    QCheck.(pair frame_arbitrary (pair small_nat char))
+    (fun (f, (pos, c)) ->
+      let bytes = Bytes.of_string (Codec.encode_frame f) in
+      let pos = pos mod Bytes.length bytes in
+      Bytes.set bytes pos c;
+      match Codec.decode_frame (Bytes.to_string bytes) with
+      | Ok _ | Error _ -> true)
+
+(* ---- hostile frames, deterministic cases ---- *)
+
+let decode_error_case name raw expect_fn =
+  Alcotest.test_case name `Quick (fun () ->
+      match Codec.decode_frame raw with
+      | Ok _ -> Alcotest.failf "%s: decoded instead of failing" name
+      | Error e ->
+        if not (expect_fn e) then
+          Alcotest.failf "%s: unexpected error %s" name (result_of_error e))
+
+let valid_frame =
+  Codec.encode_frame (Codec.Ack { src = Pid.make 1; ack_next = 3 })
+
+let hostile_cases =
+  [ decode_error_case "empty input" "" (function
+      | Codec.Truncated _ -> true
+      | _ -> false);
+    decode_error_case "short header" "GM" (function
+      | Codec.Truncated _ -> true
+      | _ -> false);
+    decode_error_case "bad magic"
+      ("XY" ^ String.sub valid_frame 2 (String.length valid_frame - 2))
+      (function Codec.Bad_magic -> true | _ -> false);
+    decode_error_case "future version"
+      ("GM\x63" ^ String.sub valid_frame 3 (String.length valid_frame - 3))
+      (function Codec.Unsupported_version 0x63 -> true | _ -> false);
+    decode_error_case "oversized declared length"
+      ("GM\x01\x7f\xff\xff\xff" ^ "x")
+      (function Codec.Oversized _ -> true | _ -> false);
+    decode_error_case "truncated body"
+      (String.sub valid_frame 0 (String.length valid_frame - 2))
+      (function Codec.Truncated _ -> true | _ -> false);
+    decode_error_case "trailing bytes" (valid_frame ^ "zz") (function
+      | Codec.Malformed _ -> true
+      | _ -> false);
+    decode_error_case "unknown frame kind"
+      ("GM\x01\x00\x00\x00\x01\x09")
+      (function Codec.Malformed _ -> true | _ -> false);
+    decode_error_case "lying list count"
+      (* A Data frame whose vc claims 2^31 entries in a 30-byte body: the
+         count guard must reject it without allocating. *)
+      ("GM\x01\x00\x00\x00\x0e" ^ "\x00" (* Data *)
+      ^ "\x00\x00\x00\x01\x00\x00\x00\x00" (* src p1 *)
+      ^ "\x00\x00\x00\x00" (* chan_seq *)
+      ^ "\x7f\xff\xff\xff" (* vc count lie *))
+      (function Codec.Malformed _ -> true | _ -> false) ]
+
+(* ---- the timer wheel ---- *)
+
+let test_timers_order () =
+  let t = Timers.create () in
+  let fired = ref [] in
+  let note n () = fired := n :: !fired in
+  ignore (Timers.schedule t ~at:3.0 (note 3) : Timers.entry);
+  ignore (Timers.schedule t ~at:1.0 (note 1) : Timers.entry);
+  ignore (Timers.schedule t ~at:2.0 (note 2) : Timers.entry);
+  check (Alcotest.option (Alcotest.float 0.0)) "next deadline" (Some 1.0)
+    (Timers.next_deadline t);
+  check Alcotest.int "two fire by 2.5" 2 (Timers.fire_due t ~now:2.5);
+  check (Alcotest.list Alcotest.int) "in deadline order" [ 1; 2 ]
+    (List.rev !fired);
+  check Alcotest.int "last fires" 1 (Timers.fire_due t ~now:10.0);
+  check Alcotest.int "wheel drained" 0 (Timers.pending t)
+
+let test_timers_cancel () =
+  let t = Timers.create () in
+  let fired = ref 0 in
+  let e = Timers.schedule t ~at:1.0 (fun () -> incr fired) in
+  ignore (Timers.schedule t ~at:2.0 (fun () -> incr fired) : Timers.entry);
+  Timers.cancel e;
+  Timers.cancel e;
+  check (Alcotest.option (Alcotest.float 0.0)) "cancelled entry skipped"
+    (Some 2.0) (Timers.next_deadline t);
+  check Alcotest.int "only live entry fires" 1 (Timers.fire_due t ~now:5.0);
+  check Alcotest.int "fired once" 1 !fired
+
+let test_timers_rearm_in_callback () =
+  (* A periodic timer re-arms itself from inside its own callback; an entry
+     re-armed in the past fires within the same fire_due call. *)
+  let t = Timers.create () in
+  let count = ref 0 in
+  let rec tick at () =
+    incr count;
+    if !count < 4 then ignore (Timers.schedule t ~at (tick at) : Timers.entry)
+  in
+  ignore (Timers.schedule t ~at:1.0 (tick 1.0) : Timers.entry);
+  check Alcotest.int "cascade fires to quiescence" 4
+    (Timers.fire_due t ~now:1.0);
+  check Alcotest.int "ticked four times" 4 !count
+
+let test_timers_fifo_ties () =
+  let t = Timers.create () in
+  let fired = ref [] in
+  List.iter
+    (fun n ->
+      ignore
+        (Timers.schedule t ~at:1.0 (fun () -> fired := n :: !fired)
+          : Timers.entry))
+    [ 1; 2; 3 ];
+  ignore (Timers.fire_due t ~now:1.0 : int);
+  check (Alcotest.list Alcotest.int) "ties fire in scheduling order"
+    [ 1; 2; 3 ] (List.rev !fired)
+
+(* ---- trace JSONL round-trips ---- *)
+
+let sample_events =
+  let vc = Vector_clock.of_list [ (p 0, 3); (p ~i:1 2, 7) ] in
+  [ { Trace.owner = p 0; index = 1; time = 1786011887.962642; vc;
+      kind = Trace.Installed { ver = 0; view_members = [ p 0; p 1 ] } };
+    { Trace.owner = p 0; index = 2; time = 1786011888.1; vc;
+      kind = Trace.Faulty (p 1) };
+    { Trace.owner = p 0; index = 3; time = 1786011888.25; vc;
+      kind = Trace.Removed { target = p 1; new_ver = 1 } };
+    { Trace.owner = p 0; index = 4; time = 1786011888.25; vc;
+      kind = Trace.Added { target = p ~i:1 2; new_ver = 2 } };
+    { Trace.owner = p 0; index = 5; time = 1786011888.5; vc;
+      kind = Trace.Quit "removed from view" };
+    { Trace.owner = p 1; index = 1; time = 1786011888.625; vc;
+      kind = Trace.Crashed };
+    { Trace.owner = p 1; index = 2; time = 1786011889.0; vc;
+      kind = Trace.Initiated_reconf { at_ver = 2 } };
+    { Trace.owner = p 1; index = 3; time = 1786011889.125; vc;
+      kind =
+        Trace.Proposed
+          { target_ver = 3; ops = [ Types.Add (p 4); Types.Remove (p 0) ] } };
+    { Trace.owner = p 1; index = 4; time = 1786011889.25; vc;
+      kind = Trace.Committed { ver = 3; commit_kind = `Reconf } };
+    { Trace.owner = p 1; index = 5; time = 1786011889.375; vc;
+      kind = Trace.Committed { ver = 4; commit_kind = `Update } };
+    { Trace.owner = p 1; index = 6; time = 1786011889.5; vc;
+      kind = Trace.Became_mgr { at_ver = 3 } };
+    { Trace.owner = p 1; index = 7; time = 1786011889.625; vc;
+      kind = Trace.Operating (p 4) };
+    { Trace.owner = p 1; index = 8; time = 1786011889.75; vc;
+      kind = Trace.Violation "made up for the round-trip" } ]
+
+let event_testable =
+  Alcotest.testable Trace.pp_event (fun (a : Trace.event) b -> a = b)
+
+let test_event_line_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Json.to_compact_string (Export.json_of_event e) in
+      match Trace_io.event_of_line line with
+      | Ok e' -> check event_testable "event round-trips" e e'
+      | Error m -> Alcotest.failf "parse failed: %s\n%s" m line)
+    sample_events
+
+let with_temp_file f =
+  let path = Filename.temp_file "gmp_trace" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_writer_and_torn_line () =
+  with_temp_file (fun path ->
+      let trace = Trace.create () in
+      let w = Trace_io.attach trace ~path in
+      List.iter
+        (fun (e : Trace.event) ->
+          Trace.record trace ~owner:e.owner ~index:e.index ~time:e.time
+            ~vc:e.vc e.kind)
+        sample_events;
+      Trace_io.close w;
+      (* Simulate a SIGKILL mid-write: chop the file mid-last-line. *)
+      let ic = open_in path in
+      let full = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out path in
+      output_string oc (String.sub full 0 (String.length full - 7));
+      close_out oc;
+      match Trace_io.read_file path with
+      | Error m -> Alcotest.failf "read failed: %s" m
+      | Ok events ->
+        check Alcotest.int "all but the torn line survive"
+          (List.length sample_events - 1)
+          (List.length events);
+        List.iteri
+          (fun i e ->
+            check event_testable "event intact" (List.nth sample_events i) e)
+          events)
+
+let test_reassemble_order () =
+  (* Cross-node merge: ordered by time, ties broken by owner then index. *)
+  let vc = Vector_clock.empty in
+  let ev owner index time =
+    { Trace.owner; index; time; vc; kind = Trace.Faulty (p 9) }
+  in
+  let a = [ ev (p 1) 1 5.0; ev (p 1) 2 6.0 ] in
+  let b = [ ev (p 0) 1 5.0; ev (p 0) 2 7.0 ] in
+  let trace = Trace_io.reassemble [ a; b ] in
+  let order =
+    List.map
+      (fun (e : Trace.event) -> (Pid.id e.owner, e.index))
+      (Trace.events trace)
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "merged order" [ (0, 1); (1, 1); (1, 2); (0, 2) ] order
+
+let suite =
+  [ Alcotest.test_case "golden: covers every constructor" `Quick
+      test_golden_covers_every_constructor;
+    Alcotest.test_case "golden: encode matches bytes" `Quick test_golden_encode;
+    Alcotest.test_case "golden: decode recovers messages" `Quick
+      test_golden_decode;
+    Alcotest.test_case "golden: frames round-trip" `Quick test_golden_frames;
+    qtest fuzz_msg_roundtrip;
+    qtest fuzz_frame_roundtrip;
+    qtest fuzz_truncation_never_raises;
+    qtest fuzz_bitflip_never_raises ]
+  @ hostile_cases
+  @ [ Alcotest.test_case "timers: deadline order" `Quick test_timers_order;
+      Alcotest.test_case "timers: cancel" `Quick test_timers_cancel;
+      Alcotest.test_case "timers: re-arm inside callback" `Quick
+        test_timers_rearm_in_callback;
+      Alcotest.test_case "timers: FIFO on ties" `Quick test_timers_fifo_ties;
+      Alcotest.test_case "trace_io: event line round-trip" `Quick
+        test_event_line_roundtrip;
+      Alcotest.test_case "trace_io: writer + torn last line" `Quick
+        test_writer_and_torn_line;
+      Alcotest.test_case "trace_io: reassembly order" `Quick
+        test_reassemble_order ]

@@ -16,8 +16,14 @@ let make ~interval ~timeout ~peers =
   let engine = Gmp_sim.Engine.create () in
   let beats = ref [] in
   let suspects = ref [] in
+  let now () = Gmp_sim.Engine.now engine in
+  let set_timer ~delay f =
+    let h = Gmp_sim.Engine.schedule engine ~delay f in
+    { Gmp_platform.Platform.cancel =
+        (fun () -> Gmp_sim.Engine.cancel engine h) }
+  in
   let d =
-    Heartbeat.create ~engine ~interval ~timeout
+    Heartbeat.create ~now ~set_timer ~interval ~timeout
       ~send_beat:(fun q -> beats := q :: !beats)
       ~peers:(fun () -> peers ())
       ~suspect:(fun q -> suspects := q :: !suspects)
@@ -176,7 +182,12 @@ let test_invalid_config () =
   check bool "timeout <= interval rejected" true
     (try
        ignore
-         (Heartbeat.create ~engine ~interval:2.0 ~timeout:1.0
+         (Heartbeat.create ~now:(fun () -> Gmp_sim.Engine.now engine)
+            ~set_timer:(fun ~delay f ->
+              let h = Gmp_sim.Engine.schedule engine ~delay f in
+              { Gmp_platform.Platform.cancel =
+                  (fun () -> Gmp_sim.Engine.cancel engine h) })
+            ~interval:2.0 ~timeout:1.0
             ~send_beat:(fun _ -> ())
             ~peers:(fun () -> [])
             ~suspect:(fun _ -> ())
@@ -187,7 +198,11 @@ let test_invalid_config () =
 let test_scripted () =
   let engine = Gmp_sim.Engine.create () in
   let fired = ref [] in
-  Scripted.install engine
+  let schedule_at ~time f =
+    ignore
+      (Gmp_sim.Engine.schedule_at engine ~time f : Gmp_sim.Engine.handle)
+  in
+  Scripted.install ~schedule_at
     [ Scripted.entry ~at:5.0 ~observer:(p 1) ~suspect:(p 2);
       Scripted.entry ~at:3.0 ~observer:(p 0) ~suspect:(p 1) ]
     ~fire:(fun ~observer ~suspect ->
@@ -202,7 +217,11 @@ let test_scripted () =
 let test_crash_script () =
   let engine = Gmp_sim.Engine.create () in
   let crashed = ref [] in
-  Scripted.crash_script engine
+  let schedule_at ~time f =
+    ignore
+      (Gmp_sim.Engine.schedule_at engine ~time f : Gmp_sim.Engine.handle)
+  in
+  Scripted.crash_script ~schedule_at
     [ (2.0, p 3); (1.0, p 1) ]
     ~crash:(fun pid -> crashed := Pid.id pid :: !crashed);
   Gmp_sim.Engine.run engine;

@@ -15,8 +15,8 @@ open Gmp_net
 
 let run_once () =
   let m, group = Gmp_workload.Scenario.scale_single_crash ~n:16 () in
-  let trace = Gmp_core.Group.trace group in
-  let stats = Gmp_core.Group.stats group in
+  let trace = Gmp_runtime.Group.trace group in
+  let stats = Gmp_runtime.Group.stats group in
   (m, Gmp_core.Trace.events trace, Stats.snapshot stats,
    Stats.total_sent stats, Stats.total_delivered stats,
    Stats.total_dropped stats)

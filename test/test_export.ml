@@ -1,7 +1,7 @@
 (* Tests for the JSON builder and run export. *)
 
 open Gmp_base
-open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -40,7 +40,7 @@ let test_export_round () =
   let group = Group.create ~seed:90 ~n:4 () in
   Group.crash_at group 10.0 (Pid.make 3);
   Group.run ~until:200.0 group;
-  let doc = Export.json_of_group group in
+  let doc = Group.to_json group in
   let s = Json.to_string doc in
   let contains needle haystack =
     let nl = String.length needle and hl = String.length haystack in
@@ -52,7 +52,7 @@ let test_export_round () =
   check bool "mentions the crash" true (contains "\"crashed\"" s);
   check bool "no violations" true (contains "\"violations\": []" s || contains "\"violations\":[]" s || contains "\"violations\":\n []" s);
   (* Trace can be excluded. *)
-  let without = Json.to_string (Export.json_of_group ~include_trace:false group) in
+  let without = Json.to_string (Group.to_json ~include_trace:false group) in
   check bool "trace excluded" true (contains "\"trace\": null" without || contains "\"trace\":null" without || contains "\"trace\":\n null" without)
 
 let suite =

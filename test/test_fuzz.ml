@@ -3,6 +3,7 @@
    requirement is removed (otherwise the search proves nothing). *)
 
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool

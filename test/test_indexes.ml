@@ -7,6 +7,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let qtest = QCheck_alcotest.to_alcotest
 

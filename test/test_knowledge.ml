@@ -2,6 +2,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -14,14 +15,14 @@ let clean_run () =
   Group.crash_at group 10.0 (p 4);
   Group.crash_at group 50.0 (p 3);
   Group.run ~until:300.0 group;
-  check bool "clean" true (Checker.check_group group = []);
+  check bool "clean" true (Group.check group = []);
   Knowledge.of_trace (Group.trace group)
 
 let reconf_run () =
   let group = Group.create ~seed:81 ~n:5 () in
   Group.crash_at group 10.0 (p 0);
   Group.run ~until:300.0 group;
-  check bool "clean" true (Checker.check_group group = []);
+  check bool "clean" true (Group.check group = []);
   Knowledge.of_trace (Group.trace group)
 
 let test_is_sys_view_reachable () =

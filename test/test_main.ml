@@ -22,6 +22,8 @@ let () =
       ("explore", Test_explore.suite);
       ("epistemic", Test_epistemic.suite);
       ("knowledge", Test_knowledge.suite);
+      ("codec", Test_codec.suite);
+      ("live-trace", Test_live_trace.suite);
       ("scale", Test_scale.suite);
       ("indexes", Test_indexes.suite);
       ("determinism", Test_determinism.suite);

@@ -3,6 +3,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -11,7 +12,7 @@ let int = Alcotest.int
 let p i = Pid.make i
 
 let no_violations ?(liveness = true) group =
-  let violations = Checker.check_group ~liveness group in
+  let violations = Group.check ~liveness group in
   check
     (Alcotest.list
        (Alcotest.testable Checker.pp_violation (fun _ _ -> false)))

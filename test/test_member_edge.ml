@@ -4,6 +4,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -14,7 +15,7 @@ let p i = Pid.make i
 type Wire.app += Ping of int
 
 let no_violations group =
-  check int "no violations" 0 (List.length (Checker.check_group group))
+  check int "no violations" 0 (List.length (Group.check group))
 
 (* ---- the view-buffering rule for application messages ---- *)
 
@@ -119,7 +120,7 @@ let test_reuse_churn_safety () =
         (p i)
     done;
     Group.run ~until:800.0 group;
-    if Checker.check_group group <> [] then
+    if Group.check group <> [] then
       Alcotest.failf "seed %d violated GMP under reconf_reuse" seed
   done
 
@@ -134,7 +135,7 @@ let test_reuse_saves_messages_small () =
     Group.crash_at group 24.0 (p 1);
     Group.crash_at group 38.0 (p 2);
     Group.run ~until:1000.0 group;
-    check int "clean" 0 (List.length (Checker.check_group group));
+    check int "clean" 0 (List.length (Group.check group));
     Group.protocol_messages group
   in
   let base = run Config.default in

@@ -3,6 +3,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool

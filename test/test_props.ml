@@ -89,6 +89,7 @@ let prop_vc_trichotomy =
 (* ---- views: seq application laws ---- *)
 
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let ops_gen =
   (* A random valid op sequence over hosts 0..7 starting from a group of 4:
@@ -214,7 +215,7 @@ let prop_roster_agreement_under_churn =
       let live =
         List.filter (fun r -> Member.operational (Roster.member r)) rosters
       in
-      Checker.check_group group = []
+      Group.check group = []
       &&
       match live with
       | [] -> true
@@ -293,7 +294,7 @@ let prop_eq4_on_clean_runs =
         (10.0 +. Gmp_sim.Rng.float rng 30.0)
         (Pid.make (n - 1));
       Group.run ~until:300.0 group;
-      Checker.check_group group = []
+      Group.check group = []
       &&
       let run = Knowledge.of_trace (Group.trace group) in
       List.for_all

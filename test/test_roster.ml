@@ -2,6 +2,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -78,7 +79,7 @@ let test_survives_coordinator_crash () =
   Group.at group 60.0 (fun () -> Roster.enroll (roster_of rosters (p 3)) (client 3));
   Group.at group 70.0 (fun () -> Roster.expel (roster_of rosters (p 4)) (client 1));
   Group.run ~until:300.0 group;
-  check int "membership is clean" 0 (List.length (Checker.check_group group));
+  check int "membership is clean" 0 (List.length (Group.check group));
   check bool "rosters agree after failover" true (all_agree group rosters);
   let r1 = roster_of rosters (p 1) in
   check bool "client 2 kept" true (Roster.is_client r1 (client 2));

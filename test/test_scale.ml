@@ -3,6 +3,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -25,7 +26,7 @@ let test_n32_churn () =
     (fun (t, j, c) -> Group.join_at group t (p j) ~contact:(p c))
     [ (60.0, 100, 5); (90.0, 101, 9); (120.0, 102, 15) ];
   Group.run ~until:1200.0 group;
-  check int "no violations at n=32" 0 (List.length (Checker.check_group group));
+  check int "no violations at n=32" 0 (List.length (Group.check group));
   match Group.agreed_view group with
   | Some (_, members) ->
     (* 32 - 6 crashes + 3 joins = 29, minus up to a couple of spurious
@@ -48,7 +49,7 @@ let test_n48_single_reconf () =
   let group = Group.create ~seed:124 ~n:48 () in
   Group.crash_at group 10.0 (p 0);
   Group.run ~until:600.0 group;
-  check int "no violations at n=48" 0 (List.length (Checker.check_group group));
+  check int "no violations at n=48" 0 (List.length (Group.check group));
   check bool "within 5n-9" true
     (Group.protocol_messages group <= (5 * 48) - 9)
 
@@ -60,7 +61,7 @@ let test_deep_compressed_chain () =
     Group.crash_at group (10.0 +. (0.01 *. float_of_int i)) (p i)
   done;
   Group.run ~until:800.0 group;
-  check int "no violations" 0 (List.length (Checker.check_group group));
+  check int "no violations" 0 (List.length (Group.check group));
   (match Group.agreed_view group with
    | Some (ver, members) ->
      check int "eleven changes" 11 ver;
@@ -80,7 +81,7 @@ let test_many_joiners () =
       ~contact:(p (j mod 4))
   done;
   Group.run ~until:600.0 group;
-  check int "no violations" 0 (List.length (Checker.check_group group));
+  check int "no violations" 0 (List.length (Group.check group));
   match Group.agreed_view group with
   | Some (ver, members) ->
     check int "ten joins committed" 10 ver;

@@ -4,6 +4,7 @@
 
 open Gmp_base
 open Gmp_core
+module Group = Gmp_runtime.Group
 
 let check = Alcotest.check
 let bool = Alcotest.bool
@@ -80,7 +81,7 @@ let test_bystander_crash_flushes () =
       ignore (Gmp_vsync.Vsync.cast (vs nodes (p 1)) "before-crash"));
   Group.crash_at group 15.0 (p 4);
   Group.run ~until:300.0 group;
-  check int "membership clean" 0 (List.length (Checker.check_group group));
+  check int "membership clean" 0 (List.length (Group.check group));
   let epochs =
     List.map (fun (_, v) -> Gmp_vsync.Vsync.epoch v) (live group nodes)
   in
@@ -99,7 +100,7 @@ let test_sender_crashes_after_partial_send () =
       (* Crash the sender while its cast is still in flight. *)
       Group.crash_at group 10.5 (p 3);
       Group.run ~until:300.0 group;
-      check int "membership clean" 0 (List.length (Checker.check_group group));
+      check int "membership clean" 0 (List.length (Group.check group));
       check_view_synchrony group nodes;
       (* All-or-nothing across survivors. *)
       let got =
@@ -131,7 +132,7 @@ let test_coordinator_crash_during_traffic () =
   Group.at group 60.0 (fun () ->
       ignore (Gmp_vsync.Vsync.cast (vs nodes (p 1)) "after-failover"));
   Group.run ~until:300.0 group;
-  check int "membership clean" 0 (List.length (Checker.check_group group));
+  check int "membership clean" 0 (List.length (Group.check group));
   check_view_synchrony group nodes;
   (* The post-failover message lands in epoch 1 everywhere. *)
   List.iter
