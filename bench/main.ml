@@ -487,6 +487,17 @@ let pr1_wall =
     (("churn", 64), 4.96368194);
     (("churn", 128), 83.0552831) ]
 
+(* One E-scale cell, run to completion with its measurements. Pure by
+   construction — the formatted table row, the JSON object and any
+   expectation drift come back as data — so cells can run on worker
+   domains and the main domain prints them in canonical order. *)
+type scale_cell = {
+  c_row : string;
+  c_json : J.t;
+  c_fails : string list;
+  c_wall : float;  (** scenario wall time, for the speedup denominator *)
+}
+
 let scale_run ~name ~n scenario =
   let minor0 = Gc.minor_words () in
   let (m, group), wall = time_of (fun () -> scenario ~n ()) in
@@ -498,13 +509,19 @@ let scale_run ~name ~n scenario =
   let messages_sent = total_sent (Group.stats group) in
   let trace_events = Trace.length trace in
   let words_per_event = minor_words /. float_of_int (max 1 events_fired) in
-  pr "%-14s %-6d %9.2fs %10d %10d %10d %9d %9.0f %10.4fs %s@." name n wall
-    events_fired
-    (Gmp_sim.Engine.peak_queue_length engine)
-    messages_sent trace_events words_per_event checker_s
-    (if violations = [] then "OK" else Fmt.str "%d VIOLATIONS" (List.length violations));
+  let row =
+    Fmt.str "%-14s %-6d %9.2fs %10d %10d %10d %9d %9.0f %10.4fs %s" name n
+      wall events_fired
+      (Gmp_sim.Engine.peak_queue_length engine)
+      messages_sent trace_events words_per_event checker_s
+      (if violations = [] then "OK"
+       else Fmt.str "%d VIOLATIONS" (List.length violations))
+  in
   ignore m;
-  Expectations.check ~name ~n ~events_fired ~messages_sent ~trace_events;
+  let fails =
+    Expectations.check ~name ~n ~events_fired ~messages_sent ~trace_events
+      ~words_per_event
+  in
   let baseline_fields =
     match List.assoc_opt (name, n) pr1_wall with
     | None -> []
@@ -512,21 +529,65 @@ let scale_run ~name ~n scenario =
       [ ("pr1_wall_s", J.float pr1);
         ("speedup_vs_pr1", J.float (pr1 /. wall)) ]
   in
-  J.obj
-    ([ ("name", J.string name);
-       ("n", J.int n);
-       ("wall_s", J.float wall);
-       ("events_fired", J.int events_fired);
-       ("peak_heap_entries", J.int (Gmp_sim.Engine.peak_queue_length engine));
-       ("final_heap_entries", J.int (Gmp_sim.Engine.queue_length engine));
-       ("live_timers", J.int (Gmp_sim.Engine.pending_events engine));
-       ("messages_sent", J.int messages_sent);
-       ("trace_events", J.int trace_events);
-       ("minor_words", J.float minor_words);
-       ("minor_words_per_event", J.float words_per_event);
-       ("checker_s", J.float checker_s);
-       ("violations", J.int (List.length violations)) ]
-     @ baseline_fields)
+  let json =
+    J.obj
+      ([ ("name", J.string name);
+         ("n", J.int n);
+         ("wall_s", J.float wall);
+         ("events_fired", J.int events_fired);
+         ("peak_heap_entries", J.int (Gmp_sim.Engine.peak_queue_length engine));
+         ("final_heap_entries", J.int (Gmp_sim.Engine.queue_length engine));
+         ("live_timers", J.int (Gmp_sim.Engine.pending_events engine));
+         ("messages_sent", J.int messages_sent);
+         ("trace_events", J.int trace_events);
+         ("minor_words", J.float minor_words);
+         ("minor_words_per_event", J.float words_per_event);
+         ("checker_s", J.float checker_s);
+         ("violations", J.int (List.length violations)) ]
+       @ baseline_fields)
+  in
+  { c_row = row; c_json = json; c_fails = fails; c_wall = wall }
+
+(* Farm the cells to [jobs] worker domains pulling from a shared index.
+   The pool runs even at jobs = 1 so every jobs value takes the same code
+   path: each cell starts from a fresh per-domain vector-clock registry,
+   and all its measurements (Gc.minor_words is per-domain on OCaml 5) are
+   functions of the cell alone — the emitted JSON is bit-identical for any
+   job count, which CI checks with bench/json_diff.exe. The global stats
+   category registry is frozen across the pool: module-init time interned
+   every category, so workers only do (safe) concurrent lookups. *)
+let run_cells ~jobs cells =
+  let items = Array.of_list cells in
+  let results = Array.make (Array.length items) None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length items then begin
+        Gmp_causality.Vector_clock.fresh_registry ();
+        let name, n, scenario = items.(i) in
+        results.(i) <- Some (scale_run ~name ~n scenario);
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Gmp_platform.Stats.freeze ();
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init (min jobs (max 1 (Array.length items))) (fun _ ->
+        Domain.spawn worker)
+  in
+  List.iter Domain.join domains;
+  let pool_wall = Unix.gettimeofday () -. t0 in
+  Gmp_platform.Stats.thaw ();
+  let cells =
+    Array.to_list results
+    |> List.map (function
+         | Some c -> c
+         | None -> failwith "bench: scale cell never ran")
+  in
+  (cells, pool_wall)
 
 (* The acceptance measurement: the same full safety check on the n=32 churn
    trace, indexed vs the seed's list scans (Checker.Reference). *)
@@ -567,32 +628,43 @@ let checker_speedup () =
       ("speedup_vs_seed", J.float speedup);
       ("speedup_vs_reference", J.float (reference_s /. indexed_s)) ]
 
-let scale ~quick () =
+let scale ~quick ~jobs () =
   section
     (if quick then "E-scale (quick): simulator throughput"
      else "E-scale: simulator throughput (indexed traces, compacted timers)");
-  pr "%-14s %-6s %10s %10s %10s %10s %9s %9s %11s@." "scenario" "n" "wall"
-    "events" "peak-heap" "messages" "trace" "words/ev" "checker";
   (* Churn cost grows as n^2 x horizon (the horizon itself scales with the
      crash count), so n=256 churn is minutes of wall-clock; the single-crash
      workload carries the n=256 point instead. *)
   let single_sizes = if quick then [ 64 ] else [ 64; 128; 256 ] in
   let churn_sizes = if quick then [ 32 ] else [ 32; 64; 128 ] in
-  let runs =
+  let cells =
     List.map
       (fun n ->
-        scale_run ~name:"single-crash" ~n (fun ~n () ->
-            Scenario.scale_single_crash ~n ()))
+        ("single-crash", n, fun ~n () -> Scenario.scale_single_crash ~n ()))
       single_sizes
     @ List.map
-        (fun n -> scale_run ~name:"churn" ~n (fun ~n () -> Scenario.churn ~n ()))
+        (fun n -> ("churn", n, fun ~n () -> Scenario.churn ~n ()))
         churn_sizes
   in
+  pr "%d cells on %d worker domain(s)@." (List.length cells) jobs;
+  pr "%-14s %-6s %10s %10s %10s %10s %9s %9s %11s@." "scenario" "n" "wall"
+    "events" "peak-heap" "messages" "trace" "words/ev" "checker";
+  let runs, pool_wall = run_cells ~jobs cells in
+  List.iter (fun c -> pr "%s@." c.c_row) runs;
+  let cells_wall = List.fold_left (fun acc c -> acc +. c.c_wall) 0.0 runs in
+  let parallel_speedup = cells_wall /. Float.max pool_wall 1e-9 in
+  pr "cells: %.2fs of scenario work in %.2fs wall (speedup x%.2f on %d \
+      domain(s))@."
+    cells_wall pool_wall parallel_speedup jobs;
   let speedup = checker_speedup () in
   let doc =
     J.obj
       [ ("quick", J.bool quick);
-        ("scenarios", J.list runs);
+        ("jobs", J.int jobs);
+        ("scenarios", J.list (List.map (fun c -> c.c_json) runs));
+        ("cells_wall_s", J.float cells_wall);
+        ("pool_wall_s", J.float pool_wall);
+        ("parallel_speedup", J.float parallel_speedup);
         ("pr1_baseline_wall_s",
          J.list
            (List.map
@@ -608,7 +680,8 @@ let scale ~quick () =
   output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
-  pr "wrote BENCH_scale.json@."
+  pr "wrote BENCH_scale.json@.";
+  List.concat_map (fun c -> c.c_fails) runs
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                         *)
@@ -662,44 +735,78 @@ let bechamel_section () =
       else pr "%-36s %12.0f ns/run@." name est)
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
 
+(* --jobs N: worker-domain count for the E-scale pool. 0 autodetects the
+   core count; negatives are rejected; the default of 1 still goes through
+   the pool so the emitted JSON is identical for every value. *)
+let parse_jobs () =
+  let argv = Sys.argv in
+  let jobs = ref 1 in
+  let set raw =
+    match int_of_string_opt raw with
+    | None ->
+      Fmt.epr "bench: invalid --jobs value %S@." raw;
+      exit 2
+    | Some j when j < 0 ->
+      Fmt.epr "bench: --jobs must be >= 0, got %d@." j;
+      exit 2
+    | Some 0 -> jobs := Domain.recommended_domain_count ()
+    | Some j -> jobs := j
+  in
+  Array.iteri
+    (fun i arg ->
+      if String.equal arg "--jobs" then
+        if i + 1 < Array.length argv then set argv.(i + 1)
+        else begin
+          Fmt.epr "bench: --jobs needs a value@.";
+          exit 2
+        end
+      else if String.length arg > 7 && String.equal (String.sub arg 0 7) "--jobs="
+      then set (String.sub arg 7 (String.length arg - 7)))
+    argv;
+  !jobs
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let jobs = parse_jobs () in
   pr "Reproduction harness: Ricciardi & Birman, 'Using Process Groups to Implement@.";
   pr "Failure Detection in Asynchronous Environments' (PODC 1991 / TR 91-1188)@.";
-  if quick then begin
-    (* CI smoke mode: the cheap paper sections plus the scale section at its
-       smallest sizes, so perf regressions and envelope breaks fail fast. *)
-    table1 ();
-    e1 ();
-    e3 ();
-    c1 ();
-    c2 ();
-    a1 ();
-    scale ~quick:true ()
-  end
-  else begin
-    table1 ();
-    e1 ();
-    e2 ();
-    e3 ();
-    e4 ();
-    e5 ();
-    e6 ();
-    c1 ();
-    c2 ();
-    f3 ();
-    f4 ();
-    f7 ();
-    a1 ();
-    ab1 ();
-    ab2 ();
-    ab3 ();
-    ab4 ();
-    scale ~quick:false ();
-    bechamel_section ()
-  end;
+  let failures =
+    if quick then begin
+      (* CI smoke mode: the cheap paper sections plus the scale section at its
+         smallest sizes, so perf regressions and envelope breaks fail fast. *)
+      table1 ();
+      e1 ();
+      e3 ();
+      c1 ();
+      c2 ();
+      a1 ();
+      scale ~quick:true ~jobs ()
+    end
+    else begin
+      table1 ();
+      e1 ();
+      e2 ();
+      e3 ();
+      e4 ();
+      e5 ();
+      e6 ();
+      c1 ();
+      c2 ();
+      f3 ();
+      f4 ();
+      f7 ();
+      a1 ();
+      ab1 ();
+      ab2 ();
+      ab3 ();
+      ab4 ();
+      let failures = scale ~quick:false ~jobs () in
+      bechamel_section ();
+      failures
+    end
+  in
   pr "@.done.@.";
-  match !Expectations.failures with
+  match failures with
   | [] -> ()
   | failures ->
     pr "@.%d deterministic-count drift(s) vs bench/expectations.ml:@."

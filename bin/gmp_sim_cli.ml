@@ -375,8 +375,28 @@ let explore_cmd =
             "One-line machine-readable JSON summary on stdout (suppresses \
              progress output).")
   in
-  let go depth budget weaken expect_violation json procs horizon slack crashes
-      suspicions isolations seed =
+  let jobs_term =
+    let jobs_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | None -> Error (`Msg (Fmt.str "invalid job count %S" s))
+        | Some j when j < 0 ->
+          Error (`Msg (Fmt.str "job count must be >= 0, got %d" j))
+        | Some j -> Ok j
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(
+      value & opt (some jobs_conv) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Explore with $(docv) worker domains (partitioned prefix search; \
+             deterministic: any N, including 1, gives identical results). 0 \
+             means autodetect the core count. Without this flag the classic \
+             single-domain engine runs.")
+  in
+  let go depth budget weaken expect_violation json jobs procs horizon slack
+      crashes suspicions isolations seed =
     let base = if weaken then E.sensitivity ~seed () else E.assurance ~seed () in
     let opt v field = Option.value v ~default:field in
     let model =
@@ -390,10 +410,18 @@ let explore_cmd =
             E.isolations = opt isolations base.E.adversary.E.isolations;
             E.heal = base.E.adversary.E.heal } }
     in
+    let jobs =
+      match jobs with
+      | Some 0 -> Some (Domain.recommended_domain_count ())
+      | j -> j
+    in
     let progress s =
       if not json then Fmt.pr "... %a@." E.pp_stats s
     in
-    let outcome = E.explore ~progress model ~depth ~budget in
+    (match jobs with
+    | Some j when not json -> Fmt.pr "exploring with %d worker domain(s)@." j
+    | _ -> ());
+    let outcome = E.explore ~progress ?jobs model ~depth ~budget in
     let found = outcome.E.counterexample <> None in
     (* Stable exit codes, for CI gates:
          0  outcome matches expectation (violation iff --expect-violation)
@@ -412,6 +440,7 @@ let explore_cmd =
                 ("n", J.int model.E.n);
                 ("depth", J.int depth);
                 ("budget", J.int budget);
+                ("jobs", match jobs with None -> J.null | Some j -> J.int j);
                 ( "stats",
                   J.obj
                     [ ("executions", J.int s.E.executions);
@@ -457,8 +486,8 @@ let explore_cmd =
           (bounded model checking) and run the GMP safety checker on each.")
     Term.(
       const go $ depth_term $ budget_term $ weaken_term $ expect_violation_term
-      $ json_term $ procs_term $ horizon_term $ slack_term $ crashes_term
-      $ suspicions_term $ isolations_term $ seed_term)
+      $ json_term $ jobs_term $ procs_term $ horizon_term $ slack_term
+      $ crashes_term $ suspicions_term $ isolations_term $ seed_term)
 
 (* ---- table1 ---- *)
 

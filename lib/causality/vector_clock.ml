@@ -1,46 +1,77 @@
 (* Vector clocks over dynamic process sets, stored as dense int arrays over a
-   global pid-interning registry. Slot [i] of a clock holds the count for the
-   [i]-th pid ever interned; slots beyond an array's length are implicitly
+   pid-interning registry. Slot [i] of a clock holds the count for the [i]-th
+   pid interned in this domain; slots beyond an array's length are implicitly
    zero, so clocks over different membership generations compare soundly and
    [empty] is the zero-length array.
 
-   The registry only grows, and intern order never affects observable
-   behaviour: [to_list]/[pp]/[compare_total] sort by [Pid.compare], and the
-   comparison operators treat missing trailing slots as zero. Values are
-   identical to the previous [int Pid.Map.t] representation — this is purely
-   a layout change so the per-delivery merge+tick is two array loops (one
-   allocation) instead of a map union. *)
+   The registry is *domain-local* (one independent registry per OCaml 5
+   domain, via [Domain.DLS]): interning is lock-free on the hot path and
+   parallel workers — the explorer's domains, the bench's scenario pool —
+   cannot race on it. The registry only grows within a domain, and intern
+   order never affects observable behaviour: [to_list]/[pp]/[compare_total]
+   sort by [Pid.compare], and the comparison operators treat missing trailing
+   slots as zero. The corollary is a sharp ownership rule: a clock value is
+   meaningful only in the domain whose registry interned its slots. Clocks
+   must not cross domains raw; cross-domain consumers exchange
+   [to_list]-style views (the codecs already do).
+
+   Two APIs share the representation:
+
+   - the immutable [t] operations, unchanged from the original map-based
+     semantics — every op allocates a fresh array;
+   - [Mutable], a copy-on-write owner for the per-process clock hot path:
+     [tick]/[merge_tick] update in place while the owner holds the only
+     reference, and [snapshot] publishes the current array (freezing it) so
+     the next update copies. A process that receives many messages between
+     sends — the heartbeat steady state — pays O(1) amortized allocation per
+     delivery instead of O(group size). *)
 
 open Gmp_base
 
 type t = int array
 
-(* ---- pid <-> slot interning ---- *)
+(* ---- pid <-> slot interning (per-domain) ---- *)
 
-let reg_index : int Pid.Tbl.t = Pid.Tbl.create 64
-let reg_pids : Pid.t array ref = ref (Array.make 64 (Pid.make 0))
-let reg_len = ref 0
+type registry = {
+  index : int Pid.Tbl.t;
+  mutable pids : Pid.t array;
+  mutable len : int;
+}
+
+let new_registry () =
+  { index = Pid.Tbl.create 64; pids = Array.make 64 (Pid.make 0); len = 0 }
+
+let registry_key : registry Domain.DLS.key = Domain.DLS.new_key new_registry
+
+let registry () = Domain.DLS.get registry_key
+
+let fresh_registry () = Domain.DLS.set registry_key (new_registry ())
 
 let intern pid =
-  match Pid.Tbl.find reg_index pid with
+  let reg = registry () in
+  match Pid.Tbl.find reg.index pid with
   | i -> i
   | exception Not_found ->
-      let i = !reg_len in
-      if i = Array.length !reg_pids then begin
+      let i = reg.len in
+      if i = Array.length reg.pids then begin
         let bigger = Array.make (2 * i) (Pid.make 0) in
-        Array.blit !reg_pids 0 bigger 0 i;
-        reg_pids := bigger
+        Array.blit reg.pids 0 bigger 0 i;
+        reg.pids <- bigger
       end;
-      !reg_pids.(i) <- pid;
-      Pid.Tbl.add reg_index pid i;
-      incr reg_len;
+      reg.pids.(i) <- pid;
+      Pid.Tbl.add reg.index pid i;
+      reg.len <- i + 1;
       i
+
+let reserve pids = List.iter (fun p -> ignore (intern p : int)) pids
 
 (* Slot of [pid] if already interned, otherwise -1 (read-only paths must not
    grow the registry: a clock can't have a nonzero count for a pid no clock
    has ever ticked). *)
 let slot_of pid =
-  match Pid.Tbl.find reg_index pid with i -> i | exception Not_found -> -1
+  match Pid.Tbl.find (registry ()).index pid with
+  | i -> i
+  | exception Not_found -> -1
 
 let empty = [||]
 
@@ -109,9 +140,10 @@ let lt a b = leq a b && not (leq b a)
 let concurrent a b = (not (leq a b)) && not (leq b a)
 
 let to_list t =
+  let reg = registry () in
   let acc = ref [] in
   for i = Array.length t - 1 downto 0 do
-    if t.(i) <> 0 then acc := (!reg_pids.(i), t.(i)) :: !acc
+    if t.(i) <> 0 then acc := (reg.pids.(i), t.(i)) :: !acc
   done;
   List.sort (fun (p, _) (q, _) -> Pid.compare p q) !acc
 
@@ -143,3 +175,43 @@ let of_list entries =
 let pp ppf t =
   let entry ppf (pid, n) = Fmt.pf ppf "%a:%d" Pid.pp pid n in
   Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") entry) (to_list t)
+
+(* ---- copy-on-write owner clocks ---- *)
+
+module Mutable = struct
+  type clock = { mutable arr : int array; mutable shared : bool }
+
+  let create () = { arr = empty; shared = true }
+
+  (* Make [c.arr] privately owned and at least [needed] slots long. Sizing
+     matches the immutable ops exactly (grow to the precise need, never
+     over-allocate), so a snapshot after any op sequence is bit-identical to
+     the array the immutable API would have produced. *)
+  let unshare c needed =
+    let len = Array.length c.arr in
+    if c.shared || needed > len then begin
+      let out = Array.make (if needed > len then needed else len) 0 in
+      Array.blit c.arr 0 out 0 len;
+      c.arr <- out;
+      c.shared <- false
+    end
+
+  let tick c pid =
+    let i = intern pid in
+    unshare c (i + 1);
+    c.arr.(i) <- c.arr.(i) + 1
+
+  let merge_tick c b pid =
+    let i = intern pid in
+    let lb = Array.length b in
+    unshare c (if i + 1 > lb then i + 1 else lb);
+    let a = c.arr in
+    for j = 0 to lb - 1 do
+      if b.(j) > a.(j) then a.(j) <- b.(j)
+    done;
+    a.(i) <- a.(i) + 1
+
+  let snapshot c =
+    c.shared <- true;
+    c.arr
+end

@@ -2,7 +2,12 @@
 
     Entries absent from the underlying map read as zero, so clocks taken
     before and after membership changes remain comparable. [lt] characterizes
-    Lamport's happens-before exactly: [e -> e'] iff [lt (vc e) (vc e')]. *)
+    Lamport's happens-before exactly: [e -> e'] iff [lt (vc e) (vc e')].
+
+    Pids are interned into dense slots in a {e domain-local} registry: each
+    OCaml 5 domain owns an independent one, so parallel workers never contend
+    on it. A clock value is only meaningful in the domain that built it;
+    cross-domain consumers must exchange [to_list]-style views. *)
 
 open Gmp_base
 
@@ -32,3 +37,44 @@ val compare_total : t -> t -> int
 val of_list : (Pid.t * int) list -> t
 val to_list : t -> (Pid.t * int) list
 val pp : t Fmt.t
+
+val reserve : Pid.t list -> unit
+(** Intern [pids] now, in list order. Harnesses call this with the initial
+    membership so slot assignment is canonical (pid order) rather than
+    an artifact of message arrival order. Purely an interning warm-up;
+    observable clock values never depend on it. *)
+
+val fresh_registry : unit -> unit
+(** Replace the calling domain's intern registry with an empty one. For
+    harnesses that run many independent scenarios in one domain (the bench)
+    and want each to start from the same registry state as a scenario running
+    alone in a fresh domain — e.g. so allocation measurements are identical
+    under any [--jobs]. Clocks built before the reset must not be compared
+    with clocks built after. *)
+
+(** Copy-on-write owner clocks, for the one-writer per-process hot path.
+
+    A [clock] is owned by a single process in a single domain. [tick] and
+    [merge_tick] mutate in place while the owner holds the only reference to
+    the backing array; [snapshot] publishes the array as an immutable {!t}
+    (to embed in a message or a trace stamp) and marks it frozen, so the next
+    mutation copies first. Between publishes — e.g. a run of heartbeat
+    deliveries with no send — updates allocate nothing. Snapshot values are
+    bit-identical to what the immutable API would produce. *)
+module Mutable : sig
+  type clock
+
+  val create : unit -> clock
+  (** The zero clock. *)
+
+  val tick : clock -> Pid.t -> unit
+  (** Local-step rule: increment the owner's component. *)
+
+  val merge_tick : clock -> t -> Pid.t -> unit
+  (** Receive rule: pointwise max with the sender's published clock, then
+      tick the owner's component. *)
+
+  val snapshot : clock -> t
+  (** Publish the current value. The result is immutable forever; the clock
+      remains usable and will copy on its next update. *)
+end

@@ -373,8 +373,15 @@ and commit_update t mp =
 (* ---- Reconfiguration: succession rule and the three phases ---- *)
 
 and maybe_initiate t =
+  (* With no suspects there is nothing to initiate, and this runs after
+     every delivery: bail out before [higher_ranked] materialises the
+     O(rank) seniors list, or quiet heartbeat traffic allocates it per
+     message. *)
   if
-    operational t && t.joined && (not (is_mgr t)) && t.reconf = None
+    operational t && t.joined
+    && (not (Pid.Set.is_empty t.faulty))
+    && (not (is_mgr t))
+    && t.reconf = None
     && View.mem t.view (self t)
   then
     match View.higher_ranked t.view (self t) with
@@ -918,7 +925,7 @@ let create ?(joiner = false) ~node ~trace ~config ~initial () =
       Heartbeat.create ~now:node.Platform.now ~set_timer:node.Platform.set_timer
         ~interval:(Config.heartbeat_interval_for config pid_)
         ~timeout:(Config.heartbeat_timeout_for config pid_)
-        ~send_beat:(fun p -> send t ~dst:p Wire.Heartbeat)
+        ~send_beats:(fun peers -> broadcast t ~dsts:peers Wire.Heartbeat)
         ~peers:(fun () -> heartbeat_peers t)
         ~suspect:(fun q ->
           suspect t q;

@@ -26,7 +26,11 @@ type t = {
   set_timer : delay:float -> (unit -> unit) -> Gmp_platform.Platform.timer;
   interval : float;
   timeout : float;
-  send_beat : Pid.t -> unit;
+  send_beats : Pid.t list -> unit;
+      (* one call per beat round: the platform fans it out as an
+         indivisible broadcast, so the round costs one causal event (one
+         vector-clock tick, one published snapshot) however many peers
+         there are *)
   peers : unit -> Pid.t list;
   suspect : Pid.t -> unit;
   last_heard : float Pid.Tbl.t; (* peer -> time of last beat (or enrolment) *)
@@ -37,7 +41,7 @@ type t = {
   mutable suspects_fired : Pid.Set.t;
 }
 
-let create ~now ~set_timer ~interval ~timeout ~send_beat ~peers ~suspect () =
+let create ~now ~set_timer ~interval ~timeout ~send_beats ~peers ~suspect () =
   if interval <= 0.0 then invalid_arg "Heartbeat.create: bad interval";
   if timeout <= interval then
     invalid_arg "Heartbeat.create: timeout must exceed interval";
@@ -45,7 +49,7 @@ let create ~now ~set_timer ~interval ~timeout ~send_beat ~peers ~suspect () =
     set_timer;
     interval;
     timeout;
-    send_beat;
+    send_beats;
     peers;
     suspect;
     last_heard = Pid.Tbl.create 16;
@@ -100,7 +104,7 @@ let tick t =
     let now = t.now () in
     let peers = t.peers () in
     prune t peers;
-    List.iter t.send_beat peers;
+    if peers <> [] then t.send_beats peers;
     List.iter (check_peer t now) peers
   end
 

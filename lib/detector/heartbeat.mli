@@ -19,13 +19,18 @@ val create :
   set_timer:(delay:float -> (unit -> unit) -> Gmp_platform.Platform.timer) ->
   interval:float ->
   timeout:float ->
-  send_beat:(Pid.t -> unit) ->
+  send_beats:(Pid.t list -> unit) ->
   peers:(unit -> Pid.t list) ->
   suspect:(Pid.t -> unit) ->
   unit ->
   t
 (** [peers] is consulted on every tick, so the monitored set tracks the
-    current view. [timeout] must exceed [interval]. *)
+    current view. [timeout] must exceed [interval]. [send_beats] receives
+    the whole (non-empty) peer list once per beat round: callers should
+    fan it out through their platform's broadcast, which stamps one causal
+    event for the round — n individual sends would each tick and republish
+    the sender's vector clock, turning every round into O(n^2) clock
+    copies. *)
 
 val start : t -> unit
 val stop : t -> unit

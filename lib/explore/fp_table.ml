@@ -1,0 +1,64 @@
+(* Mutex-striped sharded fingerprint table for the parallel explorer.
+
+   One logical map from state fingerprints to "the deepest remaining depth
+   at which this state's subtree has been exhausted", shared by every worker
+   domain. Keys are spread over power-of-two shards, each a plain [Hashtbl]
+   behind its own mutex, so concurrent workers contend only when their keys
+   land on the same stripe.
+
+   Determinism note: the table's *contents* are racy in the harmless sense
+   (two workers may both insert before either sees the other), but the
+   explorer's callers mix a per-work-item salt into every key, so entries
+   from different work items never interact — each item sees exactly the
+   pruning state its own subtree produced, in its own DFS order. The shard
+   striping is purely about memory pooling and lock contention, never about
+   the result. *)
+
+type shard = { lock : Mutex.t; tbl : (int, int) Hashtbl.t }
+
+type t = { shards : shard array; mask : int }
+
+let default_shards = 64
+
+let create ?(shards = default_shards) () =
+  if shards < 1 then invalid_arg "Fp_table.create: need at least one shard";
+  (* Round up to a power of two so shard selection is a mask. *)
+  let n = ref 1 in
+  while !n < shards do
+    n := !n * 2
+  done;
+  { shards =
+      Array.init !n (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 256 });
+    mask = !n - 1 }
+
+let shard_count t = Array.length t.shards
+
+(* Keys are already fingerprint-quality hashes; fold the high bits down so
+   shard choice isn't just the low bits of whatever fp_mix left there. *)
+let shard_of t key =
+  let h = key lxor (key lsr 17) lxor (key lsr 31) in
+  t.shards.(h land t.mask)
+
+let note_exhausted t ~key ~remaining =
+  let s = shard_of t key in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some r when r >= remaining -> ()
+      | _ -> Hashtbl.replace s.tbl key remaining)
+
+let prunable t ~key ~remaining =
+  let s = shard_of t key in
+  Mutex.protect s.lock (fun () ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some r -> r >= remaining
+      | None -> false)
+
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl))
+    0 t.shards
+
+let shard_sizes t =
+  Array.map (fun s -> Mutex.protect s.lock (fun () -> Hashtbl.length s.tbl))
+    t.shards

@@ -1,0 +1,29 @@
+(** Mutex-striped sharded fingerprint table.
+
+    The parallel explorer's shared state-hash store: maps a fingerprint key
+    to the deepest remaining depth at which that state's subtree has been
+    exhausted. Safe to hammer from many domains at once; each key lives on
+    one of [shards] stripes behind its own mutex. Callers are responsible
+    for salting keys per logical scope (the explorer mixes a work-item id
+    in) when entries must not leak between scopes. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] (default 64) is rounded up to a power of two. *)
+
+val note_exhausted : t -> key:int -> remaining:int -> unit
+(** Max-merge: record that the subtree under [key] is exhausted with
+    [remaining] depth to spare; keeps the larger of the stored and given
+    values. *)
+
+val prunable : t -> key:int -> remaining:int -> bool
+(** Has [key] been exhausted with at least [remaining] depth to spare? *)
+
+val length : t -> int
+(** Total entries across all shards. *)
+
+val shard_count : t -> int
+
+val shard_sizes : t -> int array
+(** Entries per shard, for balance diagnostics and tests. *)

@@ -51,7 +51,7 @@ type t = {
   in_chans : in_chan Pid.Tbl.t;
   mutable blackholed : Pid.Set.t; (* fault injection: drop their frames *)
   mutable disconnected : Pid.Set.t; (* S1: permanent incoming disconnect *)
-  mutable vc : Vector_clock.t;
+  vc : Vector_clock.Mutable.clock; (* copy-on-write: snapshot to publish *)
   mutable events : int; (* local history length *)
   mutable alive : bool;
   mutable stopping : bool; (* orchestrator asked for clean shutdown *)
@@ -88,7 +88,7 @@ let create ?(peers = []) ?(rto = default_rto) ?(log = fun _ -> ()) ~pid ~port
       in_chans = Pid.Tbl.create 16;
       blackholed = Pid.Set.empty;
       disconnected = Pid.Set.empty;
-      vc = Vector_clock.empty;
+      vc = Vector_clock.Mutable.create ();
       events = 0;
       alive = true;
       stopping = false;
@@ -113,7 +113,7 @@ let stats t = t.stats
 let alive t = t.alive
 let stopping t = t.stopping
 let retransmissions t = t.retransmissions
-let clock t = t.vc
+let clock t = Vector_clock.Mutable.snapshot t.vc
 
 let add_peer t p ~port =
   Pid.Tbl.replace t.peers p (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
@@ -124,9 +124,9 @@ let now t =
   t.last_now
 
 let local_event t =
-  t.vc <- Vector_clock.tick t.vc t.pid;
+  Vector_clock.Mutable.tick t.vc t.pid;
   t.events <- t.events + 1;
-  (t.events, t.vc)
+  (t.events, Vector_clock.Mutable.snapshot t.vc)
 
 (* ---- raw datagram out ---- *)
 
@@ -187,7 +187,11 @@ let transmit t ~dst msg =
   c.next_seq <- seq + 1;
   let bytes =
     Codec.encode_frame
-      (Codec.Data { src = t.pid; chan_seq = seq; vc = t.vc; msg })
+      (Codec.Data
+         { src = t.pid;
+           chan_seq = seq;
+           vc = Vector_clock.Mutable.snapshot t.vc;
+           msg })
   in
   Queue.add (seq, bytes) c.unacked;
   sendto t ~dst bytes;
@@ -217,7 +221,7 @@ let teardown_to t dst =
 
 let send t ~dst ~category payload =
   if t.alive then begin
-    t.vc <- Vector_clock.tick t.vc t.pid;
+    Vector_clock.Mutable.tick t.vc t.pid;
     t.events <- t.events + 1;
     Stats.record_sent t.stats ~category;
     transmit t ~dst payload
@@ -228,7 +232,7 @@ let broadcast t ~dsts ~category payload =
      themselves are sequential datagrams (indivisible in the paper's sense,
      not failure-atomic). *)
   if t.alive then begin
-    t.vc <- Vector_clock.tick t.vc t.pid;
+    Vector_clock.Mutable.tick t.vc t.pid;
     t.events <- t.events + 1;
     List.iter
       (fun dst ->
@@ -279,7 +283,7 @@ let platform t =
   { Platform.pid = t.pid;
     alive = (fun () -> t.alive);
     now = (fun () -> now t);
-    clock = (fun () -> t.vc);
+    clock = (fun () -> clock t);
     local_event = (fun () -> local_event t);
     send = (fun ~dst ~category payload -> send t ~dst ~category payload);
     broadcast =
@@ -312,7 +316,7 @@ let handle_data t ~sender_addr ~src ~chan_seq ~sender_vc msg =
   if chan_seq = c.next_expected then begin
     c.next_expected <- chan_seq + 1;
     send_ack t ~dst:src ~ack_next:c.next_expected;
-    t.vc <- Vector_clock.merge_tick t.vc sender_vc t.pid;
+    Vector_clock.Mutable.merge_tick t.vc sender_vc t.pid;
     t.events <- t.events + 1;
     Stats.record_delivered t.stats ~category:(Wire.category_id msg);
     t.receiver ~src msg

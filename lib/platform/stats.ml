@@ -9,26 +9,50 @@
 
 type category = int
 
-(* ---- global category registry ---- *)
+(* ---- global category registry ----
+
+   The registry is process-wide and normally written only at module
+   initialization time (Wire precomputes one id per message type). Parallel
+   harnesses [freeze] it before spawning domains: a frozen registry is
+   immutable, so the lock-free lookups below are safe to run concurrently;
+   interning a *new* name while frozen is a domain-safety bug and raises.
+   Mutation is mutex-guarded regardless, so a stray late intern from a
+   single domain stays well-defined. *)
 
 let cat_index : (string, int) Hashtbl.t = Hashtbl.create 16
 let cat_names = ref (Array.make 16 "")
 let cat_count = ref 0
+let cat_frozen = Atomic.make false
+let cat_mutex = Mutex.create ()
+
+let freeze () = Atomic.set cat_frozen true
+let thaw () = Atomic.set cat_frozen false
+let is_frozen () = Atomic.get cat_frozen
 
 let intern name =
   match Hashtbl.find_opt cat_index name with
   | Some id -> id
   | None ->
-    let id = !cat_count in
-    if id = Array.length !cat_names then begin
-      let bigger = Array.make (2 * id) "" in
-      Array.blit !cat_names 0 bigger 0 id;
-      cat_names := bigger
-    end;
-    !cat_names.(id) <- name;
-    Hashtbl.add cat_index name id;
-    incr cat_count;
-    id
+    if Atomic.get cat_frozen then
+      invalid_arg
+        (Printf.sprintf
+           "Stats.intern: registry is frozen (parallel section) and %S is \
+            not interned"
+           name);
+    Mutex.protect cat_mutex (fun () ->
+        match Hashtbl.find_opt cat_index name with
+        | Some id -> id
+        | None ->
+          let id = !cat_count in
+          if id = Array.length !cat_names then begin
+            let bigger = Array.make (2 * id) "" in
+            Array.blit !cat_names 0 bigger 0 id;
+            cat_names := bigger
+          end;
+          !cat_names.(id) <- name;
+          Hashtbl.add cat_index name id;
+          incr cat_count;
+          id)
 
 let name (id : category) =
   if id < 0 || id >= !cat_count then

@@ -15,7 +15,19 @@ type category
 (** An interned category id (dense, process-global). *)
 
 val intern : string -> category
-(** Intern a category name; returns the same id for the same name. *)
+(** Intern a category name; returns the same id for the same name. Raises
+    [Invalid_argument] for a name not yet interned while the registry is
+    {!freeze}-d. *)
+
+val freeze : unit -> unit
+(** Forbid interning new names. Parallel harnesses call this before spawning
+    worker domains: a frozen registry is immutable, so concurrent lookups
+    need no lock; an attempted late intern fails loudly instead of racing. *)
+
+val thaw : unit -> unit
+(** Re-allow interning, once all worker domains have been joined. *)
+
+val is_frozen : unit -> bool
 
 val name : category -> string
 (** Inverse of {!intern}. *)

@@ -18,6 +18,9 @@ let create ?(config = Config.default) ?delay ?(seed = 1) ~n () =
   let runtime = Runtime.create ?delay ~seed () in
   let trace = Trace.create () in
   let initial = Pid.group n in
+  (* Canonical clock slots: intern the founding membership in pid order, not
+     in whatever order the first messages happen to arrive. *)
+  Gmp_causality.Vector_clock.reserve initial;
   let members =
     List.fold_left
       (fun acc pid ->

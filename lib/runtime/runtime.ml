@@ -15,7 +15,7 @@ type 'm node = {
   slot : int; (* the network's dense slot for [pid]; tags this node's timers *)
   runtime : 'm t;
   mutable alive : bool;
-  mutable vc : Vector_clock.t;
+  vc : Vector_clock.Mutable.clock; (* copy-on-write: snapshot to publish *)
   mutable events : int; (* length of this process's history *)
   mutable on_recv : src:Pid.t -> 'm -> unit;
   mutable on_crash : unit -> unit;
@@ -35,7 +35,7 @@ let dispatch t ~dst ~src wrapped =
   | None -> ()
   | Some node ->
     if node.alive then begin
-      node.vc <- Vector_clock.merge_tick node.vc wrapped.sender_vc dst;
+      Vector_clock.Mutable.merge_tick node.vc wrapped.sender_vc dst;
       node.events <- node.events + 1;
       node.on_recv ~src wrapped.payload
     end
@@ -64,7 +64,7 @@ let spawn t pid =
       slot = Gmp_net.Network.slot_for t.net pid;
       runtime = t;
       alive = true;
-      vc = Vector_clock.empty;
+      vc = Vector_clock.Mutable.create ();
       events = 0;
       on_recv = ignore_recv;
       on_crash = (fun () -> ()) }
@@ -82,39 +82,41 @@ let set_on_crash node on_crash = node.on_crash <- on_crash
 let pid node = node.pid
 let node_slot node = node.slot
 let alive node = node.alive
-let clock node = node.vc
+let clock node = Vector_clock.Mutable.snapshot node.vc
 let node_now node = Gmp_sim.Engine.now node.runtime.engine
 let node_runtime node = node.runtime
 
 let local_event node =
   (* Record a local step in the node's history; returns (index, vc) for
      trace stamping. *)
-  node.vc <- Vector_clock.tick node.vc node.pid;
+  Vector_clock.Mutable.tick node.vc node.pid;
   node.events <- node.events + 1;
-  (node.events, node.vc)
+  (node.events, Vector_clock.Mutable.snapshot node.vc)
 
 let send ?extra_delay node ~dst ~category payload =
   if node.alive then begin
-    node.vc <- Vector_clock.tick node.vc node.pid;
+    Vector_clock.Mutable.tick node.vc node.pid;
     node.events <- node.events + 1;
     Gmp_net.Network.send ?extra_delay node.runtime.net ~src:node.pid ~dst
       ~category
-      { payload; sender_vc = node.vc }
+      { payload; sender_vc = Vector_clock.Mutable.snapshot node.vc }
   end
 
 let broadcast ?extra_delay node ~dsts ~category payload =
   (* Indivisible in the paper's sense: all sends share the engine instant;
      not failure-atomic (a concurrent crash event can sit between
-     deliveries). One vc tick for the whole broadcast. *)
+     deliveries). One vc tick — and one published snapshot — for the whole
+     broadcast. *)
   if node.alive then begin
-    node.vc <- Vector_clock.tick node.vc node.pid;
+    Vector_clock.Mutable.tick node.vc node.pid;
     node.events <- node.events + 1;
+    let vc = Vector_clock.Mutable.snapshot node.vc in
     List.iter
       (fun dst ->
         if not (Pid.equal dst node.pid) then
           Gmp_net.Network.send ?extra_delay node.runtime.net ~src:node.pid
             ~dst ~category
-            { payload; sender_vc = node.vc })
+            { payload; sender_vc = vc })
       dsts
   end
 
@@ -164,7 +166,7 @@ let platform node =
   { P.pid = node.pid;
     alive = (fun () -> node.alive);
     now = (fun () -> node_now node);
-    clock = (fun () -> node.vc);
+    clock = (fun () -> clock node);
     local_event = (fun () -> local_event node);
     send = (fun ~dst ~category payload -> send node ~dst ~category payload);
     broadcast =

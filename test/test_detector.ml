@@ -24,7 +24,7 @@ let make ~interval ~timeout ~peers =
   in
   let d =
     Heartbeat.create ~now ~set_timer ~interval ~timeout
-      ~send_beat:(fun q -> beats := q :: !beats)
+      ~send_beats:(fun qs -> beats := List.rev_append qs !beats)
       ~peers:(fun () -> peers ())
       ~suspect:(fun q -> suspects := q :: !suspects)
       ()
@@ -188,7 +188,7 @@ let test_invalid_config () =
               { Gmp_platform.Platform.cancel =
                   (fun () -> Gmp_sim.Engine.cancel engine h) })
             ~interval:2.0 ~timeout:1.0
-            ~send_beat:(fun _ -> ())
+            ~send_beats:(fun _ -> ())
             ~peers:(fun () -> [])
             ~suspect:(fun _ -> ())
             ());

@@ -136,6 +136,103 @@ let test_sensitivity_finds_hole () =
     check bool "narration names the isolation" true
       (List.exists (fun line -> contains line "isolate") narrated)
 
+(* ---- partitioned parallel explorer ---- *)
+
+let test_parallel_jobs_equivalent () =
+  (* The partitioned engine's contract: every jobs value — including 1 —
+     yields the same outcome, statistics included, because work items are
+     merged in frontier order under the global budget regardless of which
+     domain ran them or when. *)
+  let m = E.assurance () in
+  let o1 = E.explore ~jobs:1 m ~depth:8 ~budget:2000 in
+  let o2 = E.explore ~jobs:2 m ~depth:8 ~budget:2000 in
+  let o4 = E.explore ~jobs:4 m ~depth:8 ~budget:2000 in
+  check bool "jobs 1 = jobs 2 (full outcome)" true (o1 = o2);
+  check bool "jobs 1 = jobs 4 (full outcome)" true (o1 = o4);
+  check bool "actually explored" true (o1.E.stats.E.distinct > 500);
+  (* Verdict agreement with the classic sequential engine (the distinct /
+     state_pruned counts may differ — pruning is item-scoped there — but a
+     clean model must stay clean). *)
+  let seq = E.explore m ~depth:8 ~budget:2000 in
+  check bool "verdict matches sequential" true
+    (seq.E.counterexample = None && o1.E.counterexample = None)
+
+let test_parallel_sensitivity_finds_hole () =
+  (* The known no-majority divergence must be found — identically — for
+     every jobs value, and the counterexample must match what the
+     sequential engine reports. *)
+  let m = E.sensitivity () in
+  let seq = E.explore m ~depth:8 ~budget:600 in
+  let outcomes =
+    List.map (fun jobs -> E.explore ~jobs m ~depth:8 ~budget:600) [ 1; 2; 4 ]
+  in
+  let cx o =
+    match o.E.counterexample with
+    | None -> Alcotest.fail "parallel explorer missed the no-majority hole"
+    | Some cx -> cx
+  in
+  let first = cx (List.hd outcomes) in
+  List.iter
+    (fun o ->
+      check bool "identical counterexample across jobs" true (cx o = first))
+    (List.tl outcomes);
+  check bool "same violations as the sequential engine" true
+    (match seq.E.counterexample with
+    | None -> false
+    | Some scx -> scx.E.cx_violations = first.E.cx_violations);
+  check bool "same minimal schedule as the sequential engine" true
+    (match seq.E.counterexample with
+    | None -> false
+    | Some scx -> scx.E.cx_choices = first.E.cx_choices)
+
+let test_parallel_rejects_bad_jobs () =
+  let m = E.assurance () in
+  let raises f =
+    try
+      ignore (f () : E.outcome);
+      false
+    with Invalid_argument _ -> true
+  in
+  check bool "jobs 0 rejected" true
+    (raises (fun () -> E.explore ~jobs:0 m ~depth:4 ~budget:10));
+  check bool "jobs -1 rejected" true
+    (raises (fun () -> E.explore ~jobs:(-1) m ~depth:4 ~budget:10));
+  check bool "split_depth 0 rejected" true
+    (raises (fun () -> E.explore ~jobs:1 ~split_depth:0 m ~depth:4 ~budget:10))
+
+let test_fp_table_contention () =
+  (* Hammer one shared table from several domains with interleaved
+     note/prune traffic on overlapping keys; the max-merge invariant must
+     hold afterwards for every key, whatever the interleaving was. *)
+  let module F = Gmp_explore.Fp_table in
+  let t = F.create ~shards:8 () in
+  let keys = 1000 and writers = 4 in
+  let worker w () =
+    for i = 0 to keys - 1 do
+      (* Writer w records remaining = (i + w) mod 7; all writers hit every
+         key, so the surviving value must be the max over w. *)
+      F.note_exhausted t ~key:i ~remaining:((i + w) mod 7);
+      ignore (F.prunable t ~key:i ~remaining:3 : bool)
+    done
+  in
+  let domains = List.init writers (fun w -> Domain.spawn (worker w)) in
+  List.iter Domain.join domains;
+  check int "every key present exactly once" keys (F.length t);
+  check int "shard sizes sum to length" keys
+    (Array.fold_left ( + ) 0 (F.shard_sizes t));
+  for i = 0 to keys - 1 do
+    let expected_max =
+      List.fold_left
+        (fun acc w -> max acc ((i + w) mod 7))
+        0
+        (List.init writers Fun.id)
+    in
+    if not (F.prunable t ~key:i ~remaining:expected_max) then
+      Alcotest.failf "key %d lost its max-merged value" i;
+    if F.prunable t ~key:i ~remaining:(expected_max + 1) then
+      Alcotest.failf "key %d over-merged past the max" i
+  done
+
 let test_replay_no_choices_is_default_run () =
   (* An empty choice list replays the default deterministic schedule,
      which is clean under both models. *)
@@ -159,5 +256,13 @@ let suite =
       test_assurance_ten_thousand;
     Alcotest.test_case "explore: rediscovers the no-majority hole" `Quick
       test_sensitivity_finds_hole;
+    Alcotest.test_case "explore: parallel jobs 1/2/4 agree exactly" `Quick
+      test_parallel_jobs_equivalent;
+    Alcotest.test_case "explore: parallel finds the hole identically" `Quick
+      test_parallel_sensitivity_finds_hole;
+    Alcotest.test_case "explore: bad jobs/split_depth rejected" `Quick
+      test_parallel_rejects_bad_jobs;
+    Alcotest.test_case "fp_table: concurrent max-merge invariant" `Quick
+      test_fp_table_contention;
     Alcotest.test_case "explore: empty replay = default schedule" `Quick
       test_replay_no_choices_is_default_run ]
