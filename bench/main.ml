@@ -628,6 +628,107 @@ let checker_speedup () =
       ("speedup_vs_seed", J.float speedup);
       ("speedup_vs_reference", J.float (reference_s /. indexed_s)) ]
 
+(* ---------------------------------------------------------------- *)
+(* E-explore: schedule-explorer throughput (snapshots vs replay)     *)
+(* ---------------------------------------------------------------- *)
+
+module E = Gmp_explore.Explore
+
+(* Wall time of the pre-snapshot seed explorer on the same sweep (assurance
+   model, depth 12, budget 25000), measured on the reference machine — the
+   speedup_vs_seed denominator, same convention as [pr1_wall]. *)
+let explore_seed_wall_s = 0.734
+
+(* The PR 7 acceptance measurement: bounded exploration of the assurance
+   model at the CI setting, checkpoint/restore snapshots against the
+   rebuild-and-replay oracle, sequential and partitioned. Everything except
+   wall-clock is deterministic, and the two engines must agree on all of it
+   — executions, distinct interleavings, every counter, the (absent)
+   counterexample — so any disagreement comes back as a drift failure and
+   fails the bench, mirroring CI's oracle-equivalence gate. *)
+let explore_throughput () =
+  section
+    "E-explore: schedule-explorer throughput (snapshots vs replay oracle; \
+     assurance, depth 12, budget 25000)";
+  let depth = 12 and budget = 25_000 in
+  let model = E.assurance () in
+  pr "%-16s %9s %12s %14s %12s %10s@." "engine" "wall" "exec/s"
+    "distinct/s" "executions" "distinct";
+  let cell ~jobs ~snapshots =
+    let label =
+      Fmt.str "%s/%s"
+        (match jobs with None -> "seq" | Some j -> Fmt.str "jobs%d" j)
+        (if snapshots then "snapshots" else "replay")
+    in
+    let o, wall =
+      time_of (fun () -> E.explore ?jobs ~snapshots model ~depth ~budget)
+    in
+    let s = o.E.stats in
+    pr "%-16s %8.3fs %12.0f %14.0f %12d %10d@." label wall
+      (float_of_int s.E.executions /. wall)
+      (float_of_int s.E.distinct /. wall)
+      s.E.executions s.E.distinct;
+    let json =
+      J.obj
+        [ ("label", J.string label);
+          ("snapshots", J.bool snapshots);
+          ("executions", J.int s.E.executions);
+          ("distinct", J.int s.E.distinct);
+          ("frames", J.int s.E.frames);
+          ("state_pruned", J.int s.E.state_pruned);
+          ("sleep_pruned", J.int s.E.sleep_pruned);
+          ("violation_found", J.bool (o.E.counterexample <> None));
+          ("wall_s", J.float wall);
+          ("executions_per_s", J.float (float_of_int s.E.executions /. wall));
+          ("distinct_per_s", J.float (float_of_int s.E.distinct /. wall)) ]
+    in
+    (label, o, wall, json)
+  in
+  (* Snapshots on/off at each jobs value: the sequential engine (the CI
+     assurance gate) plus the partitioned engine at jobs 1 and jobs 4.
+     Bound one by one so the rows run (and print) in table order. *)
+  let c1 = cell ~jobs:None ~snapshots:true in
+  let c2 = cell ~jobs:None ~snapshots:false in
+  let c3 = cell ~jobs:(Some 1) ~snapshots:true in
+  let c4 = cell ~jobs:(Some 1) ~snapshots:false in
+  let c5 = cell ~jobs:(Some 4) ~snapshots:true in
+  let c6 = cell ~jobs:(Some 4) ~snapshots:false in
+  let cells = [ c1; c2; c3; c4; c5; c6 ] in
+  let outcome label = List.find (fun (l, _, _, _) -> String.equal l label) cells in
+  let wall_of label = let _, _, w, _ = outcome label in w in
+  let result_of label = let _, o, _, _ = outcome label in o in
+  (* Engine-equivalence drift checks (byte-identical outcomes). *)
+  let fails = ref [] in
+  let must_agree a b =
+    let agree = result_of a = result_of b in
+    pr "outcome %s == %s: %s@." a b (pass agree);
+    if not agree then
+      fails :=
+        Fmt.str "explorer outcome drift: %s and %s disagree (assurance, \
+                 depth %d, budget %d)" a b depth budget
+        :: !fails
+  in
+  must_agree "seq/snapshots" "seq/replay";
+  must_agree "jobs1/snapshots" "jobs1/replay";
+  must_agree "jobs4/snapshots" "jobs4/replay";
+  must_agree "jobs1/snapshots" "jobs4/snapshots";
+  let speedup_vs_replay = wall_of "seq/replay" /. wall_of "seq/snapshots" in
+  let speedup_vs_seed = explore_seed_wall_s /. wall_of "seq/snapshots" in
+  pr "snapshots vs in-process replay oracle: x%.2f; vs pre-snapshot seed \
+      explorer (%.3fs on the reference machine): x%.2f@."
+    speedup_vs_replay explore_seed_wall_s speedup_vs_seed;
+  let json =
+    J.obj
+      [ ("model", J.string "assurance");
+        ("depth", J.int depth);
+        ("budget", J.int budget);
+        ("cells", J.list (List.map (fun (_, _, _, j) -> j) cells));
+        ("seed_wall_s", J.float explore_seed_wall_s);
+        ("speedup_vs_replay", J.float speedup_vs_replay);
+        ("speedup_vs_seed", J.float speedup_vs_seed) ]
+  in
+  (json, List.rev !fails)
+
 let scale ~quick ~jobs () =
   section
     (if quick then "E-scale (quick): simulator throughput"
@@ -657,11 +758,13 @@ let scale ~quick ~jobs () =
       domain(s))@."
     cells_wall pool_wall parallel_speedup jobs;
   let speedup = checker_speedup () in
+  let explorer_json, explorer_fails = explore_throughput () in
   let doc =
     J.obj
       [ ("quick", J.bool quick);
         ("jobs", J.int jobs);
         ("scenarios", J.list (List.map (fun c -> c.c_json) runs));
+        ("explorer_throughput", explorer_json);
         ("cells_wall_s", J.float cells_wall);
         ("pool_wall_s", J.float pool_wall);
         ("parallel_speedup", J.float parallel_speedup);
@@ -681,7 +784,7 @@ let scale ~quick ~jobs () =
   output_char oc '\n';
   close_out oc;
   pr "wrote BENCH_scale.json@.";
-  List.concat_map (fun c -> c.c_fails) runs
+  List.concat_map (fun c -> c.c_fails) runs @ explorer_fails
 
 (* ---------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks                                         *)

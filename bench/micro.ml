@@ -3,7 +3,9 @@
    Reports both wall-clock (ns/op) and minor-heap allocation (words/op) for
    the operations the per-message path is built from: event-queue add/pop,
    schedule+cancel through the engine (tombstone + compaction path), a full
-   Network.send plus its delivery, and the vector-clock receive rule.
+   Network.send plus its delivery, and the vector-clock receive rule — plus
+   the explorer's per-backtrack costs: whole-world checkpoint capture and
+   restore at two group sizes.
 
    Run: dune exec bench/micro.exe *)
 
@@ -91,14 +93,36 @@ let fp_table_ops =
          F.note_exhausted t ~key ~remaining:(!i land 7);
          F.prunable t ~key ~remaining:4))
 
+(* The explorer's snapshot layer: whole-world capture and in-place rewind
+   (Group.checkpoint / Group.restore). Cost is O(world) — flat array blits
+   plus copy-on-write clock publishes, no per-event work — so two sizes
+   bound the range: n=3 is the exploration models' world, n=32 a mid-size
+   group. Each world is run to a steady state first so the captures cover a
+   populated event heap, live channels and a non-empty trace. *)
+let snapshot_tests n =
+  let module Group = Gmp_runtime.Group in
+  let group = Group.create ~seed:11 ~n () in
+  Group.run ~until:30.0 group;
+  let capture =
+    Test.make ~name:(Fmt.str "group.checkpoint (n=%d)" n)
+      (Staged.stage (fun () -> Group.checkpoint group))
+  in
+  let cp = Group.checkpoint group in
+  let restore =
+    Test.make ~name:(Fmt.str "group.restore (n=%d)" n)
+      (Staged.stage (fun () -> Group.restore group cp))
+  in
+  [ capture; restore ]
+
 let tests =
   Test.make_grouped ~name:"hot-path"
-    [ queue_add_pop;
-      queue_add;
-      engine_schedule_cancel;
-      network_send;
-      vc_merge_tick;
-      fp_table_ops ]
+    ([ queue_add_pop;
+       queue_add;
+       engine_schedule_cancel;
+       network_send;
+       vc_merge_tick;
+       fp_table_ops ]
+     @ snapshot_tests 3 @ snapshot_tests 32)
 
 (* bechamel's built-in minor_allocated reads [Gc.quick_stat], whose
    minor_words only advances at minor collections on OCaml 5 — allocation-

@@ -395,8 +395,20 @@ let explore_cmd =
              means autodetect the core count. Without this flag the classic \
              single-domain engine runs.")
   in
-  let go depth budget weaken expect_violation json jobs procs horizon slack
-      crashes suspicions isolations seed =
+  let snapshots_term =
+    Arg.(
+      value
+      & opt (enum [ ("on", true); ("off", false) ]) true
+      & info [ "snapshots" ] ~docv:"on|off"
+          ~doc:
+            "Checkpoint/restore backtracking (default on): enter sibling \
+             branches by restoring a world snapshot instead of re-executing \
+             the shared prefix from the root. $(b,off) keeps the \
+             rebuild-and-replay oracle engine; both produce byte-identical \
+             outcomes.")
+  in
+  let go depth budget weaken expect_violation json jobs snapshots procs horizon
+      slack crashes suspicions isolations seed =
     let base = if weaken then E.sensitivity ~seed () else E.assurance ~seed () in
     let opt v field = Option.value v ~default:field in
     let model =
@@ -421,7 +433,7 @@ let explore_cmd =
     (match jobs with
     | Some j when not json -> Fmt.pr "exploring with %d worker domain(s)@." j
     | _ -> ());
-    let outcome = E.explore ~progress ?jobs model ~depth ~budget in
+    let outcome = E.explore ~progress ?jobs ~snapshots model ~depth ~budget in
     let found = outcome.E.counterexample <> None in
     (* Stable exit codes, for CI gates:
          0  outcome matches expectation (violation iff --expect-violation)
@@ -441,6 +453,7 @@ let explore_cmd =
                 ("depth", J.int depth);
                 ("budget", J.int budget);
                 ("jobs", match jobs with None -> J.null | Some j -> J.int j);
+                ("snapshots", J.bool snapshots);
                 ( "stats",
                   J.obj
                     [ ("executions", J.int s.E.executions);
@@ -486,8 +499,9 @@ let explore_cmd =
           (bounded model checking) and run the GMP safety checker on each.")
     Term.(
       const go $ depth_term $ budget_term $ weaken_term $ expect_violation_term
-      $ json_term $ jobs_term $ procs_term $ horizon_term $ slack_term
-      $ crashes_term $ suspicions_term $ isolations_term $ seed_term)
+      $ json_term $ jobs_term $ snapshots_term $ procs_term $ horizon_term
+      $ slack_term $ crashes_term $ suspicions_term $ isolations_term
+      $ seed_term)
 
 (* ---- table1 ---- *)
 

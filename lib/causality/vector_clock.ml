@@ -214,4 +214,16 @@ module Mutable = struct
   let snapshot c =
     c.shared <- true;
     c.arr
+
+  (* Checkpointing IS publishing: the captured array is frozen by the
+     copy-on-write discipline (every writer unshares first), so both capture
+     and restore are O(1) and the same checkpoint restores any number of
+     times. *)
+  type checkpoint = t
+
+  let checkpoint c = snapshot c
+
+  let restore c arr =
+    c.arr <- arr;
+    c.shared <- true
 end

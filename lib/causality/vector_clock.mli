@@ -77,4 +77,12 @@ module Mutable : sig
   val snapshot : clock -> t
   (** Publish the current value. The result is immutable forever; the clock
       remains usable and will copy on its next update. *)
+
+  type checkpoint
+  (** O(1) capture of the clock value — checkpointing publishes the backing
+      array exactly like {!snapshot}, so the copy-on-write discipline keeps
+      it frozen and one checkpoint restores any number of times. *)
+
+  val checkpoint : clock -> checkpoint
+  val restore : clock -> checkpoint -> unit
 end

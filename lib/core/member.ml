@@ -373,21 +373,30 @@ and commit_update t mp =
 (* ---- Reconfiguration: succession rule and the three phases ---- *)
 
 and maybe_initiate t =
-  (* With no suspects there is nothing to initiate, and this runs after
-     every delivery: bail out before [higher_ranked] materialises the
-     O(rank) seniors list, or quiet heartbeat traffic allocates it per
-     message. *)
+  (* This runs after every delivery. The empty-faulty-set bail-out covers
+     quiet traffic; when suspicions ARE outstanding (long stretches of a
+     churny run), deciding "are all my seniors faulty?" must still not
+     materialise the O(rank) [View.higher_ranked] list per message — so walk
+     the view once: initiation is due iff the scan reaches self having seen
+     at least one senior, all of them faulty. *)
   if
     operational t && t.joined
     && (not (Pid.Set.is_empty t.faulty))
     && (not (is_mgr t))
     && t.reconf = None
     && View.mem t.view (self t)
-  then
-    match View.higher_ranked t.view (self t) with
-    | [] -> () (* head of the view: the Mgr role, not an initiator *)
-    | higher ->
-      if List.for_all (fun q -> Pid.Set.mem q t.faulty) higher then begin
+  then begin
+    let rec seniors_all_faulty any_senior = function
+      | [] -> false (* unreachable: self is a view member (guard above) *)
+      | q :: rest ->
+        if Pid.equal q (self t) then
+          (* [any_senior = false] here means self heads the view: the Mgr
+             role, not an initiator. *)
+          any_senior
+        else if Pid.Set.mem q t.faulty then seniors_all_faulty true rest
+        else false
+    in
+    if seniors_all_faulty false (View.members t.view) then begin
         (* §8 reuse: give in-flight pre-sent replies one grace period to
            land before interrogating (once per version). *)
         if
@@ -435,6 +444,7 @@ and maybe_initiate t =
         recheck_reconf t
         end
       end
+  end
 
 and recheck_reconf t =
   match t.reconf with
@@ -983,6 +993,88 @@ let broadcast_app t payload =
   if operational t then
     broadcast t ~dsts:(non_faulty_others t)
       (Wire.App { app_ver = t.ver; payload })
+
+(* ---- checkpoint / restore for the schedule explorer ----
+
+   Everything mutable in [t] is captured by value. The only mutable
+   sub-records are the phase records ([mgr_phase]'s OK set, [reconf]'s
+   response list / OK set): those are copied both at capture and at restore,
+   so later phase progress never writes through into a checkpoint and one
+   checkpoint restores any number of times. The protocol payload types
+   (views, sets, seqs, wire records) are immutable and shared. [app_handler]
+   and [on_view_change] are harness wiring, not protocol state, and are left
+   alone. *)
+
+type checkpoint = {
+  cp_view : View.t;
+  cp_ver : int;
+  cp_seq : Types.seq;
+  cp_next : Types.expectation list;
+  cp_faulty : Pid.Set.t;
+  cp_recovered : Pid.Set.t;
+  cp_operating : Pid.Set.t;
+  cp_mgr : Pid.t;
+  cp_mgr_phase : mgr_phase option;
+  cp_reconf : reconf_phase option;
+  cp_has_quit : bool;
+  cp_joined : bool;
+  cp_detector : Heartbeat.checkpoint option;
+  cp_peer_cache : Pid.t list option;
+  cp_app_buffer : (Pid.t * int * Wire.app) list;
+  cp_stash : (Pid.t * Wire.interrogate_reply) list;
+  cp_initiation_deferred : bool;
+}
+
+let copy_mgr_phase = function
+  | None -> None
+  | Some mp -> Some { mp with mp_oks = mp.mp_oks }
+
+let copy_reconf = function
+  | None -> None
+  | Some (R_interrogating r) ->
+    Some (R_interrogating { responses = r.responses })
+  | Some (R_proposing r) ->
+    Some (R_proposing { r_prop = r.r_prop; r_oks = r.r_oks })
+
+let checkpoint t =
+  { cp_view = t.view;
+    cp_ver = t.ver;
+    cp_seq = t.seq;
+    cp_next = t.next;
+    cp_faulty = t.faulty;
+    cp_recovered = t.recovered;
+    cp_operating = t.operating;
+    cp_mgr = t.mgr;
+    cp_mgr_phase = copy_mgr_phase t.mgr_phase;
+    cp_reconf = copy_reconf t.reconf;
+    cp_has_quit = t.has_quit;
+    cp_joined = t.joined;
+    cp_detector = Option.map Heartbeat.checkpoint t.detector;
+    cp_peer_cache = t.peer_cache;
+    cp_app_buffer = t.app_buffer;
+    cp_stash = t.stash;
+    cp_initiation_deferred = t.initiation_deferred }
+
+let restore t cp =
+  t.view <- cp.cp_view;
+  t.ver <- cp.cp_ver;
+  t.seq <- cp.cp_seq;
+  t.next <- cp.cp_next;
+  t.faulty <- cp.cp_faulty;
+  t.recovered <- cp.cp_recovered;
+  t.operating <- cp.cp_operating;
+  t.mgr <- cp.cp_mgr;
+  t.mgr_phase <- copy_mgr_phase cp.cp_mgr_phase;
+  t.reconf <- copy_reconf cp.cp_reconf;
+  t.has_quit <- cp.cp_has_quit;
+  t.joined <- cp.cp_joined;
+  (match (t.detector, cp.cp_detector) with
+  | Some d, Some c -> Heartbeat.restore d c
+  | _ -> ());
+  t.peer_cache <- cp.cp_peer_cache;
+  t.app_buffer <- cp.cp_app_buffer;
+  t.stash <- cp.cp_stash;
+  t.initiation_deferred <- cp.cp_initiation_deferred
 
 (* ---- fingerprint: protocol-state hash for the schedule explorer ---- *)
 

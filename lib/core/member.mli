@@ -97,3 +97,15 @@ val fingerprint : t -> int
     suspicion sets, coordinator phase, reconfiguration phase, expectations,
     buffers). Equal states hash equally across executions; used by the
     schedule explorer's state pruning. *)
+
+type checkpoint
+(** By-value capture of the member's entire mutable protocol state,
+    including its detector's. Mutable phase sub-records are copied at both
+    capture and restore, so a checkpoint is never written through and
+    restores any number of times. The [app_handler]/[on_view_change]
+    callbacks are harness wiring and are not captured. Only meaningful
+    together with checkpoints of the node, network and engine the member
+    runs on — {!Group.checkpoint} composes all of them. *)
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit

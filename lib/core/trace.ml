@@ -193,6 +193,64 @@ let violations t =
 
 let owners t = List.rev t.owners_rev
 
+(* ---- checkpoint / restore: truncate-to-mark ----
+
+   A trace only ever appends, so a checkpoint is a set of lengths: the event
+   count plus each index vector's cursor. Restore truncates by resetting the
+   cursors in place — the backing arrays keep their (now stale, unreachable
+   via any query) tails, which the next appends overwrite, so re-recording
+   the same events after a restore reproduces the identical observable trace
+   with no per-event cost. Owners first seen after the capture are dropped
+   from the owner tables so their (empty-again) index vectors do not leak
+   phantom owners into [owners]/[by_owner]. *)
+
+type checkpoint = {
+  cp_len : int;
+  cp_install_n : int;
+  cp_detection_n : int;
+  cp_quit_n : int;
+  cp_violation_n : int;
+  cp_owner_marks : (Pid.t * Ivec.t * int) list;
+  cp_owner_install_marks : (Pid.t * Ivec.t * int) list;
+  cp_owners_rev : Pid.t list;
+}
+
+let table_marks table =
+  Pid.Tbl.fold (fun pid v acc -> (pid, v, v.Ivec.n) :: acc) table []
+
+let checkpoint t =
+  { cp_len = t.len;
+    cp_install_n = t.install_ix.Ivec.n;
+    cp_detection_n = t.detection_ix.Ivec.n;
+    cp_quit_n = t.quit_ix.Ivec.n;
+    cp_violation_n = t.violation_ix.Ivec.n;
+    cp_owner_marks = table_marks t.owner_ix;
+    cp_owner_install_marks = table_marks t.owner_install_ix;
+    cp_owners_rev = t.owners_rev }
+
+let restore_table table marks =
+  (* Drop owners added after the capture, rewind the cursors of the rest.
+     Owner sets are small (group size), so the membership scan is cheap. *)
+  let stale =
+    Pid.Tbl.fold
+      (fun pid _ acc ->
+        if List.exists (fun (p, _, _) -> Pid.equal p pid) marks then acc
+        else pid :: acc)
+      table []
+  in
+  List.iter (Pid.Tbl.remove table) stale;
+  List.iter (fun (_, v, n) -> v.Ivec.n <- n) marks
+
+let restore t cp =
+  t.len <- cp.cp_len;
+  t.install_ix.Ivec.n <- cp.cp_install_n;
+  t.detection_ix.Ivec.n <- cp.cp_detection_n;
+  t.quit_ix.Ivec.n <- cp.cp_quit_n;
+  t.violation_ix.Ivec.n <- cp.cp_violation_n;
+  restore_table t.owner_ix cp.cp_owner_marks;
+  restore_table t.owner_install_ix cp.cp_owner_install_marks;
+  t.owners_rev <- cp.cp_owners_rev
+
 (* ---- Reference implementations: the seed's naive list scans ----
 
    Kept verbatim (modulo operating on [events t]) as the oracle the property

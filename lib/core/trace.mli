@@ -70,6 +70,17 @@ val violations : t -> (Pid.t * string) list
 val owners : t -> Pid.t list
 (** In first-appearance order. *)
 
+type checkpoint
+(** Truncate-to-mark capture: the event count plus every index vector's
+    cursor. O(owners) to take; {!restore} rewinds the cursors in place (the
+    backing arrays keep stale tails that the next appends overwrite), drops
+    owners first recorded after the capture, and stays valid across any
+    number of restores. The {!set_on_record} observer is harness wiring, not
+    trace state, and is unaffected. *)
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 (** The naive list-scan implementations of the queries above (the seed's
     originals). Each is O(length) per call; they are the oracle the property
     tests compare the indexes against and the baseline for the benchmark's

@@ -134,3 +134,31 @@ let stop t =
 let is_running t = t.running
 
 let tracked t = Pid.Tbl.length t.last_heard
+
+(* Checkpoints capture the mutable detector state. [pending] is saved by
+   reference: the timer wrapper closes over the engine handle that was
+   scheduled at capture time, and the engine's own restore resurrects that
+   handle in place, so the saved wrapper cancels the right event after a
+   restore. Table iteration order is not observable (prune/forget compute
+   order-independent final states), so rebuild order does not matter. *)
+type checkpoint = {
+  cp_last_heard : (Pid.t * float) list;
+  cp_running : bool;
+  cp_pending : Gmp_platform.Platform.timer option;
+  cp_suspects : Pid.Set.t;
+}
+
+let checkpoint t =
+  { cp_last_heard =
+      Pid.Tbl.fold (fun pid at acc -> (pid, at) :: acc) t.last_heard [];
+    cp_running = t.running;
+    cp_pending = t.pending;
+    cp_suspects = t.suspects_fired }
+
+let restore t cp =
+  Pid.Tbl.reset t.last_heard;
+  List.iter (fun (pid, at) -> Pid.Tbl.replace t.last_heard pid at)
+    cp.cp_last_heard;
+  t.running <- cp.cp_running;
+  t.pending <- cp.cp_pending;
+  t.suspects_fired <- cp.cp_suspects

@@ -49,3 +49,13 @@ val forget : t -> Pid.t -> unit
 val tracked : t -> int
 (** Number of peers with tracking state (size of the last-heard table);
     bounded by the current peer set once a tick has run. *)
+
+type checkpoint
+(** Capture of the detector's mutable state (last-heard table, running flag,
+    pending-tick handle, fired-suspicion set). Only meaningful together with
+    a checkpoint of the platform that owns the detector's timers — the
+    simulator's engine restore resurrects the pending tick's handle in
+    place. Valid across any number of restores. *)
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit

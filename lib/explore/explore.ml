@@ -1,14 +1,23 @@
 (* Bounded deterministic schedule exploration (stateless model checking).
 
-   Each execution rebuilds the group from the model (fixed config, seed and
-   delay distribution make the rebuild a pure function of the choices), then
-   steps the engine by hand: at every branching point — more than one event
-   in the ready window, or an adversarial injection still in budget — a
-   [decide] callback picks the continuation. The explorer enumerates
-   prefixes of such decisions by rightmost-increment DFS with iterative
-   deepening, re-executing from scratch for every prefix; re-execution is
-   cheap (a few hundred events) and keeps the protocol code entirely
-   snapshot-free.
+   Each execution steps the engine by hand: at every branching point — more
+   than one event in the ready window, or an adversarial injection still in
+   budget — a [decide] callback picks the continuation. The explorer
+   enumerates prefixes of such decisions by rightmost-increment DFS with
+   iterative deepening.
+
+   Backtracking is checkpoint-based: at every decision frame the session
+   captures the whole world ({!Group.checkpoint} — engine heap, network
+   matrices, member protocol state, trace cursors, RNGs) plus the loop's own
+   bookkeeping, and moving to the next DFS prefix restores the frame where
+   the prefix increments instead of re-executing the shared prefix from the
+   root. A capture is flat-array blits plus O(1) copy-on-write clock
+   publishes, so backtracking costs O(world) instead of O(depth x prefix
+   events). The pre-snapshot engine — rebuild the group from the model
+   (fixed config, seed and delay distribution make the rebuild a pure
+   function of the choices) and replay every prefix from scratch — survives
+   behind [~snapshots:false] as a cross-checking oracle; both produce
+   byte-identical outcomes (asserted in the test suite and CI).
 
    Two reductions keep the tree tractable:
 
@@ -253,59 +262,239 @@ let build m =
 (* Livelock guard per execution; real runs take a few hundred steps. *)
 let max_exec_steps = 200_000
 
-(* Run one execution, consulting [decide] at every branching point up to
-   [depth] decisions and following the default order beyond. [prune fp
-   remaining] is a read-only oracle ("has this state been exhausted with at
-   least [remaining] depth to spare?"); commits happen in the DFS controller
-   once a subtree is exhausted. *)
-let execute m ~depth ~prune ~decide ~narrate =
+(* Mutable per-execution loop state, split out so a checkpoint can capture
+   and a restore can rewind it alongside the world itself. *)
+type exec_state = {
+  mutable x_frames : frame list; (* reversed *)
+  mutable x_nframes : int;
+  mutable x_violations : Checker.violation list;
+  mutable x_last_len : int;
+  mutable x_pruned : bool;
+  mutable x_hit_depth : bool;
+  mutable x_sleep : int;
+  mutable x_prev_fired : Engine.handle option;
+  mutable x_prev_ready : Engine.handle list;
+  mutable x_steps : int;
+}
+
+(* A decision-frame checkpoint: the world ({!Group.checkpoint}) plus the
+   adversary budgets, the loop bookkeeping and the frame's own candidate
+   set. [cp_ready]/[cp_fires] hold engine handles by reference — restore is
+   in-place, so after [Group.restore] the very same handle objects are live
+   in the heap again and can be fired directly without recomputing the
+   window. The sleep filter's physical-equality test ([List.memq] against
+   [cp_prev_ready]) survives restore for the same reason. *)
+type cp = {
+  cp_world : Group.checkpoint;
+  cp_crashes : int;
+  cp_suspicions : int;
+  cp_isolations : int;
+  cp_isolated : int option;
+  cp_frames : frame list; (* frames strictly before this one, reversed *)
+  cp_last_len : int;
+  cp_sleep : int;
+  cp_prev_fired : Engine.handle option;
+  cp_prev_ready : Engine.handle list;
+  cp_steps : int;
+  cp_ready : Engine.handle list;
+  cp_fires : Engine.handle list;
+  cp_cands : choice array;
+  cp_fp : int;
+}
+
+(* One exploration session: a single world reused across the executions of
+   a DFS round, with a checkpoint slot per decision index. Slots above the
+   current run's frame count go stale when the DFS descends a new subtree,
+   but [next_prefix] only ever resumes at indices the current run recorded,
+   so stale slots are never read. With [ncps = 0] (the replay paths and the
+   [~snapshots:false] oracle) no captures happen and every execution must
+   start from a fresh session. *)
+type session = {
+  s_model : model;
+  s_group : Group.t;
+  s_engine : Engine.t;
+  s_trace : Trace.t;
+  s_initial : Pid.t list;
+  s_st : budgets;
+  s_x : exec_state;
+  s_cps : cp option array;
+}
+
+let make_session m ~ncps =
   let group = build m in
-  let engine = Group.engine group in
-  let trace = Group.trace group in
-  let initial = Group.initial group in
-  let st =
-    { u_crashes = 0; u_suspicions = 0; u_isolations = 0; isolated = None }
-  in
-  let violations = ref [] in
-  let last_len = ref (Trace.length trace) in
-  let check () =
-    let len = Trace.length trace in
-    if len <> !last_len then begin
-      last_len := len;
-      match Checker.check_safety trace ~initial with
+  { s_model = m;
+    s_group = group;
+    s_engine = Group.engine group;
+    s_trace = Group.trace group;
+    s_initial = Group.initial group;
+    s_st =
+      { u_crashes = 0; u_suspicions = 0; u_isolations = 0; isolated = None };
+    s_x =
+      { x_frames = [];
+        x_nframes = 0;
+        x_violations = [];
+        x_last_len = Trace.length (Group.trace group);
+        x_pruned = false;
+        x_hit_depth = false;
+        x_sleep = 0;
+        x_prev_fired = None;
+        x_prev_ready = [];
+        x_steps = 0 };
+    s_cps = Array.make ncps None }
+
+(* The only event kinds [Checker.check_safety] reads: GMP-1 folds over
+   [Faulty]/[Removed], GMP-0/2/3/4 over [Installed], and the internal check
+   over [Violation]. Appending any other kind cannot change a verdict that
+   was clean, so the full-trace rescan is skipped unless the step recorded
+   at least one of these. *)
+let checker_relevant = function
+  | Trace.Faulty _ | Trace.Removed _ | Trace.Installed _ | Trace.Violation _
+    ->
+    true
+  | _ -> false
+
+let check sess =
+  let x = sess.s_x in
+  let len = Trace.length sess.s_trace in
+  if len <> x.x_last_len then begin
+    let relevant = ref false in
+    for i = x.x_last_len to len - 1 do
+      if checker_relevant (Trace.get sess.s_trace i).Trace.kind then
+        relevant := true
+    done;
+    x.x_last_len <- len;
+    if !relevant then
+      match Checker.check_safety sess.s_trace ~initial:sess.s_initial with
       | [] -> ()
-      | vs -> violations := vs
-    end
-  in
-  let frames = ref [] in
-  let nframes = ref 0 in
-  let pruned = ref false in
-  let hit_depth = ref false in
-  let sleep_skips = ref 0 in
-  let prev_fired = ref None in
-  let prev_ready = ref [] in
-  let steps = ref 0 in
-  let fire_and_track ready h =
-    (match narrate with Some f -> f (describe_fire group h) | None -> ());
-    Engine.fire engine h;
-    prev_fired := Some h;
-    prev_ready := ready
-  in
+      | vs -> x.x_violations <- vs
+  end
+
+let fire_and_track sess ~narrate ready h =
+  (match narrate with
+  | Some f -> f (describe_fire sess.s_group h)
+  | None -> ());
+  Engine.fire sess.s_engine h;
+  sess.s_x.x_prev_fired <- Some h;
+  sess.s_x.x_prev_ready <- ready
+
+(* Record frame [x_nframes] with candidate [k] and apply the choice. *)
+let take sess ~depth ~narrate ~ready ~fires ~cands ~fp k =
+  let x = sess.s_x in
+  let k = if k < 0 || k >= Array.length cands then 0 else k in
+  x.x_frames <-
+    { f_ncands = Array.length cands;
+      f_chosen = k;
+      f_choice = cands.(k);
+      f_fp = fp;
+      f_remaining = depth - x.x_nframes }
+    :: x.x_frames;
+  x.x_nframes <- x.x_nframes + 1;
+  (match cands.(k) with
+  | Fire i -> fire_and_track sess ~narrate ready (List.nth fires i)
+  | Inject inj ->
+    (match narrate with
+    | Some f ->
+      f (Fmt.str "t=%.2f %a" (Engine.now sess.s_engine) pp_injection inj)
+    | None -> ());
+    apply_injection sess.s_group sess.s_st inj;
+    x.x_prev_fired <- None;
+    x.x_prev_ready <- []);
+  check sess
+
+(* Once the decision budget is spent, the rest of the run — the "default
+   tail" — is a pure function of the world state at that point: no choices,
+   no injections, just default-order stepping until quiescence, the horizon
+   or a violation. The memo records the tail outcome keyed by the state
+   fingerprint of {e every} state the tail passes through, not just its
+   entry: a fresh tail executes only until its trajectory merges with any
+   previously explored one, then splices the stored suffix outcome (final
+   fingerprint, violations, remaining step count) and stops. Schedules that
+   converge to a common state — commuting orders the sleep filter could not
+   cancel, late reorderings of the same heartbeat round — therefore share
+   the common suffix once. This leans on the same state-hash assumption as
+   the pruning table (same fingerprint => same future), and both engines
+   consult the memo identically, so snapshots on/off remain byte-identical.
+   Entries are only stored for tails that completed within the step guard,
+   and a hit is only taken when the stored step count fits under the guard
+   from this run's position — a guard-truncated tail is prefix-dependent
+   and must re-execute. *)
+type tail_rec = {
+  t_final_fp : int;
+  t_violations : Checker.violation list;
+  t_hit_depth : bool; (* a >=2-wide window occurs in this suffix *)
+  t_steps : int; (* loop iterations from this state to run end, inclusive *)
+}
+
+let result_of ?final_fp sess =
+  let x = sess.s_x in
+  { r_frames = List.rev x.x_frames;
+    r_violations = x.x_violations;
+    r_pruned = x.x_pruned;
+    r_hit_depth = x.x_hit_depth;
+    r_final_fp =
+      (match final_fp with
+      | Some fp -> fp
+      | None -> state_fp sess.s_group sess.s_st);
+    r_sleep_skips = x.x_sleep }
+
+(* Drive the current execution to its end, consulting [decide] at every
+   branching point up to [depth] decisions and following the default order
+   beyond. [prune fp remaining] is a read-only oracle ("has this state been
+   exhausted with at least [remaining] depth to spare?"); commits happen in
+   the DFS controller once a subtree is exhausted. When the session has
+   checkpoint slots, every decision frame that passes the prune check is
+   captured before [decide] runs, so any sibling can later be entered by
+   restore. *)
+let finish_run ?memo sess ~depth ~prune ~decide ~narrate =
+  let m = sess.s_model in
+  let st = sess.s_st in
+  let x = sess.s_x in
+  let engine = sess.s_engine in
+  (* (fingerprint, steps-at-state) for every tail state this run executed
+     through, most recent first; turned into memo entries once the run's
+     end (and thus each suffix's outcome) is known. *)
+  let tail_keys = ref [] in
+  (* last loop iteration that saw a >=2-wide window, for per-suffix
+     [t_hit_depth] (a cumulative boolean could not tell whether the wide
+     window fell before or after a given recorded state). *)
+  let last_wide = ref 0 in
+  (* set on a memo hit: (final fingerprint, spliced suffix had a wide
+     window) — the executed lead-in states still get memo entries, their
+     suffixes ending through the stored trajectory. *)
+  let memo_fp = ref None in
+  let hit_wide = ref false in
   (try
-     while !violations = [] do
-       incr steps;
-       if !steps > max_exec_steps then raise Exit;
+     while x.x_violations = [] do
+       x.x_steps <- x.x_steps + 1;
+       if x.x_steps > max_exec_steps then raise Exit;
        match Engine.ready engine with
        | [] -> raise Exit (* quiescent *)
        | hd :: _ as ready ->
          if Engine.fire_time hd > m.horizon then raise Exit;
-         if !nframes >= depth then begin
+         if x.x_nframes >= depth then begin
            (* decision budget spent: deterministic default tail *)
-           (match ready with _ :: _ :: _ -> hit_depth := true | _ -> ());
+           (match memo with
+           | Some tbl ->
+             let key = state_fp sess.s_group st in
+             (match Hashtbl.find_opt tbl key with
+             | Some tr when x.x_steps - 1 + tr.t_steps <= max_exec_steps ->
+               x.x_violations <- tr.t_violations;
+               x.x_hit_depth <- x.x_hit_depth || tr.t_hit_depth;
+               x.x_steps <- x.x_steps - 1 + tr.t_steps;
+               memo_fp := Some tr.t_final_fp;
+               hit_wide := tr.t_hit_depth;
+               raise Exit
+             | _ -> tail_keys := (key, x.x_steps) :: !tail_keys)
+           | None -> ());
+           (match ready with
+           | _ :: _ :: _ ->
+             x.x_hit_depth <- true;
+             last_wide := x.x_steps
+           | _ -> ());
            Engine.fire engine hd;
-           prev_fired := Some hd;
-           prev_ready := ready;
-           check ()
+           x.x_prev_fired <- Some hd;
+           x.x_prev_ready <- ready;
+           check sess
          end
          else begin
            (* Sleep filter: drop events that reorder backwards (towards a
@@ -313,10 +502,10 @@ let execute m ~depth ~prune ~decide ~narrate =
               was already offered on an earlier sibling. If everything is
               filtered, fall back to the unfiltered window. *)
            let fires =
-             match !prev_fired with
+             match x.x_prev_fired with
              | Some g when Engine.proc_of g >= 0 ->
                let gp = Engine.proc_of g in
-               let prev = !prev_ready in
+               let prev = x.x_prev_ready in
                List.filter
                  (fun h ->
                    let hp = Engine.proc_of h in
@@ -325,18 +514,17 @@ let execute m ~depth ~prune ~decide ~narrate =
              | _ -> ready
            in
            let fires = if fires = [] then ready else fires in
-           sleep_skips := !sleep_skips + (List.length ready - List.length fires);
-           let injections = injection_candidates m group st in
+           x.x_sleep <- x.x_sleep + (List.length ready - List.length fires);
+           let injections = injection_candidates m sess.s_group st in
            match (injections, fires) with
            | [], [ only ] ->
              (* no real branching: apply without consuming depth *)
-             fire_and_track ready only;
-             check ()
+             fire_and_track sess ~narrate ready only;
+             check sess
            | _ ->
-             let fp = state_fp group st in
-             let remaining = depth - !nframes in
-             if prune fp remaining then begin
-               pruned := true;
+             let fp = state_fp sess.s_group st in
+             if prune fp (depth - x.x_nframes) then begin
+               x.x_pruned <- true;
                raise Exit
              end;
              let cands =
@@ -344,36 +532,100 @@ let execute m ~depth ~prune ~decide ~narrate =
                  (List.map (fun i -> Inject i) injections
                  @ List.mapi (fun i _ -> Fire i) fires)
              in
-             let k = decide !nframes cands in
-             let k = if k < 0 || k >= Array.length cands then 0 else k in
-             frames :=
-               { f_ncands = Array.length cands;
-                 f_chosen = k;
-                 f_choice = cands.(k);
-                 f_fp = fp;
-                 f_remaining = remaining }
-               :: !frames;
-             incr nframes;
-             (match cands.(k) with
-             | Fire i -> fire_and_track ready (List.nth fires i)
-             | Inject inj ->
-               (match narrate with
-               | Some f ->
-                 f (Fmt.str "t=%.2f %a" (Engine.now engine) pp_injection inj)
-               | None -> ());
-               apply_injection group st inj;
-               prev_fired := None;
-               prev_ready := []);
-             check ()
+             if x.x_nframes < Array.length sess.s_cps then
+               sess.s_cps.(x.x_nframes) <-
+                 Some
+                   { cp_world = Group.checkpoint sess.s_group;
+                     cp_crashes = st.u_crashes;
+                     cp_suspicions = st.u_suspicions;
+                     cp_isolations = st.u_isolations;
+                     cp_isolated = st.isolated;
+                     cp_frames = x.x_frames;
+                     cp_last_len = x.x_last_len;
+                     cp_sleep = x.x_sleep;
+                     cp_prev_fired = x.x_prev_fired;
+                     cp_prev_ready = x.x_prev_ready;
+                     cp_steps = x.x_steps;
+                     cp_ready = ready;
+                     cp_fires = fires;
+                     cp_cands = cands;
+                     cp_fp = fp };
+             take sess ~depth ~narrate ~ready ~fires ~cands ~fp
+               (decide x.x_nframes cands)
          end
      done
    with Exit -> ());
-  { r_frames = List.rev !frames;
-    r_violations = !violations;
-    r_pruned = !pruned;
-    r_hit_depth = !hit_depth;
-    r_final_fp = state_fp group st;
-    r_sleep_skips = !sleep_skips }
+  let final_fp =
+    match !memo_fp with
+    | Some fp -> fp
+    | None ->
+      (* A pruned run's final fingerprint is never read (the controllers
+         only key completed interleavings), and a pruned run records no
+         tail keys — skip the hash. *)
+      if x.x_pruned then 0 else state_fp sess.s_group st
+  in
+  (match memo with
+  | Some tbl when x.x_steps <= max_exec_steps ->
+    List.iter
+      (fun (key, at_steps) ->
+        Hashtbl.replace tbl key
+          { t_final_fp = final_fp;
+            t_violations = x.x_violations;
+            t_hit_depth = !last_wide >= at_steps || !hit_wide;
+            t_steps = x.x_steps - at_steps + 1 })
+      !tail_keys
+  | _ -> ());
+  result_of ~final_fp sess
+
+(* Enter the sibling branch [choice] of decision frame [at] by restoring
+   its checkpoint: the world rewinds in place, the loop state reloads from
+   the capture, the forced sibling is taken, and the run continues with the
+   default decision order (rightmost-increment prefixes are default-0 past
+   the incremented index). This replaces re-executing the whole prefix from
+   the root — the saving that makes the explorer fast. *)
+let resume_run ?memo sess ~depth ~prune ~narrate ~at ~choice =
+  let cp =
+    match sess.s_cps.(at) with
+    | Some c -> c
+    | None -> invalid_arg "Explore.resume_run: no checkpoint at this frame"
+  in
+  Group.restore sess.s_group cp.cp_world;
+  let st = sess.s_st in
+  st.u_crashes <- cp.cp_crashes;
+  st.u_suspicions <- cp.cp_suspicions;
+  st.u_isolations <- cp.cp_isolations;
+  st.isolated <- cp.cp_isolated;
+  let x = sess.s_x in
+  x.x_frames <- cp.cp_frames;
+  x.x_nframes <- at;
+  x.x_violations <- [];
+  x.x_last_len <- cp.cp_last_len;
+  x.x_pruned <- false;
+  x.x_hit_depth <- false;
+  x.x_sleep <- cp.cp_sleep;
+  x.x_prev_fired <- cp.cp_prev_fired;
+  x.x_prev_ready <- cp.cp_prev_ready;
+  x.x_steps <- cp.cp_steps;
+  if prune cp.cp_fp (depth - at) then begin
+    (* Unreachable within a round: commits since this frame was captured
+       all carry strictly less remaining depth than a prefix frame holds
+       (the DFS commits only below the incremented index), and the capture
+       itself proves the previous visit passed this check. Kept as a guard
+       so a pruning-policy change can never silently desync the snapshot
+       path from the replay oracle — it fails identically instead. *)
+    x.x_pruned <- true;
+    result_of sess
+  end
+  else begin
+    take sess ~depth ~narrate ~ready:cp.cp_ready ~fires:cp.cp_fires
+      ~cands:cp.cp_cands ~fp:cp.cp_fp choice;
+    finish_run ?memo sess ~depth ~prune ~decide:(fun _ _ -> 0) ~narrate
+  end
+
+(* One full execution on a throwaway world — the replay paths and the
+   [~snapshots:false] oracle engine. *)
+let execute ?memo m ~depth ~prune ~decide ~narrate =
+  finish_run ?memo (make_session m ~ncps:0) ~depth ~prune ~decide ~narrate
 
 (* ---- replay ---- *)
 
@@ -489,7 +741,7 @@ let shrink_counterexample m = function
                minimal);
         cx_violations = violations }
 
-let explore_seq ?progress m ~depth ~budget =
+let explore_seq ?progress ~snapshots m ~depth ~budget =
   let seen : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let distinct : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
   let execs = ref 0 in
@@ -527,16 +779,35 @@ let explore_seq ?progress m ~depth ~budget =
     | Some r -> r >= remaining
     | None -> false
   in
+  (* Default-tail outcomes, shared across rounds (tails are depth-free). *)
+  let memo : (int, tail_rec) Hashtbl.t = Hashtbl.create 4096 in
   let round d =
     max_d := max !max_d d;
+    (* One world per round when snapshotting: the first execution runs it
+       from scratch, every later one backtracks into it by restore. *)
+    let sess = if snapshots then Some (make_session m ~ncps:d) else None in
     let prefix = ref [||] in
+    let resume = ref None in
     let exhausted = ref false in
     let deeper = ref false in
     while (not !exhausted) && !execs < budget && !cex = None do
       incr execs;
-      let p = !prefix in
-      let decide k _cands = if k < Array.length p then p.(k) else 0 in
-      let r = execute m ~depth:d ~prune ~decide ~narrate:None in
+      let r =
+        match sess with
+        | Some sess -> (
+          match !resume with
+          | None ->
+            finish_run ~memo sess ~depth:d ~prune
+              ~decide:(fun _ _ -> 0)
+              ~narrate:None
+          | Some (i, k) ->
+            resume_run ~memo sess ~depth:d ~prune ~narrate:None ~at:i
+              ~choice:k)
+        | None ->
+          let p = !prefix in
+          let decide k _cands = if k < Array.length p then p.(k) else 0 in
+          execute ~memo m ~depth:d ~prune ~decide ~narrate:None
+      in
       frames_total := !frames_total + List.length r.r_frames;
       sleep_skips := !sleep_skips + r.r_sleep_skips;
       if r.r_pruned then incr state_pruned
@@ -554,7 +825,8 @@ let explore_seq ?progress m ~depth ~budget =
           exhausted := true
         | Some (p, i) ->
           commit r.r_frames i;
-          prefix := p
+          prefix := p;
+          resume := Some (i, p.(i))
       end;
       match progress with
       | Some f when !execs mod 200 = 0 -> f (stats ())
@@ -632,18 +904,33 @@ let item_salt i gen = fp_mix (fp_mix 0x9e3779b9 (i + 1)) gen
    prefix + default tail — and contribute interleaving keys exactly like a
    sequential round at depth [split]), the work-item prefixes in DFS order,
    and whether a violation ended the pass. *)
-let frontier ?progress ~observe m ~split ~budget =
+let frontier ?progress ~observe ~snapshots m ~split ~budget =
   let records = ref [] in
   let items = ref [] in
   let execs = ref 0 in
+  let sess = if snapshots then Some (make_session m ~ncps:split) else None in
   let prefix = ref [||] in
+  let resume = ref None in
+  let no_prune _ _ = false in
+  let memo : (int, tail_rec) Hashtbl.t = Hashtbl.create 1024 in
   let stop = ref false in
   while (not !stop) && !execs < budget do
     incr execs;
-    let p = !prefix in
-    let decide k _cands = if k < Array.length p then p.(k) else 0 in
     let r =
-      execute m ~depth:split ~prune:(fun _ _ -> false) ~decide ~narrate:None
+      match sess with
+      | Some sess -> (
+        match !resume with
+        | None ->
+          finish_run ~memo sess ~depth:split ~prune:no_prune
+            ~decide:(fun _ _ -> 0)
+            ~narrate:None
+        | Some (i, k) ->
+          resume_run ~memo sess ~depth:split ~prune:no_prune ~narrate:None
+            ~at:i ~choice:k)
+      | None ->
+        let p = !prefix in
+        let decide k _cands = if k < Array.length p then p.(k) else 0 in
+        execute ~memo m ~depth:split ~prune:no_prune ~decide ~narrate:None
     in
     records := record_of_run ~depth:split r :: !records;
     if r.r_violations <> [] then stop := true
@@ -653,7 +940,9 @@ let frontier ?progress ~observe m ~split ~budget =
           Array.of_list (List.map (fun f -> f.f_chosen) r.r_frames) :: !items;
       match next_prefix r.r_frames with
       | None -> stop := true
-      | Some (p, _) -> prefix := p
+      | Some (p, i) ->
+        prefix := p;
+        resume := Some (i, p.(i))
     end;
     match progress with
     | Some f when !execs mod 200 = 0 -> f (observe ())
@@ -665,8 +954,12 @@ let frontier ?progress ~observe m ~split ~budget =
    Deterministic given (m, depth, cap, item_prefix, salt scope); [tick] and
    [should_abort] are the only impure hooks (worker-side bookkeeping — the
    merge re-runs with no-ops when a racy abort cut a stream short). *)
-let run_item m ~depth ~cap ~tbl ~salt ~item_prefix ~tick ~should_abort =
+let run_item ~snapshots m ~depth ~cap ~tbl ~salt ~item_prefix ~tick
+    ~should_abort =
   let floor = Array.length item_prefix in
+  (* Item-local tail memo: deterministic per (model, prefix, depth) and
+     domain-private, so worker timing cannot leak into the merge. *)
+  let memo : (int, tail_rec) Hashtbl.t = Hashtbl.create 1024 in
   let records = ref [] in
   let count = ref 0 in
   let aborted = ref false in
@@ -683,7 +976,9 @@ let run_item m ~depth ~cap ~tbl ~salt ~item_prefix ~tick ~should_abort =
       frames
   in
   let round d =
+    let sess = if snapshots then Some (make_session m ~ncps:d) else None in
     let prefix = ref item_prefix in
+    let resume = ref None in
     let exhausted = ref false in
     let deeper = ref false in
     while (not !exhausted) && (not !violated) && not !aborted do
@@ -691,9 +986,26 @@ let run_item m ~depth ~cap ~tbl ~salt ~item_prefix ~tick ~should_abort =
       else begin
         incr count;
         tick ();
-        let p = !prefix in
-        let decide k _cands = if k < Array.length p then p.(k) else 0 in
-        let r = execute m ~depth:d ~prune ~decide ~narrate:None in
+        let r =
+          match sess with
+          | Some sess -> (
+            match !resume with
+            | None ->
+              (* Round opener: drive the fresh world through the item's
+                 frozen prefix; later runs resume at indices >= floor, so
+                 the prefix executes exactly once per round. *)
+              let decide k _cands =
+                if k < Array.length item_prefix then item_prefix.(k) else 0
+              in
+              finish_run ~memo sess ~depth:d ~prune ~decide ~narrate:None
+            | Some (i, k) ->
+              resume_run ~memo sess ~depth:d ~prune ~narrate:None ~at:i
+                ~choice:k)
+          | None ->
+            let p = !prefix in
+            let decide k _cands = if k < Array.length p then p.(k) else 0 in
+            execute ~memo m ~depth:d ~prune ~decide ~narrate:None
+        in
         records := record_of_run ~depth:d r :: !records;
         if r.r_hit_depth then deeper := true;
         if r.r_violations <> [] then violated := true
@@ -704,7 +1016,8 @@ let run_item m ~depth ~cap ~tbl ~salt ~item_prefix ~tick ~should_abort =
             exhausted := true
           | Some (p, i) ->
             commit r.r_frames i;
-            prefix := p
+            prefix := p;
+            resume := Some (i, p.(i))
         end
       end
     done;
@@ -720,7 +1033,8 @@ let run_item m ~depth ~cap ~tbl ~salt ~item_prefix ~tick ~should_abort =
 
 let default_split_depth = 3
 
-let explore_parallel ?progress m ~depth ~budget ~jobs ~split_depth =
+let explore_parallel ?progress ~snapshots m ~depth ~budget ~jobs ~split_depth
+    =
   let split = max 1 (min split_depth depth) in
   (* Merge-side accumulators; [observe] snapshots them for [progress]. *)
   let distinct : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
@@ -753,7 +1067,7 @@ let explore_parallel ?progress m ~depth ~budget ~jobs ~split_depth =
   (* Phase 1: frontier (main domain, sequential). Its records are final —
      accept them as we go so [progress] sees live counts. *)
   let frontier_records, items, frontier_execs =
-    frontier ?progress ~observe m ~split ~budget
+    frontier ?progress ~observe ~snapshots m ~split ~budget
   in
   List.iter accept frontier_records;
   let nitems = Array.length items in
@@ -782,7 +1096,7 @@ let explore_parallel ?progress m ~depth ~budget ~jobs ~split_depth =
         if i < nitems then begin
           if Atomic.get first_violating > i && Atomic.get total < budget then begin
             let res =
-              run_item m ~depth ~cap ~tbl ~salt:(item_salt i 0)
+              run_item ~snapshots m ~depth ~cap ~tbl ~salt:(item_salt i 0)
                 ~item_prefix:items.(i)
                 ~tick:(fun () -> Atomic.incr total)
                 ~should_abort:(fun () ->
@@ -819,8 +1133,8 @@ let explore_parallel ?progress m ~depth ~budget ~jobs ~split_depth =
       if stored.i_complete || List.length stored.i_records >= remaining then
         stored
       else
-        run_item m ~depth ~cap:remaining ~tbl ~salt:(item_salt !i 1)
-          ~item_prefix:items.(!i)
+        run_item ~snapshots m ~depth ~cap:remaining ~tbl
+          ~salt:(item_salt !i 1) ~item_prefix:items.(!i)
           ~tick:(fun () -> ())
           ~should_abort:(fun () -> false)
     in
@@ -840,13 +1154,14 @@ let explore_parallel ?progress m ~depth ~budget ~jobs ~split_depth =
   done;
   { stats = observe (); counterexample = shrink_counterexample m !cex }
 
-let explore ?progress ?jobs ?(split_depth = default_split_depth) m ~depth
-    ~budget =
+let explore ?progress ?jobs ?(split_depth = default_split_depth)
+    ?(snapshots = true) m ~depth ~budget =
   if depth < 1 then invalid_arg "Explore.explore: depth must be positive";
   if budget < 1 then invalid_arg "Explore.explore: budget must be positive";
   if split_depth < 1 then
     invalid_arg "Explore.explore: split_depth must be positive";
   match jobs with
-  | None -> explore_seq ?progress m ~depth ~budget
+  | None -> explore_seq ?progress ~snapshots m ~depth ~budget
   | Some j when j < 1 -> invalid_arg "Explore.explore: jobs must be >= 1"
-  | Some jobs -> explore_parallel ?progress m ~depth ~budget ~jobs ~split_depth
+  | Some jobs ->
+    explore_parallel ?progress ~snapshots m ~depth ~budget ~jobs ~split_depth

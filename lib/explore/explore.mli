@@ -97,6 +97,7 @@ val explore :
   ?progress:(stats -> unit) ->
   ?jobs:int ->
   ?split_depth:int ->
+  ?snapshots:bool ->
   model ->
   depth:int ->
   budget:int ->
@@ -122,7 +123,17 @@ val explore :
     only in [distinct]/[state_pruned] (pruning scope is per work item
     rather than global — a documented, deterministic difference); the
     violation verdict never differs. Raises [Invalid_argument] for
-    [jobs < 1]. *)
+    [jobs < 1].
+
+    [snapshots] (default [true]) selects checkpoint/restore backtracking:
+    each DFS round runs in one world, captures a {!Gmp_runtime.Group}
+    checkpoint at every decision frame, and enters sibling branches by
+    restoring the frame where the prefix increments instead of re-executing
+    the shared prefix from the root — O(world) per backtrack instead of
+    O(prefix events). [~snapshots:false] keeps the original
+    rebuild-and-replay engine as a cross-checking oracle; the two produce
+    byte-identical outcomes (every statistic, the distinct-interleaving
+    count and the counterexample) for any [jobs] value. *)
 
 val replay : model -> choice list -> Gmp_core.Checker.violation list
 (** Re-execute a recorded choice list on a freshly built group (prefix

@@ -300,6 +300,84 @@ let decode_chan t tag =
     | Some s, Some d -> Some (s, d)
     | _ -> None
 
+(* ---- checkpoint / restore ----
+
+   The channel matrix is captured as the list of existing channel records
+   (by reference) with their FIFO cursor and parked contents; restore puts
+   those values back *into the same records*, because in-flight delivery
+   events capture the channel record in their closure — a restored event
+   must see the restored cursor through the reference it already holds.
+   Channels created after the capture are unlinked from the matrix (their
+   only other references die with the queue restore); pids interned after
+   the capture are un-interned so a re-run re-creates them identically. *)
+
+type 'm checkpoint = {
+  cp_rng : Gmp_sim.Rng.checkpoint;
+  cp_delay : Delay.t;
+  cp_stats : Stats.checkpoint;
+  cp_npids : int;
+  cp_channels : ('m channel * float * 'm parked_msg array) list;
+  cp_disc : bool array array; (* cp_npids x cp_npids *)
+  cp_crash : bool array; (* cp_npids *)
+  cp_partition : int Pid.Map.t option;
+}
+
+let checkpoint t =
+  let channels = ref [] in
+  for i = 0 to t.npids - 1 do
+    let row = t.chan_rows.(i) in
+    for j = 0 to t.npids - 1 do
+      let ch = row.(j) in
+      if ch != t.dummy then
+        channels :=
+          (ch, ch.last_delivery, Array.of_seq (Queue.to_seq ch.parked))
+          :: !channels
+    done
+  done;
+  { cp_rng = Gmp_sim.Rng.checkpoint t.rng;
+    cp_delay = t.delay;
+    cp_stats = Stats.checkpoint t.stats;
+    cp_npids = t.npids;
+    cp_channels = !channels;
+    cp_disc = Array.init t.npids (fun i -> Array.sub t.disc_rows.(i) 0 t.npids);
+    cp_crash = Array.sub t.crash_flags 0 t.npids;
+    cp_partition = t.partition }
+
+let restore t cp =
+  Gmp_sim.Rng.restore t.rng cp.cp_rng;
+  t.delay <- cp.cp_delay;
+  Stats.restore t.stats cp.cp_stats;
+  t.partition <- cp.cp_partition;
+  (* Forget pids interned after the capture, so a restored run re-interns
+     them in the same order and gets the same slots. *)
+  for s = cp.cp_npids to t.npids - 1 do
+    Pid.Tbl.remove t.pid_slots t.pids.(s)
+  done;
+  let old_npids = t.npids in
+  t.npids <- cp.cp_npids;
+  (* Wipe every slot that may have been touched since the capture, then
+     reinstate the captured state. The wipe covers the pre-reset pid count:
+     flags of dropped pids must not linger. *)
+  for i = 0 to old_npids - 1 do
+    let crow = t.chan_rows.(i) and drow = t.disc_rows.(i) in
+    for j = 0 to old_npids - 1 do
+      crow.(j) <- t.dummy;
+      drow.(j) <- false
+    done;
+    t.crash_flags.(i) <- false
+  done;
+  List.iter
+    (fun (ch, last_delivery, parked) ->
+      ch.last_delivery <- last_delivery;
+      Queue.clear ch.parked;
+      Array.iter (fun m -> Queue.add m ch.parked) parked;
+      t.chan_rows.(ch.src_slot).(ch.dst_slot) <- ch)
+    cp.cp_channels;
+  for i = 0 to cp.cp_npids - 1 do
+    Array.blit cp.cp_disc.(i) 0 t.disc_rows.(i) 0 cp.cp_npids
+  done;
+  Array.blit cp.cp_crash 0 t.crash_flags 0 cp.cp_npids
+
 (* Order-sensitive FNV-style mix; each component's position in the fold
    disambiguates it, so plain int mixing is enough. *)
 let fp_combine h x = (h * 0x01000193) lxor (x land max_int)

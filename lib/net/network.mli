@@ -84,3 +84,16 @@ val fingerprint : 'm t -> int
 
 val stats : 'm t -> Stats.t
 val engine : 'm t -> Gmp_sim.Engine.t
+
+type 'm checkpoint
+(** Capture of the network's mutable state: pid interning cursor, per-channel
+    FIFO cursors and parked queues, crash/disconnect flags, partition map,
+    delay model, message counters and the network's RNG stream. Restoring
+    rewrites the {e same} channel records in place (in-flight delivery
+    closures hold them by reference) and un-interns pids first seen after the
+    capture. The engine itself is not included — checkpoint it separately. *)
+
+val checkpoint : 'm t -> 'm checkpoint
+
+val restore : 'm t -> 'm checkpoint -> unit
+(** A checkpoint stays valid across any number of restores. *)

@@ -133,6 +133,27 @@ let reset t =
   Array.fill t.delivered 0 (Array.length t.delivered) 0;
   Array.fill t.dropped 0 (Array.length t.dropped) 0
 
+(* Counter checkpoints copy the three arrays both ways: copying again on
+   restore keeps the checkpoint pristine under later increments, so one
+   checkpoint supports any number of restores. The category registry is
+   process-global configuration, not per-run state, and is not captured. *)
+
+type checkpoint = {
+  cp_sent : int array;
+  cp_delivered : int array;
+  cp_dropped : int array;
+}
+
+let checkpoint t =
+  { cp_sent = Array.copy t.sent;
+    cp_delivered = Array.copy t.delivered;
+    cp_dropped = Array.copy t.dropped }
+
+let restore t cp =
+  t.sent <- Array.copy cp.cp_sent;
+  t.delivered <- Array.copy cp.cp_delivered;
+  t.dropped <- Array.copy cp.cp_dropped
+
 let snapshot t =
   List.map
     (fun category ->

@@ -55,3 +55,13 @@ val snapshot : t -> (string * int * int * int) list
 
 val reset : t -> unit
 val pp : t Fmt.t
+
+type checkpoint
+(** Copy of the counters at capture time (the category registry, being
+    process-global configuration, is not part of it). *)
+
+val checkpoint : t -> checkpoint
+
+val restore : t -> checkpoint -> unit
+(** Rewind the counters to the captured values. A checkpoint stays valid
+    across any number of restores. *)

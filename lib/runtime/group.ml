@@ -138,6 +138,44 @@ let fingerprint t =
   (h * 0x01000193)
   lxor (Gmp_net.Network.fingerprint (Runtime.network t.runtime) land max_int)
 
+(* ---- whole-world checkpoint: the explorer's snapshot layer ----
+
+   Composes the per-module checkpoints into one capture of everything a
+   simulated group run can mutate: the engine (event heap + handle flags +
+   clock), the network (channels, crash/disconnect matrices, parked queues,
+   counters, RNG), the runtime (node liveness/clocks/events, harness RNG),
+   the trace (truncate-to-mark cursors) and every member's protocol state.
+   Restore order is irrelevant — the five captures touch disjoint state —
+   but members are restored before the map swap so a member that joined
+   after the capture is dropped consistently everywhere. *)
+
+type checkpoint = {
+  gc_engine : Gmp_sim.Engine.checkpoint;
+  gc_net : Wire.t Runtime.wrapped Gmp_net.Network.checkpoint;
+  gc_runtime : Wire.t Runtime.checkpoint;
+  gc_trace : Trace.checkpoint;
+  gc_members : (Member.t * Member.checkpoint) list;
+  gc_members_map : Member.t Pid.Map.t;
+}
+
+let checkpoint t =
+  { gc_engine = Gmp_sim.Engine.checkpoint (engine t);
+    gc_net = Gmp_net.Network.checkpoint (network t);
+    gc_runtime = Runtime.checkpoint t.runtime;
+    gc_trace = Trace.checkpoint t.trace;
+    gc_members =
+      Pid.Map.fold (fun _ m acc -> (m, Member.checkpoint m) :: acc) t.members
+        [];
+    gc_members_map = t.members }
+
+let restore t cp =
+  Gmp_sim.Engine.restore (engine t) cp.gc_engine;
+  Gmp_net.Network.restore (network t) cp.gc_net;
+  Runtime.restore t.runtime cp.gc_runtime;
+  Trace.restore t.trace cp.gc_trace;
+  List.iter (fun (m, c) -> Member.restore m c) cp.gc_members;
+  t.members <- cp.gc_members_map
+
 let pp_summary ppf t =
   let member ppf m = Member.pp ppf m in
   Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:(any "@\n") member) (members t)

@@ -69,6 +69,19 @@ val fingerprint : t -> int
 (** Hash of all members' protocol state plus the network's adversarial
     state, for the explorer's state pruning. *)
 
+type checkpoint
+(** Whole-world capture: engine (event heap, handle flags, virtual clock),
+    network (channels, crash/disconnect state, parked queues, counters,
+    RNG), runtime (node liveness/clocks/event counters, harness RNG), trace
+    (truncate-to-mark) and every member's protocol state. Cost is O(world):
+    flat array blits plus O(1) copy-on-write clock publishes. Restoring
+    rewinds all of it in place, dropping anything (nodes, members, channels,
+    events, trace suffix) created after the capture; the same checkpoint
+    restores any number of times. This is the explorer's snapshot layer. *)
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 val check : ?liveness:bool -> t -> Checker.violation list
 (** Full checker verdict for this run ({!Checker.check_run} fed from the
     harness's final states); [~liveness:false] restricts to safety. *)

@@ -157,6 +157,48 @@ let every node ~interval f =
 
 let run ?max_steps ?until t = Gmp_sim.Engine.run ?max_steps ?until t.engine
 
+(* Checkpoint of the runtime-owned state: the harness RNG stream and every
+   node's liveness, event counter and vector clock (an O(1) copy-on-write
+   publish). Nodes are captured by reference — restore mutates the same
+   records, which the in-flight closures (timers, dispatch) hold. The engine
+   and network are checkpointed separately by the caller (Group). *)
+type 'm checkpoint = {
+  cp_rng : Gmp_sim.Rng.checkpoint;
+  cp_nodes : ('m node * bool * Vector_clock.Mutable.checkpoint * int) list;
+}
+
+let checkpoint t =
+  { cp_rng = Gmp_sim.Rng.checkpoint t.rng;
+    cp_nodes =
+      Pid.Tbl.fold
+        (fun _ node acc ->
+          (node, node.alive, Vector_clock.Mutable.checkpoint node.vc,
+           node.events)
+          :: acc)
+        t.nodes [] }
+
+let restore t cp =
+  Gmp_sim.Rng.restore t.rng cp.cp_rng;
+  (* Drop nodes spawned after the capture, so a restored run re-spawns them
+     identically (their network-side state is undone by Network.restore). *)
+  if Pid.Tbl.length t.nodes > List.length cp.cp_nodes then begin
+    let stale =
+      Pid.Tbl.fold
+        (fun pid _ acc ->
+          if List.exists (fun (n, _, _, _) -> Pid.equal n.pid pid) cp.cp_nodes
+          then acc
+          else pid :: acc)
+        t.nodes []
+    in
+    List.iter (Pid.Tbl.remove t.nodes) stale
+  end;
+  List.iter
+    (fun (node, alive, vc, events) ->
+      node.alive <- alive;
+      Vector_clock.Mutable.restore node.vc vc;
+      node.events <- events)
+    cp.cp_nodes
+
 (* The node's view of itself through the world-agnostic platform seam.
    Protocol layers built against {!Gmp_platform.Platform.node} (Member, the
    detectors) run on these closures in the sim and on lib/live's sockets in

@@ -79,6 +79,17 @@ val every : 'm node -> interval:float -> (unit -> unit) -> unit
 
 val run : ?max_steps:int -> ?until:float -> 'm t -> unit
 
+type 'm checkpoint
+(** Capture of the runtime-owned mutable state: the harness RNG stream plus
+    every node's liveness flag, event counter and vector clock (an O(1)
+    copy-on-write publish). Restore mutates the same node records in place
+    (in-flight timer and dispatch closures hold them) and drops nodes
+    spawned after the capture. The engine and network must be checkpointed
+    separately — {!Group.checkpoint} composes all three. *)
+
+val checkpoint : 'm t -> 'm checkpoint
+val restore : 'm t -> 'm checkpoint -> unit
+
 val platform : 'm node -> 'm Gmp_platform.Platform.node
 (** The node's operations as the world-agnostic platform record. Protocol
     layers built against {!Gmp_platform.Platform.node} run on the simulator

@@ -187,6 +187,53 @@ let fire t h =
   h.action ();
   maybe_compact t
 
+(* A checkpoint copies the queue (payloads by reference — they ARE the
+   handles) plus, per queued handle, its [cancelled] flag at capture time.
+   Restore puts the flags back *in place* on those same handle records, so
+   outstanding references to them (a detector's pending-timer wrapper, the
+   explorer's sleep sets) stay valid, and an event consumed after the capture
+   becomes schedulable again. Handles scheduled after the capture simply
+   vanish with the queue restore. The picker is deliberately not part of the
+   state: it is harness configuration, not world state. *)
+
+type checkpoint = {
+  cp_queue : handle Event_queue.checkpoint;
+  cp_flags : bool array; (* cancelled flag per queued handle, in heap order *)
+  cp_now : float;
+  cp_fired : int;
+  cp_live : int;
+  cp_slack : float;
+  cp_window_base : float;
+}
+
+let checkpoint t =
+  let flags = Array.make (Event_queue.length t.queue) false in
+  let i = ref 0 in
+  Event_queue.iter_entries t.queue (fun ~time:_ ~seq:_ (h : handle) ->
+      flags.(!i) <- h.cancelled;
+      incr i);
+  { cp_queue = Event_queue.checkpoint t.queue;
+    cp_flags = flags;
+    cp_now = t.now;
+    cp_fired = t.fired;
+    cp_live = t.live;
+    cp_slack = t.slack;
+    cp_window_base = t.window_base }
+
+let restore t cp =
+  Event_queue.restore t.queue cp.cp_queue;
+  (* [Event_queue.checkpoint] and [iter_entries] both walk slots in heap
+     order, so flag [i] belongs to the handle now back in slot [i]. *)
+  let i = ref 0 in
+  Event_queue.iter_entries t.queue (fun ~time:_ ~seq:_ (h : handle) ->
+      h.cancelled <- cp.cp_flags.(!i);
+      incr i);
+  t.now <- cp.cp_now;
+  t.fired <- cp.cp_fired;
+  t.live <- cp.cp_live;
+  t.slack <- cp.cp_slack;
+  t.window_base <- cp.cp_window_base
+
 let fold_live t ~init ~f =
   let acc = ref init in
   Event_queue.iter_entries t.queue (fun ~time:_ ~seq:_ (h : handle) ->

@@ -92,6 +92,22 @@ val fold_live : t -> init:'a -> f:('a -> handle -> 'a) -> 'a
 (** Fold over every live (scheduled, unfired, uncancelled) event, in
     unspecified order. Used to fingerprint pending-event state. *)
 
+(** {2 Checkpoint / restore}
+
+    A checkpoint captures the event queue (handles by reference plus each
+    handle's consumed/cancelled flag), virtual time, the fired/live counters
+    and the ready-window state — O(queue length) array blits. Restoring puts
+    the flags back {e in place} on the same handle records, so references
+    held outside the engine (e.g. a pending-timer handle) remain valid and
+    cancellable; handles scheduled after the capture are dropped. The picker
+    and [max_steps] harness settings are not captured. A checkpoint stays
+    valid across any number of restores. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 val step : t -> bool
 (** Fire the next event; [false] when the queue is empty. With a picker
     installed, the next event is chosen from {!ready} via the picker. *)

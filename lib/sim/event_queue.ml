@@ -193,6 +193,45 @@ let iter_entries t f =
     f ~time:t.times.(i) ~seq:t.seqs.(i) (Obj.obj t.payloads.(i) : 'a)
   done
 
+(* Checkpoints copy the live prefix of the three parallel arrays; restore
+   blits them back into whatever backing arrays the queue has now (growing
+   if it has since shrunk below the captured size — it never does today, but
+   capacity is not part of the observable state either way). Payload slots
+   beyond the restored size are re-sentineled so entries added after the
+   capture are not retained. *)
+
+type 'a checkpoint = {
+  cp_times : float array;
+  cp_seqs : int array;
+  cp_payloads : Obj.t array;
+  cp_size : int;
+  cp_next_seq : int;
+  cp_max_size : int;
+}
+
+let checkpoint t =
+  { cp_times = Array.sub t.times 0 t.size;
+    cp_seqs = Array.sub t.seqs 0 t.size;
+    cp_payloads = Array.sub t.payloads 0 t.size;
+    cp_size = t.size;
+    cp_next_seq = t.next_seq;
+    cp_max_size = t.max_size }
+
+let restore t cp =
+  let n = cp.cp_size in
+  if Array.length t.times < n then begin
+    t.times <- Array.make n 0.0;
+    t.seqs <- Array.make n 0;
+    t.payloads <- Array.make n sentinel
+  end;
+  Array.blit cp.cp_times 0 t.times 0 n;
+  Array.blit cp.cp_seqs 0 t.seqs 0 n;
+  Array.blit cp.cp_payloads 0 t.payloads 0 n;
+  Array.fill t.payloads n (Array.length t.payloads - n) sentinel;
+  t.size <- n;
+  t.next_seq <- cp.cp_next_seq;
+  t.max_size <- cp.cp_max_size
+
 let to_sorted_list t =
   (* Non-destructive drain: copy and pop. Used in tests only. *)
   if t.size = 0 then []

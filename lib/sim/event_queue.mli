@@ -55,5 +55,19 @@ val filter_in_place : 'a t -> ('a -> bool) -> unit
 
 val clear : 'a t -> unit
 
+(** {2 Checkpoint / restore}
+
+    A checkpoint is a flat copy of the live entries plus the scalar cursors
+    (size, next sequence number, high-water mark) — O(length) blits, no
+    per-entry allocation. Restoring blits the captured entries back over the
+    queue; payloads are restored {e by reference}, so mutable payloads (such
+    as {!Engine.handle}s) must have their own state restored by the caller.
+    A checkpoint stays valid across any number of restores. *)
+
+type 'a checkpoint
+
+val checkpoint : 'a t -> 'a checkpoint
+val restore : 'a t -> 'a checkpoint -> unit
+
 val to_sorted_list : 'a t -> (float * 'a) list
 (** Non-destructive snapshot in firing order (for tests). *)

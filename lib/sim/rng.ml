@@ -9,6 +9,11 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+type checkpoint = int64
+
+let checkpoint t = t.state
+let restore t state = t.state <- state
+
 let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   let z = t.state in

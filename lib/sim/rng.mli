@@ -12,6 +12,12 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy with the same state. *)
 
+type checkpoint
+(** Immutable capture of the generator state (one word). *)
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 val split : t -> t
 (** [split t] derives an independent generator, advancing [t]. Use one split
     stream per concern (delays, churn, …) so adding draws to one concern does

@@ -136,6 +136,39 @@ let test_sensitivity_finds_hole () =
     check bool "narration names the isolation" true
       (List.exists (fun line -> contains line "isolate") narrated)
 
+(* ---- snapshot engine vs rebuild-and-replay oracle ---- *)
+
+let test_snapshots_oracle_equivalence () =
+  (* The checkpoint/restore engine (default) and the rebuild-and-replay
+     oracle must produce byte-identical outcomes: every statistic, the
+     distinct-interleaving count and the (absent) counterexample. *)
+  let m = E.assurance () in
+  let on = E.explore ~snapshots:true m ~depth:8 ~budget:3000 in
+  let off = E.explore ~snapshots:false m ~depth:8 ~budget:3000 in
+  check bool "assurance: on == off (full outcome)" true (on = off);
+  check bool "actually explored" true (on.E.stats.E.distinct > 1000)
+
+let test_snapshots_oracle_equivalence_sensitivity () =
+  (* Same equality when a violation is found: identical failing execution
+     index, identical shrunk counterexample. *)
+  let m = E.sensitivity () in
+  let on = E.explore ~snapshots:true m ~depth:8 ~budget:600 in
+  let off = E.explore ~snapshots:false m ~depth:8 ~budget:600 in
+  check bool "sensitivity: on == off (full outcome)" true (on = off);
+  check bool "counterexample found" true (on.E.counterexample <> None)
+
+let test_snapshots_jobs_equivalence () =
+  (* The equality must also hold inside the partitioned engine, for every
+     jobs value (workers backtrack by restore inside their items). *)
+  let m = E.assurance () in
+  List.iter
+    (fun jobs ->
+      let on = E.explore ~jobs ~snapshots:true m ~depth:8 ~budget:2000 in
+      let off = E.explore ~jobs ~snapshots:false m ~depth:8 ~budget:2000 in
+      check bool (Fmt.str "jobs %d: on == off (full outcome)" jobs) true
+        (on = off))
+    [ 1; 2; 4 ]
+
 (* ---- partitioned parallel explorer ---- *)
 
 let test_parallel_jobs_equivalent () =
@@ -256,6 +289,12 @@ let suite =
       test_assurance_ten_thousand;
     Alcotest.test_case "explore: rediscovers the no-majority hole" `Quick
       test_sensitivity_finds_hole;
+    Alcotest.test_case "explore: snapshots == replay oracle (assurance)"
+      `Quick test_snapshots_oracle_equivalence;
+    Alcotest.test_case "explore: snapshots == replay oracle (sensitivity)"
+      `Quick test_snapshots_oracle_equivalence_sensitivity;
+    Alcotest.test_case "explore: snapshots == oracle at jobs 1/2/4" `Quick
+      test_snapshots_jobs_equivalence;
     Alcotest.test_case "explore: parallel jobs 1/2/4 agree exactly" `Quick
       test_parallel_jobs_equivalent;
     Alcotest.test_case "explore: parallel finds the hole identically" `Quick

@@ -27,4 +27,5 @@ let () =
       ("scale", Test_scale.suite);
       ("indexes", Test_indexes.suite);
       ("determinism", Test_determinism.suite);
+      ("snapshot", Test_snapshot.suite);
       ("properties", Test_props.suite) ]
