@@ -26,6 +26,9 @@ type action =
   | Join of Pid.t
   | Blackhole of { at : Pid.t; from : Pid.t }
   | Unblackhole of { at : Pid.t; from : Pid.t }
+  | Netem of { at : Pid.t option; spec : Gmp_live.Codec.netem_spec }
+      (* retune fault injection at node [at] ([None] = every live node);
+         [spec.peer] picks the incoming link, [None] = the node default *)
 
 let split_spec s = String.split_on_char ':' s
 
@@ -61,6 +64,78 @@ let timed_pair_conv what =
   in
   Arg.conv
     (parse, fun ppf (t, at, from) -> Fmt.pf ppf "%g:%a:%a" t Pid.pp at Pid.pp from)
+
+(* --netem T:AT:SPEC - at T seconds, retune fault injection at node AT
+   (or every node, AT = "all"). SPEC is comma-separated k=v pairs over the
+   CLI vocabulary: loss, latency, jitter, dup, reorder (plus peer=PID to
+   retune a single incoming link). Unset keys mean zero: a spec always
+   describes the whole replacement model, not a delta. *)
+let netem_spec_of s =
+  let zero =
+    { Gmp_live.Codec.peer = None;
+      n_loss = 0.0;
+      n_latency = 0.0;
+      n_jitter = 0.0;
+      n_dup = 0.0;
+      n_reorder = 0.0 }
+  in
+  let kv acc item =
+    match (acc, String.index_opt item '=') with
+    | None, _ | _, None -> None
+    | Some acc, Some i ->
+      let k = String.sub item 0 i in
+      let v = String.sub item (i + 1) (String.length item - i - 1) in
+      let num ok set = Option.bind (float_of_string_opt v) (fun f ->
+          if ok f then Some (set f) else None)
+      in
+      let prob = fun f -> f >= 0.0 && f <= 1.0 in
+      let nonneg = fun f -> f >= 0.0 in
+      (match k with
+      | "loss" ->
+        num (fun f -> f >= 0.0 && f < 1.0) (fun f ->
+            { acc with Gmp_live.Codec.n_loss = f })
+      | "latency" -> num nonneg (fun f -> { acc with Gmp_live.Codec.n_latency = f })
+      | "jitter" -> num nonneg (fun f -> { acc with Gmp_live.Codec.n_jitter = f })
+      | "dup" -> num prob (fun f -> { acc with Gmp_live.Codec.n_dup = f })
+      | "reorder" -> num prob (fun f -> { acc with Gmp_live.Codec.n_reorder = f })
+      | "peer" ->
+        Option.map
+          (fun p -> { acc with Gmp_live.Codec.peer = Some p })
+          (pid_of v)
+      | _ -> None)
+  in
+  List.fold_left kv (Some zero) (String.split_on_char ',' s)
+
+let netem_conv =
+  let parse s =
+    let err () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad netem spec %S (expected T:AT:k=v,... with AT a pid or \
+              'all' and keys loss/latency/jitter/dup/reorder/peer)"
+             s))
+    in
+    match split_spec s with
+    | t :: at :: rest when rest <> [] -> (
+      let at =
+        if at = "all" then Some None
+        else Option.map (fun p -> Some p) (pid_of at)
+      in
+      match (time_of t, at, netem_spec_of (String.concat ":" rest)) with
+      | Some t, Some at, Some spec -> Ok (t, at, spec)
+      | _ -> err ())
+    | _ -> err ()
+  in
+  let print ppf (t, at, (spec : Gmp_live.Codec.netem_spec)) =
+    Fmt.pf ppf "%g:%s:loss=%g,latency=%g,jitter=%g,dup=%g,reorder=%g%s" t
+      (match at with None -> "all" | Some p -> Pid.to_string p)
+      spec.n_loss spec.n_latency spec.n_jitter spec.n_dup spec.n_reorder
+      (match spec.peer with
+      | None -> ""
+      | Some p -> ",peer=" ^ Pid.to_string p)
+  in
+  Arg.conv (parse, print)
 
 (* ---- infrastructure ---- *)
 
@@ -99,8 +174,8 @@ type proc = {
 
 let pids_arg ps = String.concat "," (List.map Pid.to_string ps)
 
-let spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto
-    ~run_for ~verbose ~joiner pid =
+let spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto ~netem
+    ~netem_seed ~run_for ~verbose ~joiner pid =
   let port = List.assoc pid ports in
   let log_file = Filename.concat dir (Pid.to_string pid ^ ".jsonl") in
   let peers =
@@ -110,11 +185,16 @@ let spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto
         else Some (Printf.sprintf "%s:%d" (Pid.to_string p) port))
       ports
   in
+  let loss, latency, jitter, dup, reorder = netem in
   let args =
     [ node_bin; "--self"; Pid.to_string pid; "--port"; string_of_int port;
       "--initial"; pids_arg initial; "--log"; log_file; "--hb-interval";
       string_of_float hb_interval; "--hb-timeout"; string_of_float hb_timeout;
-      "--rto"; string_of_float rto; "--run-for"; string_of_float run_for ]
+      "--rto"; string_of_float rto; "--loss"; string_of_float loss;
+      "--latency"; string_of_float latency; "--jitter";
+      string_of_float jitter; "--dup"; string_of_float dup; "--reorder";
+      string_of_float reorder; "--netem-seed"; string_of_int netem_seed;
+      "--run-for"; string_of_float run_for ]
     @ List.concat_map (fun p -> [ "--peer"; p ]) peers
     @ (if joiner then [ "--joiner"; "--contacts"; pids_arg initial ] else [])
     @ if verbose then [ "--verbose" ] else []
@@ -127,12 +207,9 @@ let spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto
   Unix.close null;
   { pid; port; ospid; log_file; killed = false; reaped = false }
 
-let send_ctrl sock ~port ctrl =
-  let bytes = Gmp_live.Codec.encode_frame (Gmp_live.Codec.Ctrl ctrl) in
-  ignore
-    (Unix.sendto sock (Bytes.of_string bytes) 0 (String.length bytes) []
-       (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
-      : int)
+(* All control traffic rides the acked channel: the node answers Ctrl_ack
+   after applying, and Ctrl.send retries until it does - so a fault command
+   survives the very loss it injects. *)
 
 let reap_with_grace procs ~grace =
   (* Poll-reap every live child; SIGKILL whoever outstays the grace. *)
@@ -187,8 +264,9 @@ let has_quit events =
 
 (* ---- the run ---- *)
 
-let run_cluster n joiners run_for kills joins blackholes unblackholes
-    hb_interval hb_timeout rto dir node_bin json liveness keep_logs verbose =
+let run_cluster n joiners run_for kills joins blackholes unblackholes netems
+    hb_interval hb_timeout rto netem netem_seed dir node_bin json liveness
+    keep_logs verbose =
   let initial = Pid.group n in
   let join_pids = List.map snd joins in
   (match
@@ -216,15 +294,19 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes
   in
   let node_bin = match node_bin with Some b -> b | None -> default_node_bin () in
   let ports = List.map (fun p -> (p, alloc_port ())) all_pids in
-  let ctrl_sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let ctrl = Gmp_live.Ctrl.create () in
   let harness_errors = ref [] in
   let note fmt = Printf.ksprintf (fun m -> harness_errors := m :: !harness_errors) fmt in
+  let send_ctrl ~what ~port cmd =
+    if not (Gmp_live.Ctrl.send ctrl ~port cmd) then
+      note "%s: no ack from node on port %d" what port
+  in
   (* Nodes outlive the orchestrated window by a shutdown grace, never more:
      --run-for is their own deadman switch. *)
   let node_run_for = run_for +. 30.0 in
   let spawn1 ~joiner pid =
-    spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto
-      ~run_for:node_run_for ~verbose ~joiner pid
+    spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto ~netem
+      ~netem_seed ~run_for:node_run_for ~verbose ~joiner pid
   in
   let procs = ref (List.map (spawn1 ~joiner:false) initial) in
   let proc_of pid = List.find_opt (fun p -> Pid.equal p.pid pid) !procs in
@@ -237,7 +319,8 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes
       @ List.map (fun (t, at, from) -> (t, Blackhole { at; from })) blackholes
       @ List.map
           (fun (t, at, from) -> (t, Unblackhole { at; from }))
-          unblackholes)
+          unblackholes
+      @ List.map (fun (t, at, spec) -> (t, Netem { at; spec })) netems)
   in
   let sleep_until t =
     let remaining = started +. t -. Unix.gettimeofday () in
@@ -267,33 +350,58 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes
         | Some proc ->
           if not json then
             Fmt.pr "t=%.1f  blackhole %a -> %a@." t Pid.pp from Pid.pp at;
-          send_ctrl ctrl_sock ~port:proc.port (Gmp_live.Codec.Blackhole from))
+          send_ctrl
+            ~what:(Printf.sprintf "blackhole at %s" (Pid.to_string at))
+            ~port:proc.port (Gmp_live.Codec.Blackhole from))
       | Unblackhole { at; from } -> (
         match proc_of at with
         | None -> note "unblackhole at %s: no such node" (Pid.to_string at)
         | Some proc ->
           if not json then
             Fmt.pr "t=%.1f  unblackhole %a -> %a@." t Pid.pp from Pid.pp at;
-          send_ctrl ctrl_sock ~port:proc.port (Gmp_live.Codec.Unblackhole from)))
+          send_ctrl
+            ~what:(Printf.sprintf "unblackhole at %s" (Pid.to_string at))
+            ~port:proc.port (Gmp_live.Codec.Unblackhole from))
+      | Netem { at; spec } ->
+        let targets =
+          match at with
+          | Some p -> (
+            match proc_of p with
+            | None ->
+              note "netem at %s: no such node" (Pid.to_string p);
+              []
+            | Some proc -> [ proc ])
+          | None ->
+            List.filter (fun p -> not (p.killed || p.reaped)) !procs
+        in
+        List.iter
+          (fun proc ->
+            if not json then
+              Fmt.pr "t=%.1f  netem %a loss=%g latency=%g jitter=%g@." t
+                Pid.pp proc.pid spec.Gmp_live.Codec.n_loss
+                spec.Gmp_live.Codec.n_latency spec.Gmp_live.Codec.n_jitter;
+            send_ctrl
+              ~what:(Printf.sprintf "netem at %s" (Pid.to_string proc.pid))
+              ~port:proc.port (Gmp_live.Codec.Set_netem spec))
+          targets)
     timeline;
   sleep_until run_for;
-  (* Ask survivors to stop; a lost datagram is caught by the resend below
-     and ultimately by the nodes' own --run-for. *)
-  let shutdown_survivors () =
-    List.iter
-      (fun p ->
-        if not (p.killed || p.reaped) then
-          send_ctrl ctrl_sock ~port:p.port Gmp_live.Codec.Shutdown)
-      !procs
-  in
-  shutdown_survivors ();
-  Unix.sleepf 0.5;
-  shutdown_survivors ();
+  (* Ask survivors to stop over the acked channel. A node that already
+     exited on its own (protocol quit) never acks - that is not an error,
+     so no [note] here; the nodes' own --run-for is the last resort. *)
+  List.iter
+    (fun p ->
+      if not (p.killed || p.reaped) then
+        ignore
+          (Gmp_live.Ctrl.send ctrl ~attempts:20 ~port:p.port
+             Gmp_live.Codec.Shutdown
+            : bool))
+    !procs;
   let stuck = reap_with_grace !procs ~grace:8.0 in
   List.iter
     (fun p -> note "node %s ignored shutdown; SIGKILLed" (Pid.to_string p))
     stuck;
-  Unix.close ctrl_sock;
+  Gmp_live.Ctrl.close ctrl;
   (* ---- harvest and judge ---- *)
   let per_node =
     List.map
@@ -339,6 +447,16 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes
       then m0
       else []
   in
+  let arq =
+    (* Counters summaries exist only for nodes that shut down cleanly;
+       SIGKILLed ones have none, by design. *)
+    List.filter_map
+      (fun p ->
+        Option.map
+          (fun cs -> (p.pid, cs))
+          (Gmp_live.Trace_io.read_arq p.log_file))
+      !procs
+  in
   let trace = Gmp_live.Trace_io.reassemble (List.map snd per_node) in
   let violations =
     Checker.check_run ~liveness trace ~initial ~surviving_views ~dead
@@ -369,6 +487,14 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes
               ("final_view", J.list (List.map Export.json_of_pid final_view));
               ( "violations",
                 J.list (List.map Export.json_of_violation violations) );
+              ( "arq",
+                J.list
+                  (List.map
+                     (fun (p, cs) ->
+                       J.obj
+                         (("pid", Export.json_of_pid p)
+                         :: List.map (fun (k, v) -> (k, J.int v)) cs))
+                     arq) );
               ("harness_errors", J.list (List.map J.string harness_errors));
               ("logs", J.string dir);
               ("exit", J.int exit_code) ]))
@@ -382,6 +508,12 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes
           Fmt.(list ~sep:(any ",") Pid.pp)
           members)
       surviving_views;
+    List.iter
+      (fun (p, cs) ->
+        Fmt.pr "%a arq: %a@." Pid.pp p
+          Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
+          cs)
+      arq;
     List.iter (fun m -> Fmt.pr "harness error: %s@." m) harness_errors;
     (match violations with
     | [] -> Fmt.pr "checker: OK (GMP-0..GMP-5 hold on the live trace)@."
@@ -455,7 +587,55 @@ let hb_timeout_term =
 let rto_term =
   Arg.(
     value & opt float 0.25
-    & info [ "rto" ] ~docv:"SECS" ~doc:"ARQ retransmission timeout.")
+    & info [ "rto" ] ~docv:"SECS"
+        ~doc:"Initial ARQ retransmission timeout (nodes back off \
+              exponentially from here).")
+
+let netems_term =
+  Arg.(
+    value
+    & opt_all netem_conv []
+    & info [ "netem" ] ~docv:"T:AT:SPEC"
+        ~doc:"At T seconds, retune fault injection at node AT ('all' = \
+              every live node): SPEC is k=v pairs over \
+              loss/latency/jitter/dup/reorder, plus peer=PID to target a \
+              single incoming link. Repeatable.")
+
+let loss_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Spawn every node with this datagram loss probability.")
+
+let latency_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "latency" ] ~docv:"SECS"
+        ~doc:"Spawn every node with this per-datagram delay.")
+
+let jitter_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"SECS"
+        ~doc:"Delay becomes latency +/- up to this much (uniform).")
+
+let dup_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Datagram duplication probability.")
+
+let reorder_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Probability a datagram is held back past its successors.")
+
+let netem_seed_term =
+  Arg.(
+    value & opt int 0
+    & info [ "netem-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the nodes' per-link fault RNG streams; rerunning \
+              with the same seed replays the same per-link fault pattern.")
 
 let dir_term =
   Arg.(
@@ -489,11 +669,13 @@ let verbose_term =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Node debug chatter.")
 
 let cmd =
-  let go n joiners run_for kills joins blackholes unblackholes hb_interval
-      hb_timeout rto dir node_bin json no_liveness keep_logs verbose =
-    run_cluster n joiners run_for kills joins blackholes unblackholes
-      hb_interval hb_timeout rto dir node_bin json (not no_liveness) keep_logs
-      verbose
+  let go n joiners run_for kills joins blackholes unblackholes netems
+      hb_interval hb_timeout rto loss latency jitter dup reorder netem_seed
+      dir node_bin json no_liveness keep_logs verbose =
+    run_cluster n joiners run_for kills joins blackholes unblackholes netems
+      hb_interval hb_timeout rto
+      (loss, latency, jitter, dup, reorder)
+      netem_seed dir node_bin json (not no_liveness) keep_logs verbose
   in
   Cmd.v
     (Cmd.info "gmp-cluster" ~version:"1.0.0"
@@ -504,8 +686,10 @@ let cmd =
           check GMP-0..GMP-5 on the live trace.")
     Term.(
       const go $ n_term $ joiners_term $ run_for_term $ kills_term
-      $ joins_term $ blackholes_term $ unblackholes_term $ hb_interval_term
-      $ hb_timeout_term $ rto_term $ dir_term $ node_bin_term $ json_term
+      $ joins_term $ blackholes_term $ unblackholes_term $ netems_term
+      $ hb_interval_term $ hb_timeout_term $ rto_term $ loss_term
+      $ latency_term $ jitter_term $ dup_term $ reorder_term
+      $ netem_seed_term $ dir_term $ node_bin_term $ json_term
       $ no_liveness_term $ keep_logs_term $ verbose_term)
 
 let () = exit (Cmd.eval' cmd)

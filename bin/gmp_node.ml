@@ -88,7 +88,53 @@ let hb_timeout_term =
 let rto_term =
   Arg.(
     value & opt float 0.25
-    & info [ "rto" ] ~docv:"SECS" ~doc:"ARQ retransmission timeout.")
+    & info [ "rto" ] ~docv:"SECS"
+        ~doc:"Initial ARQ retransmission timeout (doubles per silent \
+              round, resets on ack progress).")
+
+let rto_max_term =
+  Arg.(
+    value & opt (some float) None
+    & info [ "rto-max" ] ~docv:"SECS"
+        ~doc:"Backoff cap for the ARQ timeout (default: 16 x --rto).")
+
+let loss_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:"Netem: drop each incoming datagram with probability P.")
+
+let latency_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "latency" ] ~docv:"SECS"
+        ~doc:"Netem: delay each surviving incoming datagram by this much.")
+
+let jitter_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~docv:"SECS"
+        ~doc:"Netem: delay is --latency +/- up to this much (uniform).")
+
+let dup_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P"
+        ~doc:"Netem: deliver a second copy with probability P.")
+
+let reorder_term =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Netem: hold a datagram back past its successors with \
+              probability P (needs nonzero --latency or --jitter to bite).")
+
+let netem_seed_term =
+  Arg.(
+    value & opt int 0
+    & info [ "netem-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the per-link fault-injection RNG streams; the same \
+              seed replays the same per-link fault pattern.")
 
 let log_term =
   Arg.(
@@ -114,7 +160,18 @@ let verbose_term =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug chatter on stderr.")
 
 let main self port peers initial joiner contacts hb_interval hb_timeout rto
-    log_path run_for join_retry verbose =
+    rto_max loss latency jitter dup reorder netem_seed log_path run_for
+    join_retry verbose =
+  let netem =
+    try
+      Ok
+        (Gmp_net.Netem.of_latency ~loss ~duplicate:dup ~reorder ~jitter
+           latency)
+    with Invalid_argument m -> Error m
+  in
+  match netem with
+  | Error m -> `Error (false, m)
+  | Ok netem ->
   if joiner && contacts = [] then
     `Error (false, "--joiner requires --contacts")
   else if hb_timeout <= hb_interval then
@@ -131,7 +188,10 @@ let main self port peers initial joiner contacts hb_interval hb_timeout rto
         Printf.eprintf "[%s] %s\n%!" (Pid.to_string self) s
       else fun _ -> ()
     in
-    let node = Gmp_live.Node.create ~peers ~rto ~log ~pid:self ~port () in
+    let node =
+      Gmp_live.Node.create ~peers ~rto ?rto_max ~netem ~netem_seed ~log
+        ~pid:self ~port ()
+    in
     let trace = Trace.create () in
     let writer = Gmp_live.Trace_io.attach trace ~path:log_path in
     let member =
@@ -148,6 +208,8 @@ let main self port peers initial joiner contacts hb_interval hb_timeout rto
       (Fmt.str "stopping: view v%d %a" (Member.version member)
          Fmt.(list ~sep:(any ",") Pid.pp)
          (View.members (Member.view member)));
+    Gmp_live.Trace_io.write_arq writer ~pid:self
+      (Gmp_live.Node.counters node);
     Gmp_live.Trace_io.close writer;
     Gmp_live.Node.close node;
     `Ok 0
@@ -163,6 +225,8 @@ let cmd =
       ret
         (const main $ self_term $ port_term $ peers_term $ initial_term
        $ joiner_term $ contacts_term $ hb_interval_term $ hb_timeout_term
-       $ rto_term $ log_term $ run_for_term $ join_retry_term $ verbose_term))
+       $ rto_term $ rto_max_term $ loss_term $ latency_term $ jitter_term
+       $ dup_term $ reorder_term $ netem_seed_term $ log_term $ run_for_term
+       $ join_retry_term $ verbose_term))
 
 let () = exit (Cmd.eval' cmd)

@@ -22,10 +22,20 @@ open Gmp_core
    only a serialized form travels. *)
 type Wire.app += Blob of string
 
+type netem_spec = {
+  peer : Pid.t option; (* None: the node's default (all-links) model *)
+  n_loss : float;
+  n_latency : float;
+  n_jitter : float;
+  n_dup : float;
+  n_reorder : float;
+}
+
 type ctrl =
   | Shutdown
   | Blackhole of Pid.t
   | Unblackhole of Pid.t
+  | Set_netem of netem_spec
 
 type frame =
   | Data of {
@@ -35,7 +45,13 @@ type frame =
       msg : Wire.t;
     }
   | Ack of { src : Pid.t; ack_next : int }
-  | Ctrl of ctrl
+  | Ctrl of { token : int; cmd : ctrl }
+      (* Every control frame carries an orchestrator-chosen token and is
+         answered with [Ctrl_ack] carrying the same token AFTER the command
+         has been applied: the control plane survives the very faults it
+         injects because the sender retries until acked. Commands are
+         idempotent, so replays caused by a lost ack are harmless. *)
+  | Ctrl_ack of { token : int }
 
 type error =
   | Truncated of string
@@ -52,7 +68,10 @@ let pp_error ppf = function
   | Unsupported_version v -> Fmt.pf ppf "unsupported codec version %d" v
   | Malformed what -> Fmt.pf ppf "malformed frame (%s)" what
 
-let version = 1
+let version = 2
+(* v2: control frames gained ack tokens and the Set_netem command; the
+   frame goldens were regenerated for the bump (body-only message
+   encodings are unchanged from v1). *)
 let magic0 = 'G'
 let magic1 = 'M'
 let header_len = 7 (* magic(2) + version(1) + body length(4) *)
@@ -79,6 +98,12 @@ let add_string buf s =
 let add_pid buf p =
   add_u32 buf (Pid.id p);
   add_u32 buf (Pid.incarnation p)
+
+let add_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    add_u8 buf (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
 
 let add_list buf add xs =
   add_u32 buf (List.length xs);
@@ -175,6 +200,23 @@ let add_msg buf (msg : Wire.t) =
       invalid_arg
         "Codec: only Codec.Blob application payloads exist on the real wire")
 
+let add_ctrl buf = function
+  | Shutdown -> add_u8 buf 0
+  | Blackhole p ->
+    add_u8 buf 1;
+    add_pid buf p
+  | Unblackhole p ->
+    add_u8 buf 2;
+    add_pid buf p
+  | Set_netem { peer; n_loss; n_latency; n_jitter; n_dup; n_reorder } ->
+    add_u8 buf 3;
+    add_option buf add_pid peer;
+    add_f64 buf n_loss;
+    add_f64 buf n_latency;
+    add_f64 buf n_jitter;
+    add_f64 buf n_dup;
+    add_f64 buf n_reorder
+
 let add_body buf = function
   | Data { src; chan_seq; vc; msg } ->
     add_u8 buf 0;
@@ -186,13 +228,13 @@ let add_body buf = function
     add_u8 buf 1;
     add_pid buf src;
     add_u32 buf ack_next
-  | Ctrl Shutdown -> add_u8 buf 2
-  | Ctrl (Blackhole p) ->
+  | Ctrl { token; cmd } ->
+    add_u8 buf 2;
+    add_u32 buf token;
+    add_ctrl buf cmd
+  | Ctrl_ack { token } ->
     add_u8 buf 3;
-    add_pid buf p
-  | Ctrl (Unblackhole p) ->
-    add_u8 buf 4;
-    add_pid buf p
+    add_u32 buf token
 
 let encode_msg msg =
   let buf = Buffer.create 64 in
@@ -247,6 +289,30 @@ let get_pid c what =
   match Pid.make ~incarnation id with
   | p -> p
   | exception Invalid_argument _ -> raise (Fail (Malformed what))
+
+let get_f64 c what =
+  need c 8 what;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor (Int64.shift_left !bits 8)
+        (Int64.of_int (Char.code c.src.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  let v = Int64.float_of_bits !bits in
+  if Float.is_nan v || not (Float.is_finite v) then
+    raise (Fail (Malformed (what ^ " not finite")));
+  v
+
+let get_prob c what =
+  let v = get_f64 c what in
+  if v < 0.0 || v > 1.0 then raise (Fail (Malformed (what ^ " out of [0,1]")));
+  v
+
+let get_nonneg c what =
+  let v = get_f64 c what in
+  if v < 0.0 then raise (Fail (Malformed (what ^ " negative")));
+  v
 
 let get_list c what get =
   let n = get_u32 c what in
@@ -335,6 +401,22 @@ let get_msg c : Wire.t =
     Wire.App { app_ver; payload }
   | t -> raise (Fail (Malformed (Printf.sprintf "msg tag %d" t)))
 
+let get_ctrl c =
+  match get_u8 c "ctrl tag" with
+  | 0 -> Shutdown
+  | 1 -> Blackhole (get_pid c "ctrl pid")
+  | 2 -> Unblackhole (get_pid c "ctrl pid")
+  | 3 ->
+    let peer = get_option c "netem peer" (fun c -> get_pid c "netem peer") in
+    let n_loss = get_prob c "netem loss" in
+    if n_loss >= 1.0 then raise (Fail (Malformed "netem loss out of [0,1)"));
+    let n_latency = get_nonneg c "netem latency" in
+    let n_jitter = get_nonneg c "netem jitter" in
+    let n_dup = get_prob c "netem dup" in
+    let n_reorder = get_prob c "netem reorder" in
+    Set_netem { peer; n_loss; n_latency; n_jitter; n_dup; n_reorder }
+  | t -> raise (Fail (Malformed (Printf.sprintf "ctrl tag %d" t)))
+
 let get_body c =
   match get_u8 c "frame kind" with
   | 0 ->
@@ -347,9 +429,11 @@ let get_body c =
     let src = get_pid c "ack src" in
     let ack_next = get_u32 c "ack next" in
     Ack { src; ack_next }
-  | 2 -> Ctrl Shutdown
-  | 3 -> Ctrl (Blackhole (get_pid c "ctrl pid"))
-  | 4 -> Ctrl (Unblackhole (get_pid c "ctrl pid"))
+  | 2 ->
+    let token = get_u32 c "ctrl token" in
+    let cmd = get_ctrl c in
+    Ctrl { token; cmd }
+  | 3 -> Ctrl_ack { token = get_u32 c "ctrl-ack token" }
   | t -> raise (Fail (Malformed (Printf.sprintf "frame kind %d" t)))
 
 let finish c v =

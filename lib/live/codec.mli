@@ -14,11 +14,27 @@ type Wire.app += Blob of string
           serialized bytes. Encoding any other [Wire.app] constructor
           raises [Invalid_argument]. *)
 
-(** Out-of-band orchestrator commands (fault injection, teardown). *)
+type netem_spec = {
+  peer : Pid.t option;
+      (** which incoming link to retune; [None] = the node's default
+          (all-links) model *)
+  n_loss : float;  (** in [\[0,1)] *)
+  n_latency : float;  (** seconds, [>= 0] *)
+  n_jitter : float;  (** seconds, [>= 0]; delay is latency +/- jitter *)
+  n_dup : float;  (** in [\[0,1\]] *)
+  n_reorder : float;  (** in [\[0,1\]] *)
+}
+(** The wire form of a {!Gmp_net.Netem} model: the CLI's
+    loss/latency/jitter/dup/reorder vocabulary. Decoding validates every
+    range, so a hostile frame cannot smuggle an invalid model. *)
+
+(** Out-of-band orchestrator commands (fault injection, teardown). All are
+    idempotent: the acked control plane may replay them. *)
 type ctrl =
   | Shutdown  (** exit cleanly after flushing the event log *)
   | Blackhole of Pid.t  (** silently drop all traffic from this peer *)
   | Unblackhole of Pid.t
+  | Set_netem of netem_spec  (** retune fault injection at runtime *)
 
 type frame =
   | Data of {
@@ -29,7 +45,11 @@ type frame =
     }
   | Ack of { src : Pid.t; ack_next : int }
       (** cumulative: "I have delivered everything below [ack_next]" *)
-  | Ctrl of ctrl
+  | Ctrl of { token : int; cmd : ctrl }
+      (** acked control plane: the receiver answers [Ctrl_ack] with the
+          same token after applying [cmd]; senders retry until acked, so
+          fault commands survive the loss they inject *)
+  | Ctrl_ack of { token : int }
 
 type error =
   | Truncated of string

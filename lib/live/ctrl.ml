@@ -1,0 +1,82 @@
+(* Acked control-plane client: the orchestrator's side of [Codec.Ctrl].
+
+   Control frames cross the same injected weather as protocol traffic (a
+   node's netem layer draws their fate too), so fire-and-forget commands
+   are exactly as reliable as the faults they configure - a blackhole
+   order can itself be blackholed by the loss it is about to cause. Hence
+   the two-line protocol: every command carries a client-chosen token; the
+   node applies the (idempotent) command and answers [Ctrl_ack] with the
+   same token; the client retransmits until the ack arrives or it gives
+   up. Tokens only pair acks with commands - the node keeps no dedup
+   state, which idempotence makes safe. *)
+
+type t = {
+  sock : Unix.file_descr;
+  mutable next_token : int;
+  buf : Bytes.t;
+}
+
+let create () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock sock;
+  (* Seed tokens from the OS pid so two orchestrators poking one node
+     cannot mistake each other's acks. *)
+  { sock;
+    next_token = (Unix.getpid () land 0xFFFF) * 0x10000;
+    buf = Bytes.create (Codec.max_frame + 64) }
+
+let close t = try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+(* Drain everything queued on the socket; true iff an ack for [token] was
+   among it. Anything else (stray acks from earlier commands, garbage) is
+   discarded. *)
+let rec drain t ~token acked =
+  match Unix.recvfrom t.sock t.buf 0 (Bytes.length t.buf) [] with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    acked
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNREFUSED), _, _) ->
+    drain t ~token acked
+  | n, _ ->
+    let acked =
+      match Codec.decode_frame (Bytes.sub_string t.buf 0 n) with
+      | Ok (Codec.Ctrl_ack { token = tk }) -> acked || tk = token
+      | Ok _ | Error _ -> acked
+    in
+    drain t ~token acked
+
+let default_attempts = 50
+let default_interval = 0.1
+
+let send ?(attempts = default_attempts) ?(interval = default_interval) t
+    ~port cmd =
+  if attempts <= 0 then invalid_arg "Ctrl.send: non-positive attempts";
+  if interval <= 0.0 then invalid_arg "Ctrl.send: non-positive interval";
+  let token = t.next_token land 0xFFFFFFFF in
+  t.next_token <- token + 1;
+  let bytes = Codec.encode_frame (Codec.Ctrl { token; cmd }) in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let rec attempt k =
+    if k <= 0 then false
+    else begin
+      (try
+         ignore
+           (Unix.sendto t.sock (Bytes.of_string bytes) 0 (String.length bytes)
+              [] addr
+             : int)
+       with Unix.Unix_error _ -> ());
+      let deadline = Unix.gettimeofday () +. interval in
+      let rec wait () =
+        if drain t ~token false then true
+        else
+          let remaining = deadline -. Unix.gettimeofday () in
+          if remaining <= 0.0 then false
+          else
+            match Unix.select [ t.sock ] [] [] remaining with
+            | [ _ ], _, _ -> if drain t ~token false then true else wait ()
+            | _ -> false
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait () || attempt (k - 1)
+    end
+  in
+  attempt attempts

@@ -1,0 +1,22 @@
+(** Acked control-plane client — the orchestrator's side of
+    {!Codec.Ctrl}.
+
+    A node's fault-injection layer applies to control frames too, so a
+    fire-and-forget command could be eaten by the very loss it configures.
+    {!send} therefore retransmits a tokened command until the node's
+    {!Codec.Ctrl_ack} comes back (the node acks {e after} applying; all
+    commands are idempotent, so replays are harmless). *)
+
+type t
+
+val create : unit -> t
+(** An unbound UDP socket plus a token counter (seeded from the OS pid so
+    concurrent clients cannot confuse each other's acks). *)
+
+val send : ?attempts:int -> ?interval:float -> t -> port:int -> Codec.ctrl -> bool
+(** Send [cmd] to the node on [127.0.0.1:port]; retransmit every
+    [interval] seconds (default 0.1) up to [attempts] times (default 50)
+    until its ack arrives. [true] = the node applied the command; [false]
+    = no ack within the budget (node dead, or loss beyond the retries). *)
+
+val close : t -> unit

@@ -8,16 +8,28 @@
 
    Between nodes runs a go-back-N ARQ per ordered process pair (the
    paper's footnote 2 channel: sequence numbers plus acknowledgements over
-   a lossy medium). UDP on loopback rarely drops, but the cluster
-   orchestrator injects loss deliberately (blackholing), and the protocol's
-   liveness depends on retransmission riding through it:
+   a lossy medium). UDP on loopback rarely drops, but the node injects
+   faults against itself deliberately - a seeded per-link Netem model
+   (loss, latency +/- jitter, duplication, reordering) applied at the
+   socket seam, the same model the simulator's Lossy medium samples - and
+   the protocol's liveness depends on retransmission riding through it:
 
      - sender: frames get consecutive [chan_seq] numbers and wait in an
        unacked queue; a per-destination timer retransmits the whole window
-       every rto until a cumulative ack covers it;
+       on a timeout that backs off exponentially (doubling per silent
+       round, capped at [rto_max], reset to [rto] on ack progress), so
+       sustained loss degrades into paced recovery instead of an
+       rto-periodic retransmit storm;
      - receiver: delivers exactly the next expected sequence number (FIFO,
        exactly-once), acks cumulatively on every data frame, drops
        out-of-order frames (go-back-N keeps no reorder buffer).
+
+   Fault injection is receiver-side: an arriving datagram is decoded, then
+   its fate is drawn from the link's model (keyed by the sending pid;
+   control frames use a dedicated stream) and the surviving copies are
+   re-injected through the timer wheel after their sampled delay. Seeding
+   is per (netem_seed, self, peer) link, so a soak's fault pattern is
+   reproducible per link even though wall-clock timing is not.
 
    Vector clocks follow the same discipline as the simulator's runtime:
    tick on send, broadcast and local event; merge+tick on delivery. The
@@ -31,15 +43,29 @@ open Gmp_causality
 open Gmp_core
 module Platform = Gmp_platform.Platform
 module Stats = Gmp_platform.Stats
+module Netem = Gmp_net.Netem
+module Rng = Gmp_sim.Rng
 
 type out_chan = {
   mutable next_seq : int;
   mutable base : int; (* lowest unacked seq *)
   unacked : (int * string) Queue.t; (* (seq, encoded datagram) *)
   mutable rtimer : Timers.entry option;
+  mutable cur_rto : float; (* current backoff value, in [rto, rto_max] *)
 }
 
 type in_chan = { mutable next_expected : int }
+
+type counters = {
+  mutable data_frames_sent : int; (* first transmissions, not resends *)
+  mutable retransmissions : int; (* individual frames re-sent *)
+  mutable retransmit_rounds : int; (* retransmit-timer fires *)
+  mutable dups_suppressed : int; (* data below next_expected: seen before *)
+  mutable out_of_window_drops : int; (* data above next_expected (go-back-N) *)
+  mutable netem_dropped : int;
+  mutable netem_duplicated : int;
+  mutable netem_reordered : int;
+}
 
 type t = {
   pid : Pid.t;
@@ -57,18 +83,34 @@ type t = {
   mutable stopping : bool; (* orchestrator asked for clean shutdown *)
   mutable receiver : src:Pid.t -> Wire.t -> unit;
   mutable last_now : float; (* monotonicity floor *)
-  mutable retransmissions : int;
+  ctr : counters;
   stats : Stats.t;
   rto : float;
+  rto_max : float;
+  (* netem: the node's default incoming-link model, per-peer overrides,
+     and one seeded RNG stream per link (control frames get their own). *)
+  mutable netem_default : Netem.t;
+  netem_overrides : Netem.t Pid.Tbl.t;
+  netem_seed : int;
+  link_rngs : Rng.t Pid.Tbl.t;
+  ctrl_rng : Rng.t;
   log : string -> unit;
   recv_buf : Bytes.t;
 }
 
 let default_rto = 0.25
+let default_rto_max_factor = 16.0
 
-let create ?(peers = []) ?(rto = default_rto) ?(log = fun _ -> ()) ~pid ~port
-    () =
+let create ?(peers = []) ?(rto = default_rto) ?rto_max ?(netem = Netem.none)
+    ?(netem_seed = 0) ?(log = fun _ -> ()) ~pid ~port () =
   if rto <= 0.0 then invalid_arg "Node.create: non-positive rto";
+  let rto_max =
+    match rto_max with
+    | None -> rto *. default_rto_max_factor
+    | Some v ->
+      if v < rto then invalid_arg "Node.create: rto_max below rto";
+      v
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -94,9 +136,23 @@ let create ?(peers = []) ?(rto = default_rto) ?(log = fun _ -> ()) ~pid ~port
       stopping = false;
       receiver = (fun ~src:_ _ -> ());
       last_now = 0.0;
-      retransmissions = 0;
+      ctr =
+        { data_frames_sent = 0;
+          retransmissions = 0;
+          retransmit_rounds = 0;
+          dups_suppressed = 0;
+          out_of_window_drops = 0;
+          netem_dropped = 0;
+          netem_duplicated = 0;
+          netem_reordered = 0 };
       stats = Stats.create ();
       rto;
+      rto_max;
+      netem_default = netem;
+      netem_overrides = Pid.Tbl.create 4;
+      netem_seed;
+      link_rngs = Pid.Tbl.create 16;
+      ctrl_rng = Rng.create (Netem.link_seed ~seed:netem_seed ~self:pid ~peer:pid);
       log;
       recv_buf = Bytes.create (Codec.max_frame + 64) }
   in
@@ -112,8 +168,28 @@ let port t = t.port
 let stats t = t.stats
 let alive t = t.alive
 let stopping t = t.stopping
-let retransmissions t = t.retransmissions
+let retransmissions t = t.ctr.retransmissions
 let clock t = Vector_clock.Mutable.snapshot t.vc
+let blackholed t = t.blackholed
+let netem t = t.netem_default
+
+let idle t =
+  Pid.Tbl.fold (fun _ c acc -> acc && Queue.is_empty c.unacked) t.out_chans true
+
+let counters t =
+  [ ("data_frames_sent", t.ctr.data_frames_sent);
+    ("retransmits", t.ctr.retransmissions);
+    ("retransmit_rounds", t.ctr.retransmit_rounds);
+    ("dups_suppressed", t.ctr.dups_suppressed);
+    ("out_of_window_drops", t.ctr.out_of_window_drops);
+    ("netem_dropped", t.ctr.netem_dropped);
+    ("netem_duplicated", t.ctr.netem_duplicated);
+    ("netem_reordered", t.ctr.netem_reordered) ]
+
+let set_netem t ?peer model =
+  match peer with
+  | None -> t.netem_default <- model
+  | Some p -> Pid.Tbl.replace t.netem_overrides p model
 
 let add_peer t p ~port =
   Pid.Tbl.replace t.peers p (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
@@ -130,19 +206,23 @@ let local_event t =
 
 (* ---- raw datagram out ---- *)
 
+let sendto_addr t addr bytes =
+  try
+    ignore
+      (Unix.sendto t.sock (Bytes.of_string bytes) 0 (String.length bytes) []
+         addr
+        : int)
+  with
+  | Unix.Unix_error
+      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
+    (* A full buffer or a dead peer's closed port: both look like loss to
+       the ARQ, which is what retransmission exists for. *)
+    ()
+
 let sendto t ~dst bytes =
   match Pid.Tbl.find_opt t.peers dst with
   | None -> t.log (Printf.sprintf "no address for %s" (Pid.to_string dst))
-  | Some addr -> (
-    try
-      ignore
-        (Unix.sendto t.sock (Bytes.of_string bytes) 0 (String.length bytes)
-           [] addr
-          : int)
-    with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
-      (* A full buffer or a dead peer's closed port: both look like loss to
-         the ARQ, which is what retransmission exists for. *)
-      ())
+  | Some addr -> sendto_addr t addr bytes
 
 (* ---- ARQ sender side ---- *)
 
@@ -151,7 +231,11 @@ let out_chan t dst =
   | Some c -> c
   | None ->
     let c =
-      { next_seq = 0; base = 0; unacked = Queue.create (); rtimer = None }
+      { next_seq = 0;
+        base = 0;
+        unacked = Queue.create ();
+        rtimer = None;
+        cur_rto = t.rto }
     in
     Pid.Tbl.replace t.out_chans dst c;
     c
@@ -169,15 +253,20 @@ let rec arm_rtimer t dst c =
     c.rtimer <-
       Some
         (Timers.schedule t.timers
-           ~at:(now t +. t.rto)
+           ~at:(now t +. c.cur_rto)
            (fun () ->
              c.rtimer <- None;
              if t.alive && not (Queue.is_empty c.unacked) then begin
+               t.ctr.retransmit_rounds <- t.ctr.retransmit_rounds + 1;
                Queue.iter
                  (fun (_, bytes) ->
-                   t.retransmissions <- t.retransmissions + 1;
+                   t.ctr.retransmissions <- t.ctr.retransmissions + 1;
                    sendto t ~dst bytes)
                  c.unacked;
+               (* No ack progress this round: back off (capped), so a dead
+                  or badly lossy link costs O(log) sends per quiet period,
+                  not one full-window storm every rto. *)
+               c.cur_rto <- Float.min (c.cur_rto *. 2.0) t.rto_max;
                arm_rtimer t dst c
              end))
 
@@ -194,6 +283,7 @@ let transmit t ~dst msg =
            msg })
   in
   Queue.add (seq, bytes) c.unacked;
+  t.ctr.data_frames_sent <- t.ctr.data_frames_sent + 1;
   sendto t ~dst bytes;
   if c.rtimer = None then arm_rtimer t dst c
 
@@ -206,8 +296,16 @@ let handle_ack t ~src ~ack_next =
     do
       ignore (Queue.pop c.unacked : int * string)
     done;
-    if ack_next > c.base then c.base <- ack_next;
-    if Queue.is_empty c.unacked then cancel_rtimer c
+    if ack_next > c.base then begin
+      (* Ack progress: the link is passing traffic again - reset the
+         backoff and re-arm from now, so recovery after a lossy spell is
+         prompt instead of waiting out a capped timeout. *)
+      c.base <- ack_next;
+      c.cur_rto <- t.rto;
+      if Queue.is_empty c.unacked then cancel_rtimer c
+      else arm_rtimer t src c
+    end
+    else if Queue.is_empty c.unacked then cancel_rtimer c
 
 let teardown_to t dst =
   (match Pid.Tbl.find_opt t.out_chans dst with
@@ -321,10 +419,35 @@ let handle_data t ~sender_addr ~src ~chan_seq ~sender_vc msg =
     Stats.record_delivered t.stats ~category:(Wire.category_id msg);
     t.receiver ~src msg
   end
-  else
+  else begin
     (* Duplicate or out-of-order: no delivery, but always re-ack so the
        sender's window can advance past a lost ack. *)
+    if chan_seq < c.next_expected then
+      t.ctr.dups_suppressed <- t.ctr.dups_suppressed + 1
+    else t.ctr.out_of_window_drops <- t.ctr.out_of_window_drops + 1;
     send_ack t ~dst:src ~ack_next:c.next_expected
+  end
+
+let apply_ctrl t = function
+  | Codec.Shutdown -> t.stopping <- true
+  | Codec.Blackhole p ->
+    t.blackholed <- Pid.Set.add p t.blackholed;
+    t.log (Printf.sprintf "blackholing %s" (Pid.to_string p))
+  | Codec.Unblackhole p ->
+    t.blackholed <- Pid.Set.remove p t.blackholed;
+    t.log (Printf.sprintf "unblackholing %s" (Pid.to_string p))
+  | Codec.Set_netem { peer; n_loss; n_latency; n_jitter; n_dup; n_reorder } ->
+    let model =
+      Netem.of_latency ~loss:n_loss ~duplicate:n_dup ~reorder:n_reorder
+        ~jitter:n_jitter n_latency
+    in
+    set_netem t ?peer model;
+    t.log
+      (Fmt.str "netem %s <- %a"
+         (match peer with
+         | None -> "default"
+         | Some p -> Pid.to_string p)
+         Netem.pp model)
 
 let handle_frame t ~sender_addr = function
   | Codec.Data { src; chan_seq; vc; msg } ->
@@ -338,13 +461,65 @@ let handle_frame t ~sender_addr = function
   | Codec.Ack { src; ack_next } ->
     if t.alive && not (Pid.Set.mem src t.blackholed) then
       handle_ack t ~src ~ack_next
-  | Codec.Ctrl Codec.Shutdown -> t.stopping <- true
-  | Codec.Ctrl (Codec.Blackhole p) ->
-    t.blackholed <- Pid.Set.add p t.blackholed;
-    t.log (Printf.sprintf "blackholing %s" (Pid.to_string p))
-  | Codec.Ctrl (Codec.Unblackhole p) ->
-    t.blackholed <- Pid.Set.remove p t.blackholed;
-    t.log (Printf.sprintf "unblackholing %s" (Pid.to_string p))
+  | Codec.Ctrl { token; cmd } ->
+    (* Apply, then ack straight back to the orchestrator's address. The
+       ack is the applied-receipt: a sender that got it knows the command
+       took effect; one that did not retries the (idempotent) command. *)
+    apply_ctrl t cmd;
+    sendto_addr t sender_addr (Codec.encode_frame (Codec.Ctrl_ack { token }))
+  | Codec.Ctrl_ack _ -> () (* orchestrator-bound; noise to a node *)
+
+(* ---- netem ingress: the socket seam's fault injection ---- *)
+
+let link_model t src =
+  match Pid.Tbl.find_opt t.netem_overrides src with
+  | Some m -> m
+  | None -> t.netem_default
+
+let link_rng t src =
+  match Pid.Tbl.find_opt t.link_rngs src with
+  | Some rng -> rng
+  | None ->
+    let rng =
+      Rng.create (Netem.link_seed ~seed:t.netem_seed ~self:t.pid ~peer:src)
+    in
+    Pid.Tbl.replace t.link_rngs src rng;
+    rng
+
+let ingress t ~sender_addr frame =
+  (* Decode first, then draw the datagram's fate from the link model:
+     per-peer for protocol traffic, the dedicated control stream for
+     orchestrator frames (the control plane faces the same weather - which
+     is why it is acked and retried). Surviving copies re-enter the poll
+     loop through the timer wheel after their sampled delay; independent
+     per-copy delays plus the explicit hold give real reordering. *)
+  let model, rng =
+    match frame with
+    | Codec.Data { src; _ } | Codec.Ack { src; _ } ->
+      (link_model t src, lazy (link_rng t src))
+    | Codec.Ctrl _ | Codec.Ctrl_ack _ -> (t.netem_default, lazy t.ctrl_rng)
+  in
+  if Netem.is_none model then handle_frame t ~sender_addr frame
+  else
+    match Netem.sample model (Lazy.force rng) with
+    | Netem.Drop -> t.ctr.netem_dropped <- t.ctr.netem_dropped + 1
+    | Netem.Deliver { delay; dup_delay; held } ->
+      if held then t.ctr.netem_reordered <- t.ctr.netem_reordered + 1;
+      let inject d =
+        if d <= 0.0 then handle_frame t ~sender_addr frame
+        else
+          ignore
+            (Timers.schedule t.timers
+               ~at:(now t +. d)
+               (fun () -> if t.alive then handle_frame t ~sender_addr frame)
+              : Timers.entry)
+      in
+      inject delay;
+      (match dup_delay with
+      | None -> ()
+      | Some d ->
+        t.ctr.netem_duplicated <- t.ctr.netem_duplicated + 1;
+        inject d)
 
 let drain_socket t =
   let rec go () =
@@ -357,7 +532,7 @@ let drain_socket t =
     | n, sender_addr ->
       let raw = Bytes.sub_string t.recv_buf 0 n in
       (match Codec.decode_frame raw with
-      | Ok frame -> handle_frame t ~sender_addr frame
+      | Ok frame -> ingress t ~sender_addr frame
       | Error e ->
         t.log (Fmt.str "dropping undecodable datagram: %a" Codec.pp_error e));
       go ()

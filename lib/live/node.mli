@@ -5,9 +5,12 @@
     protocol callbacks (message delivery, timers) run only inside {!run},
     never concurrently — the concurrency model the protocol core was
     written against. Reliable FIFO channels between nodes come from a
-    go-back-N ARQ (sequence numbers + cumulative acks + timed
-    retransmission), the paper's footnote-2 channel realized over a medium
-    that can genuinely lose datagrams. *)
+    go-back-N ARQ (sequence numbers + cumulative acks + retransmission on
+    an exponentially backed-off timeout), the paper's footnote-2 channel
+    realized over a medium that can genuinely lose datagrams — not least
+    because the node injects faults against itself: a seeded per-link
+    {!Gmp_net.Netem} model applied to every arriving datagram, the same
+    fault vocabulary the simulator's lossy medium samples. *)
 
 open Gmp_base
 open Gmp_core
@@ -17,6 +20,9 @@ type t
 val create :
   ?peers:(Pid.t * int) list ->
   ?rto:float ->
+  ?rto_max:float ->
+  ?netem:Gmp_net.Netem.t ->
+  ?netem_seed:int ->
   ?log:(string -> unit) ->
   pid:Pid.t ->
   port:int ->
@@ -25,9 +31,14 @@ val create :
 (** Bind a UDP socket on [127.0.0.1:port] ([port = 0] picks an ephemeral
     port; read it back with {!port}). [peers] seeds the address book;
     addresses of unknown peers are also learnt from their traffic, so a
-    joiner only needs its contacts. [rto] is the ARQ retransmission
-    timeout (default 0.25 s); per-member overrides come from
-    [Config.arq_rto_for] at daemon level. *)
+    joiner only needs its contacts. [rto] is the ARQ's initial
+    retransmission timeout (default 0.25 s; per-member overrides come from
+    [Config.arq_rto_for] at daemon level); on each silent retransmit round
+    it doubles up to [rto_max] (default [16 *. rto]) and resets on ack
+    progress. [netem] is the default model applied to every incoming
+    link (default {!Gmp_net.Netem.none}); [netem_seed] keys the per-link
+    RNG streams, so the same seed replays the same per-link fault
+    pattern. *)
 
 val platform : t -> Wire.t Gmp_platform.Platform.node
 (** The node seen through the world-agnostic seam — what
@@ -43,6 +54,14 @@ val port : t -> int
 
 val add_peer : t -> Pid.t -> port:int -> unit
 
+val set_netem : t -> ?peer:Pid.t -> Gmp_net.Netem.t -> unit
+(** Retune fault injection: replace the model for one incoming link
+    ([?peer]) or the default for all links (no [?peer]). This is what a
+    [Set_netem] control frame applies. *)
+
+val netem : t -> Gmp_net.Netem.t
+(** The current default (all-links) model. *)
+
 val stats : t -> Gmp_platform.Stats.t
 val alive : t -> bool
 
@@ -50,7 +69,20 @@ val stopping : t -> bool
 (** An orchestrator [Shutdown] control frame arrived. *)
 
 val retransmissions : t -> int
+
+val idle : t -> bool
+(** No frame is awaiting an ack on any outgoing channel — everything sent
+    so far is known delivered. *)
+
+val counters : t -> (string * int) list
+(** ARQ and fault-injection counters, in a stable order:
+    [data_frames_sent] (first transmissions), [retransmits],
+    [retransmit_rounds] (retransmit-timer fires), [dups_suppressed],
+    [out_of_window_drops], [netem_dropped], [netem_duplicated],
+    [netem_reordered]. *)
+
 val clock : t -> Gmp_causality.Vector_clock.t
+val blackholed : t -> Pid.Set.t
 
 val close : t -> unit
 (** Halt and release the socket. *)

@@ -85,20 +85,32 @@ let next_deadline t =
   if t.size = 0 then None else Some t.heap.(0).at
 
 let fire_due t ~now =
-  let fired = ref 0 in
-  let rec go () =
+  (* Snapshot the due set before running any callback: a callback that
+     schedules a new entry at [<= now] (a capped-backoff retransmit at
+     saturation, a zero-delay re-arm) must wait for the next call, or one
+     such timer could starve the poll loop forever. Collecting first and
+     firing second gives exactly the entries due at entry; cancellations
+     performed by earlier callbacks in the batch are still honoured via the
+     [live] check at fire time. *)
+  let due = ref [] in
+  let rec collect () =
     drop_dead t;
     if t.size > 0 && t.heap.(0).at <= now then begin
       let e = pop t in
+      if e.live then due := e :: !due;
+      collect ()
+    end
+  in
+  collect ();
+  let fired = ref 0 in
+  List.iter
+    (fun e ->
       if e.live then begin
         e.live <- false;
         incr fired;
         e.callback ()
-      end;
-      go ()
-    end
-  in
-  go ();
+      end)
+    (List.rev !due);
   !fired
 
 let pending t =

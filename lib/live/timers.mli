@@ -21,9 +21,11 @@ val next_deadline : t -> float option
 (** Earliest live deadline — the poll loop's select-timeout bound. *)
 
 val fire_due : t -> now:float -> int
-(** Run every live entry with [at <= now], in deadline order; returns how
-    many fired. Callbacks may schedule further entries (a periodic timer
-    re-arms itself); entries they add in the past fire in the same call. *)
+(** Run every live entry with [at <= now] {e at entry}, in deadline order;
+    returns how many fired. The due set is snapshotted before any callback
+    runs: entries a callback schedules — even in the past — wait for the
+    next call, so a zero-delay rescheduling timer cannot starve the poll
+    loop. Cancellations by earlier callbacks in the batch are honoured. *)
 
 val pending : t -> int
 (** Live entries still scheduled (test instrumentation). *)

@@ -36,6 +36,22 @@ let attach trace ~path =
       end);
   w
 
+let write_arq w ~pid counters =
+  (* One summary line per run, written at clean shutdown: ARQ and
+     fault-injection counters. Not a trace event - the reader skips it when
+     reassembling, [read_arq] extracts it. A SIGKILLed node simply has
+     none, which the harvest treats as "no counters". *)
+  if not w.closed then begin
+    output_string w.oc
+      (J.to_compact_string
+         (J.obj
+            [ ("arq", J.string (Pid.to_string pid));
+              ("counters", J.obj (List.map (fun (k, v) -> (k, J.int v)) counters))
+            ]));
+    output_char w.oc '\n';
+    flush w.oc
+  end
+
 let close w =
   if not w.closed then begin
     w.closed <- true;
@@ -210,16 +226,51 @@ let read_file path =
    with End_of_file -> close_in ic);
   let lines = List.rev !lines in
   let total = List.length lines in
+  let is_arq_line line =
+    match J.of_string line with
+    | Ok j -> J.member "arq" j <> None
+    | Error _ -> false
+  in
   let rec go i acc = function
     | [] -> Ok (List.rev acc)
-    | line :: rest -> (
-      match event_of_line line with
-      | Ok e -> go (i + 1) (e :: acc) rest
-      | Error m ->
-        if i = total - 1 then Ok (List.rev acc) (* torn final line *)
-        else fail "%s:%d: %s" path (i + 1) m)
+    | line :: rest ->
+      if is_arq_line line then go (i + 1) acc rest
+      else (
+        match event_of_line line with
+        | Ok e -> go (i + 1) (e :: acc) rest
+        | Error m ->
+          if i = total - 1 then Ok (List.rev acc) (* torn final line *)
+          else fail "%s:%d: %s" path (i + 1) m)
   in
   go 0 [] lines
+
+(* The counters summary of one node's log, if it shut down cleanly enough
+   to write one. Unreadable files and torn lines read as "no summary". *)
+let read_arq path =
+  match
+    let ic = open_in path in
+    let found = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         match J.of_string line with
+         | Ok j when J.member "arq" j <> None -> (
+           match Option.bind (J.member "counters" j) J.to_obj_opt with
+           | None -> ()
+           | Some fields ->
+             found :=
+               Some
+                 (List.filter_map
+                    (fun (k, v) ->
+                      Option.map (fun n -> (k, n)) (J.to_int_opt v))
+                    fields))
+         | _ -> ()
+       done
+     with End_of_file -> close_in ic);
+    !found
+  with
+  | exception Sys_error _ -> None
+  | r -> r
 
 (* ---- reassembly ---- *)
 

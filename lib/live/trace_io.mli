@@ -14,13 +14,23 @@ val attach : Trace.t -> path:string -> writer
 (** Install an observer (via {!Trace.set_on_record}) writing each event of
     [trace] to [path] as one flushed JSON line. *)
 
+val write_arq : writer -> pid:Gmp_base.Pid.t -> (string * int) list -> unit
+(** Append the node's ARQ / fault-injection counters (from
+    [Node.counters]) as one summary line. Written at clean shutdown;
+    {!read_file} skips it, {!read_arq} extracts it. *)
+
 val close : writer -> unit
 
 val event_of_line : string -> (Trace.event, string) result
 (** Parse one log line (inverse of [Export.json_of_event]). *)
 
 val read_file : string -> (Trace.event list, string) result
-(** All events of one node's log, in recorded order. *)
+(** All events of one node's log, in recorded order ({!write_arq} summary
+    lines are skipped). *)
+
+val read_arq : string -> (string * int) list option
+(** The counters summary of one node's log, if present (a SIGKILLed node
+    writes none). *)
 
 val reassemble : Trace.event list list -> Trace.t
 (** Merge per-node event lists into one trace ordered by

@@ -1,0 +1,104 @@
+(* The shared fault vocabulary: one per-link network-emulation model that
+   both worlds speak.
+
+   The simulator's hostile medium (Lossy) and the live node's socket seam
+   inject faults through the same record and the same decision function, so
+   an experiment tuned in the simulator transfers to real processes
+   verbatim: loss probability, a delay distribution (the live CLI's
+   latency +/- jitter is [Delay.uniform]), duplication, and reordering.
+
+   [sample] is deliberately pure in the RNG: given the same generator state
+   it returns the same verdict, so a seeded per-link stream replays the
+   same fault pattern for the same arrival sequence - in the simulator that
+   makes runs bit-identical; in the live world it makes a soak's fault
+   schedule reproducible per (seed, link) even though wall-clock timing is
+   not. The draw order (loss, base delay, reorder, duplicate, dup delay)
+   is part of the vocabulary: [loss] and [duplicate] always consume a draw,
+   exactly as the pre-Netem Lossy did, so existing seeded simulations are
+   unchanged; [reorder] - the new knob - draws only when nonzero. *)
+
+type t = {
+  loss : float; (* P(datagram vanishes), in [0,1) *)
+  duplicate : float; (* P(a second copy is delivered), in [0,1] *)
+  reorder : float; (* P(a delivered copy is held extra, breaking FIFO) *)
+  delay : Delay.t; (* per-copy base delay distribution *)
+}
+
+let make ?(loss = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
+    ?(delay = Delay.constant 0.0) () =
+  if loss < 0.0 || loss >= 1.0 then
+    invalid_arg "Netem.make: loss must be in [0,1)";
+  if duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Netem.make: duplicate must be in [0,1]";
+  if reorder < 0.0 || reorder > 1.0 then
+    invalid_arg "Netem.make: reorder must be in [0,1]";
+  { loss; duplicate; reorder; delay }
+
+let none = make ()
+
+let of_latency ?(loss = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
+    ?(jitter = 0.0) latency =
+  if latency < 0.0 then invalid_arg "Netem.of_latency: negative latency";
+  if jitter < 0.0 then invalid_arg "Netem.of_latency: negative jitter";
+  let delay =
+    if jitter = 0.0 then Delay.constant latency
+    else
+      Delay.uniform
+        ~lo:(Float.max 0.0 (latency -. jitter))
+        ~hi:(latency +. jitter)
+  in
+  make ~loss ~duplicate ~reorder ~delay ()
+
+let is_none t =
+  t.loss = 0.0 && t.duplicate = 0.0 && t.reorder = 0.0
+  && Delay.mean t.delay = 0.0
+
+let loss t = t.loss
+let duplicate t = t.duplicate
+let reorder t = t.reorder
+let delay t = t.delay
+
+type verdict =
+  | Drop
+  | Deliver of { delay : float; dup_delay : float option; held : bool }
+
+(* A held (reordered) copy waits an extra draw plus the distribution's
+   mean: for any delay model of nonzero width or offset, frames sent up to
+   a full delay later overtake it. With an all-zero delay model a hold
+   degenerates to zero - there is no time window to leapfrog - so reorder
+   only bites when latency or jitter is configured, which the constructors
+   of real experiments always do. *)
+let sample t rng =
+  if Gmp_sim.Rng.float rng 1.0 < t.loss then Drop
+  else begin
+    let base = Delay.sample t.delay rng in
+    let held = t.reorder > 0.0 && Gmp_sim.Rng.float rng 1.0 < t.reorder in
+    let delay =
+      if held then base +. Delay.sample t.delay rng +. Delay.mean t.delay
+      else base
+    in
+    let dup_delay =
+      if Gmp_sim.Rng.float rng 1.0 < t.duplicate then
+        Some (Delay.sample t.delay rng)
+      else None
+    in
+    Deliver { delay; dup_delay; held }
+  end
+
+(* Per-link seeding: one splitmix stream per directed (self, peer) link,
+   derived from the experiment seed by plain LCG mixing. Folding in both
+   endpoints (id and incarnation) keeps the streams of links (a<-b) and
+   (a<-c) independent even under one experiment seed. *)
+let link_seed ~seed ~self ~peer =
+  let mix h v = (h * 0x2545F4914F6CDD1D) + ((2 * v) + 1) in
+  mix
+    (mix
+       (mix
+          (mix (mix seed (Gmp_base.Pid.id self)) (Gmp_base.Pid.incarnation self))
+          (Gmp_base.Pid.id peer))
+       (Gmp_base.Pid.incarnation peer))
+    0x9e3779b9
+
+let pp ppf t =
+  Fmt.pf ppf "netem(loss=%g dup=%g reorder=%g delay=%a)" t.loss t.duplicate
+    t.reorder Delay.pp t.delay

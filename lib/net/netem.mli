@@ -1,0 +1,68 @@
+(** The shared per-link fault model ("netem"): loss, delay (latency +
+    jitter), duplication and reordering, spoken identically by the
+    simulator's hostile medium ({!Lossy}) and the live node's socket seam.
+
+    A model is pure data plus one pure-in-the-RNG decision function
+    ({!sample}); every world supplies its own scheduler (the simulator's
+    event queue, the live node's timer wheel) but the verdicts - and hence
+    the fault vocabulary - are one and the same. *)
+
+open Gmp_base
+
+type t
+
+val make :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?delay:Delay.t ->
+  unit ->
+  t
+(** [loss] in [\[0,1)]: probability a datagram vanishes. [duplicate] in
+    [\[0,1\]]: probability a second copy is delivered. [reorder] in
+    [\[0,1\]]: probability a delivered copy is held long enough for later
+    traffic to overtake it (needs a delay model of nonzero width to have
+    any effect). [delay]: per-copy base delay distribution (default: no
+    delay). Raises [Invalid_argument] outside these ranges. *)
+
+val of_latency :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?reorder:float ->
+  ?jitter:float ->
+  float ->
+  t
+(** [of_latency ~jitter latency] is {!make} with a
+    [Delay.uniform ~lo:(latency - jitter) ~hi:(latency + jitter)] delay
+    (clamped at 0; constant when [jitter = 0]) - the live CLI's
+    [--latency]/[--jitter] surface. *)
+
+val none : t
+(** The identity model: no loss, no delay, no duplication, no reordering. *)
+
+val is_none : t -> bool
+(** [true] iff the model cannot affect any datagram - fast-path guard. *)
+
+val loss : t -> float
+val duplicate : t -> float
+val reorder : t -> float
+val delay : t -> Delay.t
+
+type verdict =
+  | Drop  (** the datagram vanishes *)
+  | Deliver of { delay : float; dup_delay : float option; held : bool }
+      (** deliver one copy after [delay] seconds (ignore any FIFO floor
+          when [held]: that copy was reordered), plus a duplicate after
+          [dup_delay] when present *)
+
+val sample : t -> Gmp_sim.Rng.t -> verdict
+(** One datagram's fate. Draw order (loss, base delay, reorder, duplicate,
+    dup delay) is pinned: [loss] and [duplicate] always consume a draw,
+    [reorder] only when nonzero, so pre-netem seeded simulations replay
+    unchanged. *)
+
+val link_seed : seed:int -> self:Pid.t -> peer:Pid.t -> int
+(** Deterministic per-directed-link RNG seed: one independent splitmix
+    stream per (experiment seed, receiving node, sending peer). *)
+
+val pp : t Fmt.t

@@ -67,9 +67,35 @@ let frames : (string * Codec.frame) list =
           vc = Gmp_causality.Vector_clock.of_list [ (p 0, 3); (p ~i:2 1, 9) ];
           msg = Wire.Invite { op = Types.Add (p 5); invite_ver = 3 } } );
     ("frame_ack", Codec.Ack { src = p 4; ack_next = 17 });
-    ("frame_ctrl_shutdown", Codec.Ctrl Codec.Shutdown);
-    ("frame_ctrl_blackhole", Codec.Ctrl (Codec.Blackhole (p 2)));
-    ("frame_ctrl_unblackhole", Codec.Ctrl (Codec.Unblackhole (p 2))) ]
+    ( "frame_ctrl_shutdown",
+      Codec.Ctrl { token = 7; cmd = Codec.Shutdown } );
+    ( "frame_ctrl_blackhole",
+      Codec.Ctrl { token = 0xDEAD; cmd = Codec.Blackhole (p 2) } );
+    ( "frame_ctrl_unblackhole",
+      Codec.Ctrl { token = 0xBEEF; cmd = Codec.Unblackhole (p 2) } );
+    ( "frame_ctrl_set_netem",
+      Codec.Ctrl
+        { token = 12345;
+          cmd =
+            Codec.Set_netem
+              { peer = Some (p ~i:1 3);
+                n_loss = 0.1;
+                n_latency = 0.02;
+                n_jitter = 0.01;
+                n_dup = 0.05;
+                n_reorder = 0.25 } } );
+    ( "frame_ctrl_set_netem_default",
+      Codec.Ctrl
+        { token = 1;
+          cmd =
+            Codec.Set_netem
+              { peer = None;
+                n_loss = 0.0;
+                n_latency = 0.0;
+                n_jitter = 0.0;
+                n_dup = 0.0;
+                n_reorder = 0.0 } } );
+    ("frame_ctrl_ack", Codec.Ctrl_ack { token = 12345 }) ]
 
 let write dir name bytes =
   let path = Filename.concat dir (name ^ ".bin") in

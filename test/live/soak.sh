@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Live soak: a real 5-node loopback cluster under sustained injected
+# weather - 10% datagram loss, 20ms +/- 10ms latency, duplication and
+# reordering on every link - plus one SIGKILL and one join, must still
+# converge to the correct view and pass the GMP checker on the
+# reassembled trace. Run on two netem seeds: the per-link fault pattern
+# differs, the verdict must not.
+#
+# Also gates on the ARQ counters the nodes write into their logs:
+#   - retransmits > 0        (the weather actually bit)
+#   - netem_dropped > 0      (the injection layer actually dropped)
+#   - retransmit_rounds bounded (exponential backoff engaged: a fixed
+#     0.25s rto with five nodes would burn thousands of rounds here)
+#
+# Wall-clock tests on shared CI machines are noisy, so timeouts are
+# generous and each seed gets one retry before failing the job.
+set -u
+
+CLUSTER="$1"
+
+# Every surviving node's counter summary must show the weather and the
+# recovery machinery both engaged, without a retransmit storm.
+check_arq() {
+  out="$1"
+  arq=$(printf '%s' "$out" | sed -n 's/.*"arq": \[\(.*\)\],"harness_errors".*/\1/p')
+  if [ -z "$arq" ]; then
+    echo "no arq counters in summary" >&2
+    return 1
+  fi
+  total_retrans=0
+  total_dropped=0
+  total_rounds=0
+  for key in retransmits netem_dropped retransmit_rounds; do
+    sum=0
+    for v in $(printf '%s' "$arq" | grep -o "\"$key\": [0-9]*" | grep -o '[0-9]*$'); do
+      sum=$((sum + v))
+    done
+    case "$key" in
+      retransmits) total_retrans=$sum ;;
+      netem_dropped) total_dropped=$sum ;;
+      retransmit_rounds) total_rounds=$sum ;;
+    esac
+  done
+  echo "arq: retransmits=$total_retrans netem_dropped=$total_dropped rounds=$total_rounds"
+  if [ "$total_retrans" -le 0 ]; then
+    echo "expected retransmissions under 10% loss, saw none" >&2
+    return 1
+  fi
+  if [ "$total_dropped" -le 0 ]; then
+    echo "expected injected drops under 10% loss, saw none" >&2
+    return 1
+  fi
+  # 14s run, rto 0.25 doubling to 4s: a handful of rounds per quiet
+  # channel. 2000 across the fleet means backoff never engaged.
+  if [ "$total_rounds" -le 0 ] || [ "$total_rounds" -ge 2000 ]; then
+    echo "retransmit_rounds=$total_rounds outside (0, 2000): backoff suspect" >&2
+    return 1
+  fi
+  return 0
+}
+
+run_seed() {
+  seed="$1"
+  for attempt in 1 2; do
+    out=$("$CLUSTER" --nodes 5 --run-for 14 \
+      --loss 0.1 --latency 0.02 --jitter 0.01 --dup 0.05 --reorder 0.1 \
+      --netem-seed "$seed" \
+      --kill 4:p2 --join 6:p7 \
+      --json 2>&1)
+    code=$?
+    if [ "$code" -eq 0 ]; then
+      view=$(printf '%s' "$out" | sed -n 's/.*"final_view": \[\([^]]*\)\].*/\1/p' | tr -d '" ')
+      if [ "$view" != "p0,p1,p3,p4,p7" ]; then
+        echo "attempt $attempt: seed $seed converged to [$view]" >&2
+      elif check_arq "$out"; then
+        echo "ok: seed $seed -> [$view] (attempt $attempt)"
+        return 0
+      fi
+    else
+      echo "attempt $attempt: seed $seed exited $code" >&2
+      printf '%s\n' "$out" >&2
+    fi
+    sleep 2
+  done
+  echo "FAIL: soak seed $seed" >&2
+  return 1
+}
+
+run_seed 1 || exit 1
+run_seed 2 || exit 1
+
+echo "live soak passed"

@@ -110,7 +110,8 @@ let test_golden_frames () =
           (read_golden name) (Codec.encode_frame frame)
       | Error e -> Alcotest.failf "%s: decode failed: %s" name (result_of_error e))
     [ "frame_data"; "frame_ack"; "frame_ctrl_shutdown"; "frame_ctrl_blackhole";
-      "frame_ctrl_unblackhole" ]
+      "frame_ctrl_unblackhole"; "frame_ctrl_set_netem";
+      "frame_ctrl_set_netem_default"; "frame_ctrl_ack" ]
 
 (* ---- fuzzed round-trips ---- *)
 
@@ -212,9 +213,37 @@ let frame_gen =
           map2
             (fun src ack_next -> Codec.Ack { src; ack_next })
             pid_gen (int_bound 10000) );
-        (1, return (Codec.Ctrl Codec.Shutdown));
-        (1, map (fun p -> Codec.Ctrl (Codec.Blackhole p)) pid_gen);
-        (1, map (fun p -> Codec.Ctrl (Codec.Unblackhole p)) pid_gen) ])
+        ( 1,
+          map
+            (fun token -> Codec.Ctrl { token; cmd = Codec.Shutdown })
+            (int_bound 0xFFFF) );
+        ( 1,
+          map2
+            (fun token p -> Codec.Ctrl { token; cmd = Codec.Blackhole p })
+            (int_bound 0xFFFF) pid_gen );
+        ( 1,
+          map2
+            (fun token p -> Codec.Ctrl { token; cmd = Codec.Unblackhole p })
+            (int_bound 0xFFFF) pid_gen );
+        ( 2,
+          map3
+            (fun token peer ((loss, dup, reorder), (latency, jitter)) ->
+              Codec.Ctrl
+                { token;
+                  cmd =
+                    Codec.Set_netem
+                      { peer;
+                        n_loss = loss *. 0.99;
+                        n_latency = latency;
+                        n_jitter = jitter;
+                        n_dup = dup;
+                        n_reorder = reorder } })
+            (int_bound 0xFFFF) (option pid_gen)
+            (pair
+               (triple (float_bound_exclusive 1.0) (float_bound_inclusive 1.0)
+                  (float_bound_inclusive 1.0))
+               (pair (float_bound_inclusive 2.0) (float_bound_inclusive 1.0))) );
+        (1, map (fun token -> Codec.Ctrl_ack { token }) (int_bound 0xFFFF)) ])
 
 let frame_arbitrary =
   QCheck.make
@@ -278,8 +307,11 @@ let hostile_cases =
     decode_error_case "future version"
       ("GM\x63" ^ String.sub valid_frame 3 (String.length valid_frame - 3))
       (function Codec.Unsupported_version 0x63 -> true | _ -> false);
+    decode_error_case "stale version"
+      ("GM\x01" ^ String.sub valid_frame 3 (String.length valid_frame - 3))
+      (function Codec.Unsupported_version 1 -> true | _ -> false);
     decode_error_case "oversized declared length"
-      ("GM\x01\x7f\xff\xff\xff" ^ "x")
+      ("GM\x02\x7f\xff\xff\xff" ^ "x")
       (function Codec.Oversized _ -> true | _ -> false);
     decode_error_case "truncated body"
       (String.sub valid_frame 0 (String.length valid_frame - 2))
@@ -288,16 +320,67 @@ let hostile_cases =
       | Codec.Malformed _ -> true
       | _ -> false);
     decode_error_case "unknown frame kind"
-      ("GM\x01\x00\x00\x00\x01\x09")
+      ("GM\x02\x00\x00\x00\x01\x0f")
       (function Codec.Malformed _ -> true | _ -> false);
     decode_error_case "lying list count"
       (* A Data frame whose vc claims 2^31 entries in a 30-byte body: the
          count guard must reject it without allocating. *)
-      ("GM\x01\x00\x00\x00\x0e" ^ "\x00" (* Data *)
+      ("GM\x02\x00\x00\x00\x0e" ^ "\x00" (* Data *)
       ^ "\x00\x00\x00\x01\x00\x00\x00\x00" (* src p1 *)
       ^ "\x00\x00\x00\x00" (* chan_seq *)
       ^ "\x7f\xff\xff\xff" (* vc count lie *))
       (function Codec.Malformed _ -> true | _ -> false) ]
+  @
+  (* Hostile Set_netem payloads: a valid Ctrl header with the probability /
+     delay fields swapped for poison. The model ranges are enforced at
+     decode, so a hostile frame cannot install an invalid fault model. *)
+  let netem_frame ~loss ~latency =
+    let body = Buffer.create 64 in
+    Buffer.add_string body "\x02" (* Ctrl *);
+    Buffer.add_string body "\x00\x00\x00\x07" (* token *);
+    Buffer.add_string body "\x03" (* Set_netem *);
+    Buffer.add_string body "\x00" (* peer = None *);
+    let f64 v =
+      let bits = Int64.bits_of_float v in
+      for i = 7 downto 0 do
+        Buffer.add_char body
+          (Char.chr
+             (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+      done
+    in
+    f64 loss;
+    f64 latency;
+    f64 0.0 (* jitter *);
+    f64 0.0 (* dup *);
+    f64 0.0 (* reorder *);
+    let b = Buffer.contents body in
+    let hdr = Buffer.create 8 in
+    Buffer.add_string hdr "GM\x02";
+    let n = String.length b in
+    List.iter
+      (fun shift -> Buffer.add_char hdr (Char.chr ((n lsr shift) land 0xFF)))
+      [ 24; 16; 8; 0 ];
+    Buffer.contents hdr ^ b
+  in
+  [ decode_error_case "netem loss = 1.0 rejected"
+      (netem_frame ~loss:1.0 ~latency:0.0)
+      (function Codec.Malformed _ -> true | _ -> false);
+    decode_error_case "netem negative latency rejected"
+      (netem_frame ~loss:0.0 ~latency:(-1.0))
+      (function Codec.Malformed _ -> true | _ -> false);
+    decode_error_case "netem NaN rejected"
+      (netem_frame ~loss:Float.nan ~latency:0.0)
+      (function Codec.Malformed _ -> true | _ -> false);
+    decode_error_case "netem infinity rejected"
+      (netem_frame ~loss:0.0 ~latency:Float.infinity)
+      (function Codec.Malformed _ -> true | _ -> false);
+    Alcotest.test_case "netem golden-shaped frame decodes" `Quick (fun () ->
+        match Codec.decode_frame (netem_frame ~loss:0.5 ~latency:0.25) with
+        | Ok (Codec.Ctrl { token = 7; cmd = Codec.Set_netem spec }) ->
+          check (Alcotest.float 0.0) "loss" 0.5 spec.n_loss;
+          check (Alcotest.float 0.0) "latency" 0.25 spec.n_latency
+        | Ok _ -> Alcotest.fail "decoded to the wrong frame"
+        | Error e -> Alcotest.failf "decode failed: %s" (result_of_error e)) ]
 
 (* ---- the timer wheel ---- *)
 
@@ -329,8 +412,11 @@ let test_timers_cancel () =
   check Alcotest.int "fired once" 1 !fired
 
 let test_timers_rearm_in_callback () =
-  (* A periodic timer re-arms itself from inside its own callback; an entry
-     re-armed in the past fires within the same fire_due call. *)
+  (* The due set is snapshotted at entry: an entry re-armed in the past by
+     its own callback waits for the NEXT fire_due call. One self-re-arming
+     timer therefore advances one tick per call instead of spinning the
+     loop to quiescence - the starvation the old cascade semantics
+     allowed. *)
   let t = Timers.create () in
   let count = ref 0 in
   let rec tick at () =
@@ -338,9 +424,30 @@ let test_timers_rearm_in_callback () =
     if !count < 4 then ignore (Timers.schedule t ~at (tick at) : Timers.entry)
   in
   ignore (Timers.schedule t ~at:1.0 (tick 1.0) : Timers.entry);
-  check Alcotest.int "cascade fires to quiescence" 4
+  check Alcotest.int "one fire per call" 1 (Timers.fire_due t ~now:1.0);
+  check Alcotest.int "ticked once" 1 !count;
+  check Alcotest.int "re-armed entry fires next call" 1
     (Timers.fire_due t ~now:1.0);
-  check Alcotest.int "ticked four times" 4 !count
+  ignore (Timers.fire_due t ~now:1.0 : int);
+  ignore (Timers.fire_due t ~now:1.0 : int);
+  check Alcotest.int "ticked four times over four calls" 4 !count;
+  check Alcotest.int "quiescent afterwards" 0 (Timers.fire_due t ~now:1.0)
+
+let test_timers_cancel_within_batch () =
+  (* Two entries due in one batch; the first's callback cancels the
+     second: the snapshot honours the cancellation. *)
+  let t = Timers.create () in
+  let fired = ref [] in
+  let e2 = ref None in
+  ignore
+    (Timers.schedule t ~at:1.0 (fun () ->
+         fired := 1 :: !fired;
+         Option.iter Timers.cancel !e2)
+      : Timers.entry);
+  e2 := Some (Timers.schedule t ~at:2.0 (fun () -> fired := 2 :: !fired));
+  check Alcotest.int "only the canceller fires" 1 (Timers.fire_due t ~now:5.0);
+  check (Alcotest.list Alcotest.int) "second was cancelled mid-batch" [ 1 ]
+    (List.rev !fired)
 
 let test_timers_fifo_ties () =
   let t = Timers.create () in
@@ -467,6 +574,8 @@ let suite =
       Alcotest.test_case "timers: cancel" `Quick test_timers_cancel;
       Alcotest.test_case "timers: re-arm inside callback" `Quick
         test_timers_rearm_in_callback;
+      Alcotest.test_case "timers: cancel within a batch" `Quick
+        test_timers_cancel_within_batch;
       Alcotest.test_case "timers: FIFO on ties" `Quick test_timers_fifo_ties;
       Alcotest.test_case "trace_io: event line round-trip" `Quick
         test_event_line_roundtrip;
