@@ -69,63 +69,15 @@ let timed_pair_conv what =
    (or every node, AT = "all"). SPEC is comma-separated k=v pairs over the
    CLI vocabulary: loss, latency, jitter, dup, reorder (plus peer=PID to
    retune a single incoming link). Unset keys mean zero: a spec always
-   describes the whole replacement model, not a delta. *)
-let netem_spec_of s =
-  let zero =
-    { Gmp_live.Codec.peer = None;
-      n_loss = 0.0;
-      n_latency = 0.0;
-      n_jitter = 0.0;
-      n_dup = 0.0;
-      n_reorder = 0.0 }
-  in
-  let kv acc item =
-    match (acc, String.index_opt item '=') with
-    | None, _ | _, None -> None
-    | Some acc, Some i ->
-      let k = String.sub item 0 i in
-      let v = String.sub item (i + 1) (String.length item - i - 1) in
-      let num ok set = Option.bind (float_of_string_opt v) (fun f ->
-          if ok f then Some (set f) else None)
-      in
-      let prob = fun f -> f >= 0.0 && f <= 1.0 in
-      let nonneg = fun f -> f >= 0.0 in
-      (match k with
-      | "loss" ->
-        num (fun f -> f >= 0.0 && f < 1.0) (fun f ->
-            { acc with Gmp_live.Codec.n_loss = f })
-      | "latency" -> num nonneg (fun f -> { acc with Gmp_live.Codec.n_latency = f })
-      | "jitter" -> num nonneg (fun f -> { acc with Gmp_live.Codec.n_jitter = f })
-      | "dup" -> num prob (fun f -> { acc with Gmp_live.Codec.n_dup = f })
-      | "reorder" -> num prob (fun f -> { acc with Gmp_live.Codec.n_reorder = f })
-      | "peer" ->
-        Option.map
-          (fun p -> { acc with Gmp_live.Codec.peer = Some p })
-          (pid_of v)
-      | _ -> None)
-  in
-  List.fold_left kv (Some zero) (String.split_on_char ',' s)
-
+   describes the whole replacement model, not a delta. [Spec] validates
+   the whole action - unknown keys, malformed floats, out-of-range values
+   - so a bad timeline dies as a cmdliner error before any node spawns,
+   never at T seconds into a live run. *)
 let netem_conv =
   let parse s =
-    let err () =
-      Error
-        (`Msg
-          (Printf.sprintf
-             "bad netem spec %S (expected T:AT:k=v,... with AT a pid or \
-              'all' and keys loss/latency/jitter/dup/reorder/peer)"
-             s))
-    in
-    match split_spec s with
-    | t :: at :: rest when rest <> [] -> (
-      let at =
-        if at = "all" then Some None
-        else Option.map (fun p -> Some p) (pid_of at)
-      in
-      match (time_of t, at, netem_spec_of (String.concat ":" rest)) with
-      | Some t, Some at, Some spec -> Ok (t, at, spec)
-      | _ -> err ())
-    | _ -> err ()
+    match Gmp_live.Spec.parse_netem_action s with
+    | Ok { Gmp_live.Spec.at_time; target; spec } -> Ok (at_time, target, spec)
+    | Error m -> Error (`Msg m)
   in
   let print ppf (t, at, (spec : Gmp_live.Codec.netem_spec)) =
     Fmt.pf ppf "%g:%s:loss=%g,latency=%g,jitter=%g,dup=%g,reorder=%g%s" t
@@ -137,10 +89,21 @@ let netem_conv =
   in
   Arg.conv (parse, print)
 
+let transport_conv =
+  Arg.enum [ ("udp", Gmp_live.Transport.Udp); ("tcp", Gmp_live.Transport.Tcp) ]
+
 (* ---- infrastructure ---- *)
 
-let alloc_port () =
-  let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+(* Bind-and-release on the socket type the transport will use, so the
+   port is known free for that type at spawn time. *)
+let alloc_port transport =
+  let sock_type =
+    match transport with
+    | Gmp_live.Transport.Udp -> Unix.SOCK_DGRAM
+    | Gmp_live.Transport.Tcp -> Unix.SOCK_STREAM
+  in
+  let s = Unix.socket Unix.PF_INET sock_type 0 in
+  Unix.setsockopt s Unix.SO_REUSEADDR true;
   Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
   let port =
     match Unix.getsockname s with
@@ -174,20 +137,22 @@ type proc = {
 
 let pids_arg ps = String.concat "," (List.map Pid.to_string ps)
 
-let spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto ~netem
-    ~netem_seed ~run_for ~verbose ~joiner pid =
+let spawn ~node_bin ~dir ~transport ~bind_host ~ports ~initial ~hb_interval
+    ~hb_timeout ~rto ~netem ~netem_seed ~run_for ~verbose ~joiner pid =
   let port = List.assoc pid ports in
   let log_file = Filename.concat dir (Pid.to_string pid ^ ".jsonl") in
   let peers =
     List.filter_map
       (fun (p, port) ->
         if Pid.equal p pid then None
-        else Some (Printf.sprintf "%s:%d" (Pid.to_string p) port))
+        else Some (Printf.sprintf "%s:%s:%d" (Pid.to_string p) bind_host port))
       ports
   in
   let loss, latency, jitter, dup, reorder = netem in
   let args =
-    [ node_bin; "--self"; Pid.to_string pid; "--port"; string_of_int port;
+    [ node_bin; "--self"; Pid.to_string pid; "--transport";
+      Gmp_live.Transport.kind_name transport; "--bind";
+      Printf.sprintf "%s:%d" bind_host port;
       "--initial"; pids_arg initial; "--log"; log_file; "--hb-interval";
       string_of_float hb_interval; "--hb-timeout"; string_of_float hb_timeout;
       "--rto"; string_of_float rto; "--loss"; string_of_float loss;
@@ -265,8 +230,8 @@ let has_quit events =
 (* ---- the run ---- *)
 
 let run_cluster n joiners run_for kills joins blackholes unblackholes netems
-    hb_interval hb_timeout rto netem netem_seed dir node_bin json liveness
-    keep_logs verbose =
+    transport bind_host hb_interval hb_timeout rto netem netem_seed dir
+    node_bin json liveness keep_logs verbose =
   let initial = Pid.group n in
   let join_pids = List.map snd joins in
   (match
@@ -293,20 +258,21 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
       d
   in
   let node_bin = match node_bin with Some b -> b | None -> default_node_bin () in
-  let ports = List.map (fun p -> (p, alloc_port ())) all_pids in
-  let ctrl = Gmp_live.Ctrl.create () in
+  let ports = List.map (fun p -> (p, alloc_port transport)) all_pids in
+  let ctrl = Gmp_live.Ctrl.create ~transport () in
   let harness_errors = ref [] in
   let note fmt = Printf.ksprintf (fun m -> harness_errors := m :: !harness_errors) fmt in
   let send_ctrl ~what ~port cmd =
-    if not (Gmp_live.Ctrl.send ctrl ~port cmd) then
+    if not (Gmp_live.Ctrl.send ctrl ~host:bind_host ~port cmd) then
       note "%s: no ack from node on port %d" what port
   in
   (* Nodes outlive the orchestrated window by a shutdown grace, never more:
      --run-for is their own deadman switch. *)
   let node_run_for = run_for +. 30.0 in
   let spawn1 ~joiner pid =
-    spawn ~node_bin ~dir ~ports ~initial ~hb_interval ~hb_timeout ~rto ~netem
-      ~netem_seed ~run_for:node_run_for ~verbose ~joiner pid
+    spawn ~node_bin ~dir ~transport ~bind_host ~ports ~initial ~hb_interval
+      ~hb_timeout ~rto ~netem ~netem_seed ~run_for:node_run_for ~verbose
+      ~joiner pid
   in
   let procs = ref (List.map (spawn1 ~joiner:false) initial) in
   let proc_of pid = List.find_opt (fun p -> Pid.equal p.pid pid) !procs in
@@ -393,7 +359,7 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
     (fun p ->
       if not (p.killed || p.reaped) then
         ignore
-          (Gmp_live.Ctrl.send ctrl ~attempts:20 ~port:p.port
+          (Gmp_live.Ctrl.send ctrl ~attempts:20 ~host:bind_host ~port:p.port
              Gmp_live.Codec.Shutdown
             : bool))
     !procs;
@@ -457,6 +423,14 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
           (Gmp_live.Trace_io.read_arq p.log_file))
       !procs
   in
+  let transports =
+    List.filter_map
+      (fun p ->
+        Option.map
+          (fun (kind, cs) -> (p.pid, kind, cs))
+          (Gmp_live.Trace_io.read_transport p.log_file))
+      !procs
+  in
   let trace = Gmp_live.Trace_io.reassemble (List.map snd per_node) in
   let violations =
     Checker.check_run ~liveness trace ~initial ~surviving_views ~dead
@@ -495,6 +469,15 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
                          (("pid", Export.json_of_pid p)
                          :: List.map (fun (k, v) -> (k, J.int v)) cs))
                      arq) );
+              ( "transport",
+                J.list
+                  (List.map
+                     (fun (p, kind, cs) ->
+                       J.obj
+                         (("pid", Export.json_of_pid p)
+                         :: ("kind", J.string kind)
+                         :: List.map (fun (k, v) -> (k, J.int v)) cs))
+                     transports) );
               ("harness_errors", J.list (List.map J.string harness_errors));
               ("logs", J.string dir);
               ("exit", J.int exit_code) ]))
@@ -514,6 +497,12 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
           Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
           cs)
       arq;
+    List.iter
+      (fun (p, kind, cs) ->
+        Fmt.pr "%a %s: %a@." Pid.pp p kind
+          Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
+          cs)
+      transports;
     List.iter (fun m -> Fmt.pr "harness error: %s@." m) harness_errors;
     (match violations with
     | [] -> Fmt.pr "checker: OK (GMP-0..GMP-5 hold on the live trace)@."
@@ -573,6 +562,24 @@ let unblackholes_term =
     & opt_all (timed_pair_conv "unblackhole") []
     & info [ "unblackhole" ] ~docv:"T:AT:FROM"
         ~doc:"At T, lift a blackhole injected earlier.")
+
+let transport_term =
+  Arg.(
+    value
+    & opt transport_conv Gmp_live.Transport.Udp
+    & info [ "transport" ] ~docv:"udp|tcp"
+        ~doc:
+          "Wire transport every node (and the control plane) speaks: UDP \
+           datagrams or length-prefixed TCP streams.")
+
+let bind_host_term =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "bind-host" ] ~docv:"HOST"
+        ~doc:
+          "Host every node binds and is addressed by (default loopback). \
+           For clusters spanning hosts, run gmp-node directly with --bind \
+           and --peers.")
 
 let hb_interval_term =
   Arg.(
@@ -670,10 +677,10 @@ let verbose_term =
 
 let cmd =
   let go n joiners run_for kills joins blackholes unblackholes netems
-      hb_interval hb_timeout rto loss latency jitter dup reorder netem_seed
-      dir node_bin json no_liveness keep_logs verbose =
+      transport bind_host hb_interval hb_timeout rto loss latency jitter dup
+      reorder netem_seed dir node_bin json no_liveness keep_logs verbose =
     run_cluster n joiners run_for kills joins blackholes unblackholes netems
-      hb_interval hb_timeout rto
+      transport bind_host hb_interval hb_timeout rto
       (loss, latency, jitter, dup, reorder)
       netem_seed dir node_bin json (not no_liveness) keep_logs verbose
   in
@@ -681,15 +688,16 @@ let cmd =
     (Cmd.info "gmp-cluster" ~version:"1.0.0"
        ~doc:
          "Run the GMP protocol as real processes over real sockets: spawn a \
-          loopback fleet of gmp-node daemons, inject SIGKILLs / joins / \
-          blackholes on schedule, reassemble the per-node event logs and \
-          check GMP-0..GMP-5 on the live trace.")
+          fleet of gmp-node daemons (UDP datagrams or framed TCP streams, \
+          per --transport), inject SIGKILLs / joins / blackholes on \
+          schedule, reassemble the per-node event logs and check \
+          GMP-0..GMP-5 on the live trace.")
     Term.(
       const go $ n_term $ joiners_term $ run_for_term $ kills_term
       $ joins_term $ blackholes_term $ unblackholes_term $ netems_term
-      $ hb_interval_term $ hb_timeout_term $ rto_term $ loss_term
-      $ latency_term $ jitter_term $ dup_term $ reorder_term
-      $ netem_seed_term $ dir_term $ node_bin_term $ json_term
+      $ transport_term $ bind_host_term $ hb_interval_term $ hb_timeout_term
+      $ rto_term $ loss_term $ latency_term $ jitter_term $ dup_term
+      $ reorder_term $ netem_seed_term $ dir_term $ node_bin_term $ json_term
       $ no_liveness_term $ keep_logs_term $ verbose_term)
 
 let () = exit (Cmd.eval' cmd)

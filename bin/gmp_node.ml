@@ -1,9 +1,10 @@
 (* gmp-node: one GMP member as a real OS process.
 
    Runs the same [Gmp_core.Member] state machine the simulator drives, but
-   on [Gmp_live.Node]: a UDP socket on loopback, wall-clock timers, ARQ
-   channels. Every trace event is flushed to the --log file as a JSON line
-   the moment it happens, so the log is complete (up to one torn line) even
+   on [Gmp_live.Node]: a real transport (UDP datagrams or framed TCP
+   streams, chosen by --transport), wall-clock timers, ARQ channels.
+   Every trace event is flushed to the --log file as a JSON line the
+   moment it happens, so the log is complete (up to one torn line) even
    if the orchestrator SIGKILLs this process mid-protocol.
 
    Exits 0 on a clean stop (orchestrator Shutdown, protocol quit, or
@@ -12,6 +13,8 @@
 open Gmp_base
 open Gmp_core
 open Cmdliner
+module Endpoint = Gmp_net.Endpoint
+module Transport = Gmp_live.Transport
 
 let pid_conv =
   let parse s =
@@ -21,18 +24,27 @@ let pid_conv =
   in
   Arg.conv (parse, Pid.pp)
 
+let peer_pp ppf (p, ep) = Fmt.pf ppf "%a:%a" Pid.pp p Endpoint.pp ep
+
 let peer_conv =
   let parse s =
-    match String.rindex_opt s ':' with
-    | None -> Error (`Msg (Printf.sprintf "bad peer %S (expected PID:PORT)" s))
-    | Some i -> (
-      let pid = String.sub s 0 i in
-      let port = String.sub s (i + 1) (String.length s - i - 1) in
-      match (Pid.of_string pid, int_of_string_opt port) with
-      | Some p, Some port when port > 0 && port < 65536 -> Ok (p, port)
-      | _ -> Error (`Msg (Printf.sprintf "bad peer %S (expected PID:PORT)" s)))
+    Result.map_error (fun m -> `Msg m) (Gmp_live.Spec.parse_peer s)
   in
-  Arg.conv (parse, fun ppf (p, port) -> Fmt.pf ppf "%a:%d" Pid.pp p port)
+  Arg.conv (parse, peer_pp)
+
+let peers_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Gmp_live.Spec.parse_peers s)
+  in
+  Arg.conv (parse, Fmt.list ~sep:(Fmt.any ",") peer_pp)
+
+let endpoint_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Endpoint.parse_or_port s)
+  in
+  Arg.conv (parse, Endpoint.pp)
+
+let transport_conv = Arg.enum [ ("udp", Transport.Udp); ("tcp", Transport.Tcp) ]
 
 let self_term =
   Arg.(
@@ -40,19 +52,46 @@ let self_term =
     & opt (some pid_conv) None
     & info [ "self" ] ~docv:"PID" ~doc:"This process's pid (e.g. p2, p5#1).")
 
+let transport_term =
+  Arg.(
+    value & opt transport_conv Transport.Udp
+    & info [ "transport" ] ~docv:"udp|tcp"
+        ~doc:
+          "Wire transport: UDP datagrams or length-prefixed TCP streams. \
+           Every node of a cluster must agree.")
+
 let port_term =
   Arg.(
     value & opt int 0
     & info [ "port" ] ~docv:"PORT"
-        ~doc:"UDP port to bind on 127.0.0.1 (0 picks an ephemeral port).")
+        ~doc:
+          "Port to bind on 127.0.0.1 (0 picks an ephemeral port). \
+           Shorthand for --bind 127.0.0.1:PORT.")
+
+let bind_term =
+  Arg.(
+    value
+    & opt (some endpoint_conv) None
+    & info [ "bind" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Local endpoint to bind (overrides --port). Bind a non-loopback \
+           address to span hosts.")
 
 let peers_term =
   Arg.(
     value & opt_all peer_conv []
-    & info [ "peer" ] ~docv:"PID:PORT"
+    & info [ "peer" ] ~docv:"PID:[HOST:]PORT"
         ~doc:
-          "Address-book entry, repeatable. Unknown peers are also learnt \
-           from their traffic, so a joiner needs only its contacts.")
+          "Address-book entry, repeatable; HOST defaults to 127.0.0.1. \
+           Unknown peers are also learnt from their traffic, so a joiner \
+           needs only its contacts.")
+
+let peer_list_term =
+  Arg.(
+    value
+    & opt (some peers_conv) None
+    & info [ "peers" ] ~docv:"PID:[HOST:]PORT,..."
+        ~doc:"Comma-separated address book; merged with --peer entries.")
 
 let initial_term =
   Arg.(
@@ -159,9 +198,9 @@ let join_retry_term =
 let verbose_term =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug chatter on stderr.")
 
-let main self port peers initial joiner contacts hb_interval hb_timeout rto
-    rto_max loss latency jitter dup reorder netem_seed log_path run_for
-    join_retry verbose =
+let main self transport port bind peers peer_list initial joiner contacts
+    hb_interval hb_timeout rto rto_max loss latency jitter dup reorder
+    netem_seed log_path run_for join_retry verbose =
   let netem =
     try
       Ok
@@ -188,9 +227,13 @@ let main self port peers initial joiner contacts hb_interval hb_timeout rto
         Printf.eprintf "[%s] %s\n%!" (Pid.to_string self) s
       else fun _ -> ()
     in
+    let bind =
+      match bind with Some ep -> ep | None -> Endpoint.loopback ~port
+    in
+    let peers = peers @ Option.value peer_list ~default:[] in
     let node =
-      Gmp_live.Node.create ~peers ~rto ?rto_max ~netem ~netem_seed ~log
-        ~pid:self ~port ()
+      Gmp_live.Node.create ~peers ~transport ~rto ?rto_max ~netem ~netem_seed
+        ~log ~pid:self ~bind ()
     in
     let trace = Trace.create () in
     let writer = Gmp_live.Trace_io.attach trace ~path:log_path in
@@ -202,7 +245,9 @@ let main self port peers initial joiner contacts hb_interval hb_timeout rto
     if joiner then
       Member.start_join ~retry_interval:join_retry member ~contacts;
     log
-      (Printf.sprintf "listening on 127.0.0.1:%d" (Gmp_live.Node.port node));
+      (Fmt.str "listening on %a (%s)" Endpoint.pp
+         (Gmp_live.Node.endpoint node)
+         (Gmp_live.Node.transport_kind node));
     Gmp_live.Node.run ?until:run_for node;
     log
       (Fmt.str "stopping: view v%d %a" (Member.version member)
@@ -210,6 +255,9 @@ let main self port peers initial joiner contacts hb_interval hb_timeout rto
          (View.members (Member.view member)));
     Gmp_live.Trace_io.write_arq writer ~pid:self
       (Gmp_live.Node.counters node);
+    Gmp_live.Trace_io.write_transport writer ~pid:self
+      ~kind:(Gmp_live.Node.transport_kind node)
+      (Gmp_live.Node.transport_counters node);
     Gmp_live.Trace_io.close writer;
     Gmp_live.Node.close node;
     `Ok 0
@@ -219,14 +267,16 @@ let cmd =
   Cmd.v
     (Cmd.info "gmp-node" ~version:"1.0.0"
        ~doc:
-         "One GMP group member as a real process (UDP loopback, wall-clock \
-          timers). Spawned in fleets by gmp-cluster.")
+         "One GMP group member as a real process (UDP datagrams or framed \
+          TCP streams, wall-clock timers). Spawned in fleets by \
+          gmp-cluster.")
     Term.(
       ret
-        (const main $ self_term $ port_term $ peers_term $ initial_term
-       $ joiner_term $ contacts_term $ hb_interval_term $ hb_timeout_term
-       $ rto_term $ rto_max_term $ loss_term $ latency_term $ jitter_term
-       $ dup_term $ reorder_term $ netem_seed_term $ log_term $ run_for_term
+        (const main $ self_term $ transport_term $ port_term $ bind_term
+       $ peers_term $ peer_list_term $ initial_term $ joiner_term
+       $ contacts_term $ hb_interval_term $ hb_timeout_term $ rto_term
+       $ rto_max_term $ loss_term $ latency_term $ jitter_term $ dup_term
+       $ reorder_term $ netem_seed_term $ log_term $ run_for_term
        $ join_retry_term $ verbose_term))
 
 let () = exit (Cmd.eval' cmd)

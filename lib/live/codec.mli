@@ -63,6 +63,10 @@ val pp_error : error Fmt.t
 val version : int
 (** Codec revision this build speaks. *)
 
+val header_len : int
+(** Bytes of the fixed frame header (magic + version + body length) —
+    what a stream decoder must buffer before it knows a frame's size. *)
+
 val max_frame : int
 (** Upper bound on an encoded body's length; larger declared lengths are
     rejected without allocation. *)

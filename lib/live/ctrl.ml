@@ -8,75 +8,215 @@
    node applies the (idempotent) command and answers [Ctrl_ack] with the
    same token; the client retransmits until the ack arrives or it gives
    up. Tokens only pair acks with commands - the node keeps no dedup
-   state, which idempotence makes safe. *)
+   state, which idempotence makes safe.
+
+   The client speaks whichever transport the cluster runs: datagrams to a
+   UDP node, framed streams to a TCP one (cached per target, reconnected
+   on any error - the retry loop that already absorbs loss absorbs
+   connection churn too). The ack discipline is identical on both. *)
+
+type conn = { cfd : Unix.file_descr; dec : Framing.t }
+
+type wire =
+  | Udp_wire of Unix.file_descr
+  | Tcp_wire of (string * int, conn) Hashtbl.t (* cached per target *)
 
 type t = {
-  sock : Unix.file_descr;
+  wire : wire;
   mutable next_token : int;
   buf : Bytes.t;
 }
 
-let create () =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-  Unix.set_nonblock sock;
+let create ?(transport = Transport.Udp) () =
+  let wire =
+    match transport with
+    | Transport.Udp ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+      Unix.set_nonblock sock;
+      Udp_wire sock
+    | Transport.Tcp ->
+      (* A write to a node that died mid-command must be a Unix_error,
+         not a process kill. *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ | Sys_error _ -> ());
+      Tcp_wire (Hashtbl.create 8)
+  in
   (* Seed tokens from the OS pid so two orchestrators poking one node
      cannot mistake each other's acks. *)
-  { sock;
+  { wire;
     next_token = (Unix.getpid () land 0xFFFF) * 0x10000;
     buf = Bytes.create (Codec.max_frame + 64) }
 
-let close t = try Unix.close t.sock with Unix.Unix_error _ -> ()
+let close t =
+  match t.wire with
+  | Udp_wire sock -> ( try Unix.close sock with Unix.Unix_error _ -> ())
+  | Tcp_wire conns ->
+    Hashtbl.iter
+      (fun _ c -> try Unix.close c.cfd with Unix.Unix_error _ -> ())
+      conns;
+    Hashtbl.reset conns
+
+let resolve ~host ~port =
+  Transport.resolve (Gmp_net.Endpoint.make ~host ~port)
+
+(* ---- UDP leg ---- *)
 
 (* Drain everything queued on the socket; true iff an ack for [token] was
    among it. Anything else (stray acks from earlier commands, garbage) is
    discarded. *)
-let rec drain t ~token acked =
-  match Unix.recvfrom t.sock t.buf 0 (Bytes.length t.buf) [] with
+let rec udp_drain t sock ~token acked =
+  match Unix.recvfrom sock t.buf 0 (Bytes.length t.buf) [] with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     acked
   | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNREFUSED), _, _) ->
-    drain t ~token acked
+    udp_drain t sock ~token acked
   | n, _ ->
     let acked =
       match Codec.decode_frame (Bytes.sub_string t.buf 0 n) with
       | Ok (Codec.Ctrl_ack { token = tk }) -> acked || tk = token
       | Ok _ | Error _ -> acked
     in
-    drain t ~token acked
+    udp_drain t sock ~token acked
+
+let udp_attempt t sock ~addr ~token ~interval bytes =
+  (try
+     ignore
+       (Unix.sendto sock (Bytes.of_string bytes) 0 (String.length bytes) []
+          addr
+         : int)
+   with Unix.Unix_error _ -> ());
+  let deadline = Unix.gettimeofday () +. interval in
+  let rec wait () =
+    if udp_drain t sock ~token false then true
+    else
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then false
+      else
+        match Unix.select [ sock ] [] [] remaining with
+        | [ _ ], _, _ -> if udp_drain t sock ~token false then true else wait ()
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ()
+
+(* ---- TCP leg ---- *)
+
+exception Conn_dead
+
+let drop_conn conns key c =
+  (try Unix.close c.cfd with Unix.Unix_error _ -> ());
+  Hashtbl.remove conns key
+
+(* Connect (bounded by [timeout]) or reuse the cached stream. *)
+let tcp_conn conns ~host ~port ~timeout =
+  let key = (host, port) in
+  match Hashtbl.find_opt conns key with
+  | Some c -> Some c
+  | None -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.set_nonblock fd;
+      (match Unix.connect fd (resolve ~host ~port) with
+      | () -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
+        match Unix.select [] [ fd ] [] timeout with
+        | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+        | _ -> raise Conn_dead));
+      let c = { cfd = fd; dec = Framing.create () } in
+      Hashtbl.replace conns key c;
+      Some c
+    with Unix.Unix_error _ | Conn_dead | Failure _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None)
+
+(* Blocking-with-deadline write of the whole frame; raises [Conn_dead] on
+   any failure. *)
+let tcp_write c ~deadline bytes =
+  let len = String.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then raise Conn_dead;
+    match
+      Unix.write c.cfd (Bytes.unsafe_of_string bytes) !off (len - !off)
+    with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+      match Unix.select [] [ c.cfd ] [] remaining with
+      | _, [ _ ], _ -> ()
+      | _ -> raise Conn_dead
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> raise Conn_dead
+  done
+
+(* Read until the matching ack or the deadline; raises [Conn_dead] on
+   EOF, read errors or a desynchronized stream. *)
+let tcp_wait_ack t c ~token ~deadline =
+  let saw_ack frames =
+    List.exists
+      (fun raw ->
+        match Codec.decode_frame raw with
+        | Ok (Codec.Ctrl_ack { token = tk }) -> tk = token
+        | Ok _ | Error _ -> false)
+      frames
+  in
+  let rec wait () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then false
+    else
+      match Unix.select [ c.cfd ] [] [] remaining with
+      | [ _ ], _, _ -> (
+        match Unix.read c.cfd t.buf 0 (Bytes.length t.buf) with
+        | 0 -> raise Conn_dead
+        | n -> (
+          match Framing.feed c.dec t.buf ~off:0 ~len:n with
+          | Ok frames -> if saw_ack frames then true else wait ()
+          | Error _ -> raise Conn_dead)
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          wait ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | exception Unix.Unix_error (_, _, _) -> raise Conn_dead)
+      | _ -> wait ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  wait ()
+
+let tcp_attempt conns t ~host ~port ~token ~interval bytes =
+  match tcp_conn conns ~host ~port ~timeout:interval with
+  | None -> false
+  | Some c -> (
+    let deadline = Unix.gettimeofday () +. interval in
+    try
+      tcp_write c ~deadline bytes;
+      tcp_wait_ack t c ~token ~deadline
+    with Conn_dead ->
+      drop_conn conns (host, port) c;
+      false)
+
+(* ---- the retry loop both legs share ---- *)
 
 let default_attempts = 50
 let default_interval = 0.1
 
-let send ?(attempts = default_attempts) ?(interval = default_interval) t
-    ~port cmd =
+let send ?(attempts = default_attempts) ?(interval = default_interval)
+    ?(host = "127.0.0.1") t ~port cmd =
   if attempts <= 0 then invalid_arg "Ctrl.send: non-positive attempts";
   if interval <= 0.0 then invalid_arg "Ctrl.send: non-positive interval";
   let token = t.next_token land 0xFFFFFFFF in
   t.next_token <- token + 1;
   let bytes = Codec.encode_frame (Codec.Ctrl { token; cmd }) in
-  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
-  let rec attempt k =
-    if k <= 0 then false
-    else begin
-      (try
-         ignore
-           (Unix.sendto t.sock (Bytes.of_string bytes) 0 (String.length bytes)
-              [] addr
-             : int)
-       with Unix.Unix_error _ -> ());
-      let deadline = Unix.gettimeofday () +. interval in
-      let rec wait () =
-        if drain t ~token false then true
-        else
-          let remaining = deadline -. Unix.gettimeofday () in
-          if remaining <= 0.0 then false
-          else
-            match Unix.select [ t.sock ] [] [] remaining with
-            | [ _ ], _, _ -> if drain t ~token false then true else wait ()
-            | _ -> false
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
-      in
-      wait () || attempt (k - 1)
-    end
+  let one () =
+    match t.wire with
+    | Udp_wire sock ->
+      udp_attempt t sock ~addr:(resolve ~host ~port) ~token ~interval bytes
+    | Tcp_wire conns -> tcp_attempt conns t ~host ~port ~token ~interval bytes
   in
+  let rec attempt k = if k <= 0 then false else one () || attempt (k - 1) in
   attempt attempts

@@ -5,18 +5,31 @@
     fire-and-forget command could be eaten by the very loss it configures.
     {!send} therefore retransmits a tokened command until the node's
     {!Codec.Ctrl_ack} comes back (the node acks {e after} applying; all
-    commands are idempotent, so replays are harmless). *)
+    commands are idempotent, so replays are harmless). The client speaks
+    whichever transport the cluster runs: datagrams to UDP nodes, framed
+    streams (cached per target, reconnected on any error) to TCP ones —
+    the retry loop that absorbs loss absorbs connection churn too. *)
 
 type t
 
-val create : unit -> t
-(** An unbound UDP socket plus a token counter (seeded from the OS pid so
-    concurrent clients cannot confuse each other's acks). *)
+val create : ?transport:Transport.kind -> unit -> t
+(** A control client for the given transport (default UDP): an unbound
+    UDP socket, or a cache of per-target TCP streams. Tokens are seeded
+    from the OS pid so concurrent clients cannot confuse each other's
+    acks. *)
 
-val send : ?attempts:int -> ?interval:float -> t -> port:int -> Codec.ctrl -> bool
-(** Send [cmd] to the node on [127.0.0.1:port]; retransmit every
-    [interval] seconds (default 0.1) up to [attempts] times (default 50)
-    until its ack arrives. [true] = the node applied the command; [false]
-    = no ack within the budget (node dead, or loss beyond the retries). *)
+val send :
+  ?attempts:int ->
+  ?interval:float ->
+  ?host:string ->
+  t ->
+  port:int ->
+  Codec.ctrl ->
+  bool
+(** Send [cmd] to the node on [host:port] (default host [127.0.0.1]);
+    retransmit every [interval] seconds (default 0.1) up to [attempts]
+    times (default 50) until its ack arrives. [true] = the node applied
+    the command; [false] = no ack within the budget (node dead, or loss
+    beyond the retries). *)
 
 val close : t -> unit

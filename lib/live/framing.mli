@@ -1,0 +1,34 @@
+(** Incremental frame extraction from a TCP byte stream.
+
+    The v2 codec header (magic + version + declared body length) is
+    self-delimiting, so the stream encoding of a frame is exactly its
+    datagram bytes; this decoder reassembles frames that arrive truncated
+    or split across reads. A header-level error (bad magic, unsupported
+    version, oversized length) desynchronizes the stream irrecoverably:
+    the decoder poisons itself, every later {!feed} returns the same
+    error, and the owning connection must be closed. A frame whose header
+    is sound but whose body is hostile is still extracted whole - judging
+    bodies is [Codec.decode_frame]'s job, and a bad body need not kill
+    the connection. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> Bytes.t -> off:int -> len:int -> (string list, Codec.error) result
+(** Append [len] bytes of [chunk] at [off] and cut out every complete
+    frame (each returned string is a full frame, header included, ready
+    for [Codec.decode_frame]). [Ok []] simply means no frame completed
+    yet. *)
+
+val feed_string : t -> string -> (string list, Codec.error) result
+
+val pending : t -> int
+(** Bytes buffered toward a not-yet-complete frame. *)
+
+val frames : t -> int
+(** Complete frames extracted so far. *)
+
+val partial_feeds : t -> int
+(** Feeds that ended with an incomplete frame still buffered - the
+    "frame split across reads" events a stream transport must absorb. *)

@@ -1,18 +1,19 @@
 (* One live GMP process: the real-world implementation of the Platform
    seam.
 
-   A node owns one UDP socket on the loopback interface and a single
-   thread: the poll loop alternates between draining the socket and firing
-   due wall-clock timers, so - exactly as in the simulator - protocol
-   callbacks never run concurrently and the core needs no locks.
+   A node owns one transport (UDP datagrams or managed TCP streams,
+   behind the [Transport] seam) and a single thread: the poll loop
+   alternates between draining the transport and firing due wall-clock
+   timers, so - exactly as in the simulator - protocol callbacks never
+   run concurrently and the core needs no locks.
 
    Between nodes runs a go-back-N ARQ per ordered process pair (the
    paper's footnote 2 channel: sequence numbers plus acknowledgements over
-   a lossy medium). UDP on loopback rarely drops, but the node injects
-   faults against itself deliberately - a seeded per-link Netem model
-   (loss, latency +/- jitter, duplication, reordering) applied at the
-   socket seam, the same model the simulator's Lossy medium samples - and
-   the protocol's liveness depends on retransmission riding through it:
+   a lossy medium). The ARQ lives above the transport seam on purpose:
+   even TCP is only best-effort here (connections die, half-open streams
+   are killed, stalled outboxes drop frames), so retransmission remains
+   the sole owner of reliability on either wire and the protocol's
+   behavior does not depend on which transport carries it:
 
      - sender: frames get consecutive [chan_seq] numbers and wait in an
        unacked queue; a per-destination timer retransmits the whole window
@@ -24,7 +25,12 @@
        exactly-once), acks cumulatively on every data frame, drops
        out-of-order frames (go-back-N keeps no reorder buffer).
 
-   Fault injection is receiver-side: an arriving datagram is decoded, then
+   Fault injection is receiver-side, at message ingress - after the
+   transport has reassembled a complete frame, before the protocol sees
+   it. That placement is what lets one netem model serve both transports:
+   a "lost" frame over TCP was really delivered by the kernel and then
+   discarded here, and it is the ARQ's retransmission (not TCP's) that
+   resurrects it, exactly as over UDP. An arriving frame is decoded, then
    its fate is drawn from the link's model (keyed by the sending pid;
    control frames use a dedicated stream) and the surviving copies are
    re-injected through the timer wheel after their sampled delay. Seeding
@@ -44,12 +50,13 @@ open Gmp_core
 module Platform = Gmp_platform.Platform
 module Stats = Gmp_platform.Stats
 module Netem = Gmp_net.Netem
+module Endpoint = Gmp_net.Endpoint
 module Rng = Gmp_sim.Rng
 
 type out_chan = {
   mutable next_seq : int;
   mutable base : int; (* lowest unacked seq *)
-  unacked : (int * string) Queue.t; (* (seq, encoded datagram) *)
+  unacked : (int * string) Queue.t; (* (seq, encoded frame) *)
   mutable rtimer : Timers.entry option;
   mutable cur_rto : float; (* current backoff value, in [rto, rto_max] *)
 }
@@ -69,10 +76,8 @@ type counters = {
 
 type t = {
   pid : Pid.t;
-  sock : Unix.file_descr;
-  port : int;
+  transport : Transport.t;
   timers : Timers.t;
-  peers : Unix.sockaddr Pid.Tbl.t;
   out_chans : out_chan Pid.Tbl.t;
   in_chans : in_chan Pid.Tbl.t;
   mutable blackholed : Pid.Set.t; (* fault injection: drop their frames *)
@@ -82,7 +87,7 @@ type t = {
   mutable alive : bool;
   mutable stopping : bool; (* orchestrator asked for clean shutdown *)
   mutable receiver : src:Pid.t -> Wire.t -> unit;
-  mutable last_now : float; (* monotonicity floor *)
+  last_now : float ref; (* monotonicity floor; shared with the transport *)
   ctr : counters;
   stats : Stats.t;
   rto : float;
@@ -95,14 +100,14 @@ type t = {
   link_rngs : Rng.t Pid.Tbl.t;
   ctrl_rng : Rng.t;
   log : string -> unit;
-  recv_buf : Bytes.t;
 }
 
 let default_rto = 0.25
 let default_rto_max_factor = 16.0
 
-let create ?(peers = []) ?(rto = default_rto) ?rto_max ?(netem = Netem.none)
-    ?(netem_seed = 0) ?(log = fun _ -> ()) ~pid ~port () =
+let create ?(peers = []) ?(transport = Transport.Udp) ?tcp_config
+    ?(rto = default_rto) ?rto_max ?(netem = Netem.none) ?(netem_seed = 0)
+    ?(log = fun _ -> ()) ~pid ~bind () =
   if rto <= 0.0 then invalid_arg "Node.create: non-positive rto";
   let rto_max =
     match rto_max with
@@ -111,21 +116,21 @@ let create ?(peers = []) ?(rto = default_rto) ?rto_max ?(netem = Netem.none)
       if v < rto then invalid_arg "Node.create: rto_max below rto";
       v
   in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.set_nonblock sock;
-  let port =
-    match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> port
+  (* The transport needs the clock before the node record exists, so the
+     monotonicity floor lives in a ref both close over. *)
+  let last_now = ref 0.0 in
+  let now () =
+    let w = Unix.gettimeofday () in
+    if w > !last_now then last_now := w;
+    !last_now
+  in
+  let transport =
+    Transport.make ?tcp_config ~kind:transport ~bind ~now ~log ()
   in
   let t =
     { pid;
-      sock;
-      port;
+      transport;
       timers = Timers.create ();
-      peers = Pid.Tbl.create 16;
       out_chans = Pid.Tbl.create 16;
       in_chans = Pid.Tbl.create 16;
       blackholed = Pid.Set.empty;
@@ -135,7 +140,7 @@ let create ?(peers = []) ?(rto = default_rto) ?rto_max ?(netem = Netem.none)
       alive = true;
       stopping = false;
       receiver = (fun ~src:_ _ -> ());
-      last_now = 0.0;
+      last_now;
       ctr =
         { data_frames_sent = 0;
           retransmissions = 0;
@@ -153,18 +158,14 @@ let create ?(peers = []) ?(rto = default_rto) ?rto_max ?(netem = Netem.none)
       netem_seed;
       link_rngs = Pid.Tbl.create 16;
       ctrl_rng = Rng.create (Netem.link_seed ~seed:netem_seed ~self:pid ~peer:pid);
-      log;
-      recv_buf = Bytes.create (Codec.max_frame + 64) }
+      log }
   in
-  List.iter
-    (fun (p, port) ->
-      Pid.Tbl.replace t.peers p
-        (Unix.ADDR_INET (Unix.inet_addr_loopback, port)))
-    peers;
+  List.iter (fun (p, ep) -> t.transport.Transport.add_peer p ep) peers;
   t
 
 let pid t = t.pid
-let port t = t.port
+let endpoint t = t.transport.Transport.endpoint ()
+let port t = Endpoint.port (endpoint t)
 let stats t = t.stats
 let alive t = t.alive
 let stopping t = t.stopping
@@ -172,6 +173,8 @@ let retransmissions t = t.ctr.retransmissions
 let clock t = Vector_clock.Mutable.snapshot t.vc
 let blackholed t = t.blackholed
 let netem t = t.netem_default
+let transport_kind t = t.transport.Transport.kind
+let transport_counters t = t.transport.Transport.counters ()
 
 let idle t =
   Pid.Tbl.fold (fun _ c acc -> acc && Queue.is_empty c.unacked) t.out_chans true
@@ -191,38 +194,21 @@ let set_netem t ?peer model =
   | None -> t.netem_default <- model
   | Some p -> Pid.Tbl.replace t.netem_overrides p model
 
-let add_peer t p ~port =
-  Pid.Tbl.replace t.peers p (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+let add_peer t p ep = t.transport.Transport.add_peer p ep
 
 let now t =
   let w = Unix.gettimeofday () in
-  if w > t.last_now then t.last_now <- w;
-  t.last_now
+  if w > !(t.last_now) then t.last_now := w;
+  !(t.last_now)
 
 let local_event t =
   Vector_clock.Mutable.tick t.vc t.pid;
   t.events <- t.events + 1;
   (t.events, Vector_clock.Mutable.snapshot t.vc)
 
-(* ---- raw datagram out ---- *)
+(* ---- frames out ---- *)
 
-let sendto_addr t addr bytes =
-  try
-    ignore
-      (Unix.sendto t.sock (Bytes.of_string bytes) 0 (String.length bytes) []
-         addr
-        : int)
-  with
-  | Unix.Unix_error
-      ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNREFUSED), _, _) ->
-    (* A full buffer or a dead peer's closed port: both look like loss to
-       the ARQ, which is what retransmission exists for. *)
-    ()
-
-let sendto t ~dst bytes =
-  match Pid.Tbl.find_opt t.peers dst with
-  | None -> t.log (Printf.sprintf "no address for %s" (Pid.to_string dst))
-  | Some addr -> sendto_addr t addr bytes
+let sendto t ~dst bytes = t.transport.Transport.send ~dst bytes
 
 (* ---- ARQ sender side ---- *)
 
@@ -327,7 +313,7 @@ let send t ~dst ~category payload =
 
 let broadcast t ~dsts ~category payload =
   (* One vc tick for the whole broadcast, as in the simulator; the sends
-     themselves are sequential datagrams (indivisible in the paper's sense,
+     themselves are sequential frames (indivisible in the paper's sense,
      not failure-atomic). *)
   if t.alive then begin
     Vector_clock.Mutable.tick t.vc t.pid;
@@ -344,10 +330,13 @@ let broadcast t ~dsts ~category payload =
 let disconnect_from t ~from =
   (* S1: sever the incoming channel permanently. Also stop retransmitting
      toward the severed peer - it is being excluded; an unacked window
-     kept alive forever would spin the timer wheel for a corpse. *)
+     kept alive forever would spin the timer wheel for a corpse - and let
+     the transport tear down its route (a TCP stream to an excluded peer
+     has nothing left to carry). *)
   t.disconnected <- Pid.Set.add from t.disconnected;
   Pid.Tbl.remove t.in_chans from;
-  teardown_to t from
+  teardown_to t from;
+  t.transport.Transport.remove_peer from
 
 let halt t =
   if t.alive then begin
@@ -406,10 +395,11 @@ let in_chan t src =
 let send_ack t ~dst ~ack_next =
   sendto t ~dst (Codec.encode_frame (Codec.Ack { src = t.pid; ack_next }))
 
-let handle_data t ~sender_addr ~src ~chan_seq ~sender_vc msg =
-  (* Learn the peer's address from its traffic: joiners announce
-     themselves, no static address book required. *)
-  if not (Pid.Tbl.mem t.peers src) then Pid.Tbl.replace t.peers src sender_addr;
+let handle_data t ~(origin : Transport.origin) ~src ~chan_seq ~sender_vc msg =
+  (* Learn the peer's route from its traffic: joiners announce
+     themselves, no static address book required. The transport keeps
+     configured routes authoritative and only fills gaps. *)
+  origin.learn src;
   let c = in_chan t src in
   if chan_seq = c.next_expected then begin
     c.next_expected <- chan_seq + 1;
@@ -449,27 +439,27 @@ let apply_ctrl t = function
          | Some p -> Pid.to_string p)
          Netem.pp model)
 
-let handle_frame t ~sender_addr = function
+let handle_frame t ~(origin : Transport.origin) = function
   | Codec.Data { src; chan_seq; vc; msg } ->
     if
       t.alive
       && (not (Pid.Set.mem src t.blackholed))
       && not (Pid.Set.mem src t.disconnected)
-    then handle_data t ~sender_addr ~src ~chan_seq ~sender_vc:vc msg
+    then handle_data t ~origin ~src ~chan_seq ~sender_vc:vc msg
     else if t.alive && Pid.Set.mem src t.blackholed then
       Stats.record_dropped t.stats ~category:(Wire.category_id msg)
   | Codec.Ack { src; ack_next } ->
     if t.alive && not (Pid.Set.mem src t.blackholed) then
       handle_ack t ~src ~ack_next
   | Codec.Ctrl { token; cmd } ->
-    (* Apply, then ack straight back to the orchestrator's address. The
-       ack is the applied-receipt: a sender that got it knows the command
-       took effect; one that did not retries the (idempotent) command. *)
+    (* Apply, then ack straight back along the arrival path. The ack is
+       the applied-receipt: a sender that got it knows the command took
+       effect; one that did not retries the (idempotent) command. *)
     apply_ctrl t cmd;
-    sendto_addr t sender_addr (Codec.encode_frame (Codec.Ctrl_ack { token }))
+    origin.reply (Codec.encode_frame (Codec.Ctrl_ack { token }))
   | Codec.Ctrl_ack _ -> () (* orchestrator-bound; noise to a node *)
 
-(* ---- netem ingress: the socket seam's fault injection ---- *)
+(* ---- netem ingress: the shared fault-injection seam ---- *)
 
 let link_model t src =
   match Pid.Tbl.find_opt t.netem_overrides src with
@@ -486,32 +476,36 @@ let link_rng t src =
     Pid.Tbl.replace t.link_rngs src rng;
     rng
 
-let ingress t ~sender_addr frame =
-  (* Decode first, then draw the datagram's fate from the link model:
+let ingress t ~(origin : Transport.origin) frame =
+  (* Decode first, then draw the frame's fate from the link model:
      per-peer for protocol traffic, the dedicated control stream for
      orchestrator frames (the control plane faces the same weather - which
-     is why it is acked and retried). Surviving copies re-enter the poll
-     loop through the timer wheel after their sampled delay; independent
-     per-copy delays plus the explicit hold give real reordering. *)
+     is why it is acked and retried). This runs after the transport has
+     reassembled a complete frame, so both transports face identical
+     weather: over TCP, a dropped frame is resurrected by the ARQ's
+     retransmission, never by the kernel. Surviving copies re-enter the
+     poll loop through the timer wheel after their sampled delay;
+     independent per-copy delays plus the explicit hold give real
+     reordering. *)
   let model, rng =
     match frame with
     | Codec.Data { src; _ } | Codec.Ack { src; _ } ->
       (link_model t src, lazy (link_rng t src))
     | Codec.Ctrl _ | Codec.Ctrl_ack _ -> (t.netem_default, lazy t.ctrl_rng)
   in
-  if Netem.is_none model then handle_frame t ~sender_addr frame
+  if Netem.is_none model then handle_frame t ~origin frame
   else
     match Netem.sample model (Lazy.force rng) with
     | Netem.Drop -> t.ctr.netem_dropped <- t.ctr.netem_dropped + 1
     | Netem.Deliver { delay; dup_delay; held } ->
       if held then t.ctr.netem_reordered <- t.ctr.netem_reordered + 1;
       let inject d =
-        if d <= 0.0 then handle_frame t ~sender_addr frame
+        if d <= 0.0 then handle_frame t ~origin frame
         else
           ignore
             (Timers.schedule t.timers
                ~at:(now t +. d)
-               (fun () -> if t.alive then handle_frame t ~sender_addr frame)
+               (fun () -> if t.alive then handle_frame t ~origin frame)
               : Timers.entry)
       in
       inject delay;
@@ -521,23 +515,12 @@ let ingress t ~sender_addr frame =
         t.ctr.netem_duplicated <- t.ctr.netem_duplicated + 1;
         inject d)
 
-let drain_socket t =
-  let rec go () =
-    match Unix.recvfrom t.sock t.recv_buf 0 (Bytes.length t.recv_buf) [] with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
-      (* Linux surfaces a previous send's ICMP port-unreachable here. *)
-      go ()
-    | n, sender_addr ->
-      let raw = Bytes.sub_string t.recv_buf 0 n in
-      (match Codec.decode_frame raw with
-      | Ok frame -> ingress t ~sender_addr frame
+let drain t =
+  t.transport.Transport.drain (fun ~origin raw ->
+      match Codec.decode_frame raw with
+      | Ok frame -> ingress t ~origin frame
       | Error e ->
-        t.log (Fmt.str "dropping undecodable datagram: %a" Codec.pp_error e));
-      go ()
-  in
-  go ()
+        t.log (Fmt.str "dropping undecodable frame: %a" Codec.pp_error e))
 
 (* ---- poll loop ---- *)
 
@@ -548,14 +531,28 @@ let max_poll = 0.2
 let step t =
   let n = now t in
   ignore (Timers.fire_due t.timers ~now:n : int);
+  t.transport.Transport.tick ~now:n;
   let timeout =
-    match Timers.next_deadline t.timers with
-    | None -> max_poll
-    | Some at -> Float.min max_poll (Float.max 0.0 (at -. n))
+    let bound acc = function
+      | None -> acc
+      | Some at -> Float.min acc (Float.max 0.0 (at -. n))
+    in
+    bound
+      (bound max_poll (Timers.next_deadline t.timers))
+      (t.transport.Transport.next_deadline ())
   in
-  (match Unix.select [ t.sock ] [] [] timeout with
-  | [ _ ], _, _ -> drain_socket t
-  | _ -> ()
+  (match
+     Unix.select
+       (t.transport.Transport.rfds ())
+       (t.transport.Transport.wfds ())
+       [] timeout
+   with
+  | [], [], _ -> ()
+  | _readable, _writable, _ ->
+    (* Writability is consumed by [tick] (connect completions, outbox
+       flushes); readability by [drain]. *)
+    t.transport.Transport.tick ~now:(now t);
+    drain t
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
   ignore (Timers.fire_due t.timers ~now:(now t) : int)
 
@@ -570,4 +567,4 @@ let run ?until t =
 
 let close t =
   halt t;
-  try Unix.close t.sock with Unix.Unix_error _ -> ()
+  t.transport.Transport.close ()

@@ -1,16 +1,18 @@
 (** One live GMP process: real sockets, wall-clock timers, the Platform
     seam's second implementation.
 
-    A node owns a UDP socket on loopback and a single-threaded poll loop;
-    protocol callbacks (message delivery, timers) run only inside {!run},
-    never concurrently — the concurrency model the protocol core was
-    written against. Reliable FIFO channels between nodes come from a
-    go-back-N ARQ (sequence numbers + cumulative acks + retransmission on
-    an exponentially backed-off timeout), the paper's footnote-2 channel
-    realized over a medium that can genuinely lose datagrams — not least
+    A node owns one {!Transport} (UDP datagrams or managed TCP streams)
+    and a single-threaded poll loop; protocol callbacks (message
+    delivery, timers) run only inside {!run}, never concurrently — the
+    concurrency model the protocol core was written against. Reliable
+    FIFO channels between nodes come from a go-back-N ARQ (sequence
+    numbers + cumulative acks + retransmission on an exponentially
+    backed-off timeout), the paper's footnote-2 channel realized over a
+    medium that can genuinely lose frames on either transport — not least
     because the node injects faults against itself: a seeded per-link
-    {!Gmp_net.Netem} model applied to every arriving datagram, the same
-    fault vocabulary the simulator's lossy medium samples. *)
+    {!Gmp_net.Netem} model applied to every frame at message ingress
+    (after transport reassembly, before the protocol), the same fault
+    vocabulary the simulator's lossy medium samples. *)
 
 open Gmp_base
 open Gmp_core
@@ -18,41 +20,49 @@ open Gmp_core
 type t
 
 val create :
-  ?peers:(Pid.t * int) list ->
+  ?peers:(Pid.t * Gmp_net.Endpoint.t) list ->
+  ?transport:Transport.kind ->
+  ?tcp_config:Transport.tcp_config ->
   ?rto:float ->
   ?rto_max:float ->
   ?netem:Gmp_net.Netem.t ->
   ?netem_seed:int ->
   ?log:(string -> unit) ->
   pid:Pid.t ->
-  port:int ->
+  bind:Gmp_net.Endpoint.t ->
   unit ->
   t
-(** Bind a UDP socket on [127.0.0.1:port] ([port = 0] picks an ephemeral
-    port; read it back with {!port}). [peers] seeds the address book;
-    addresses of unknown peers are also learnt from their traffic, so a
-    joiner only needs its contacts. [rto] is the ARQ's initial
-    retransmission timeout (default 0.25 s; per-member overrides come from
-    [Config.arq_rto_for] at daemon level); on each silent retransmit round
-    it doubles up to [rto_max] (default [16 *. rto]) and resets on ack
-    progress. [netem] is the default model applied to every incoming
-    link (default {!Gmp_net.Netem.none}); [netem_seed] keys the per-link
-    RNG streams, so the same seed replays the same per-link fault
-    pattern. *)
+(** Bind a transport (default UDP) on [bind] (port 0 picks an ephemeral
+    port; read it back with {!port} or {!endpoint}). [peers] seeds the
+    address book; routes to unknown peers are also learnt from their
+    traffic, so a joiner only needs its contacts. [rto] is the ARQ's
+    initial retransmission timeout (default 0.25 s; per-member overrides
+    come from [Config.arq_rto_for] at daemon level); on each silent
+    retransmit round it doubles up to [rto_max] (default [16 *. rto]) and
+    resets on ack progress. [netem] is the default model applied to every
+    incoming link (default {!Gmp_net.Netem.none}); [netem_seed] keys the
+    per-link RNG streams, so the same seed replays the same per-link
+    fault pattern. *)
 
 val platform : t -> Wire.t Gmp_platform.Platform.node
 (** The node seen through the world-agnostic seam — what
     [Gmp_core.Member.create] takes. *)
 
 val run : ?until:float -> t -> unit
-(** The poll loop: drain the socket, fire due timers, sleep on [select]
-    until the next deadline. Returns when the node halts (protocol quit or
-    crash), an orchestrator [Shutdown] arrives, or [until] seconds elapse. *)
+(** The poll loop: drain the transport, fire due timers, sleep on
+    [select] until the next deadline (timer or transport). Returns when
+    the node halts (protocol quit or crash), an orchestrator [Shutdown]
+    arrives, or [until] seconds elapse. *)
 
 val pid : t -> Pid.t
-val port : t -> int
 
-val add_peer : t -> Pid.t -> port:int -> unit
+val endpoint : t -> Gmp_net.Endpoint.t
+(** The actually-bound local endpoint (ephemeral port resolved). *)
+
+val port : t -> int
+(** [Endpoint.port (endpoint t)]. *)
+
+val add_peer : t -> Pid.t -> Gmp_net.Endpoint.t -> unit
 
 val set_netem : t -> ?peer:Pid.t -> Gmp_net.Netem.t -> unit
 (** Retune fault injection: replace the model for one incoming link
@@ -81,8 +91,15 @@ val counters : t -> (string * int) list
     [out_of_window_drops], [netem_dropped], [netem_duplicated],
     [netem_reordered]. *)
 
+val transport_kind : t -> string
+(** ["udp"] or ["tcp"]. *)
+
+val transport_counters : t -> (string * int) list
+(** The transport's own counters (datagrams or connections/frames),
+    reported alongside {!counters} in the JSONL summary. *)
+
 val clock : t -> Gmp_causality.Vector_clock.t
 val blackholed : t -> Pid.Set.t
 
 val close : t -> unit
-(** Halt and release the socket. *)
+(** Halt and release the transport. *)

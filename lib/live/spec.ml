@@ -1,0 +1,169 @@
+(* Command-line spec parsing shared by gmp-node and gmp-cluster.
+
+   Everything here is validated fully at parse time and returns precise
+   errors, so a malformed flag dies as a clean cmdliner message before
+   any process is spawned - not as a half-started cluster discovering a
+   bad netem key at T=4s. *)
+
+open Gmp_base
+module Endpoint = Gmp_net.Endpoint
+
+let ( let* ) = Result.bind
+
+let pid_of ~what s =
+  match Pid.of_string s with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "bad %s pid %S (expected e.g. \"p3\")" what s)
+
+(* ---- peers: "PID:PORT" (loopback), "PID:HOST:PORT" ---- *)
+
+let parse_peer s =
+  match String.index_opt s ':' with
+  | None ->
+    Error
+      (Printf.sprintf "malformed peer %S (expected PID:PORT or PID:HOST:PORT)"
+         s)
+  | Some i ->
+    let pid_s = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    if pid_s = "" then Error (Printf.sprintf "malformed peer %S: empty pid" s)
+    else
+      let* pid = pid_of ~what:"peer" pid_s in
+      let* ep =
+        Result.map_error
+          (fun e -> Printf.sprintf "peer %S: %s" s e)
+          (Endpoint.parse_or_port rest)
+      in
+      Ok (pid, ep)
+
+let parse_peers s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error (Printf.sprintf "empty peer list %S" s)
+  else
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* peer = parse_peer p in
+        Ok (peer :: acc))
+      (Ok []) parts
+    |> Result.map List.rev
+
+(* ---- netem timeline actions: "T:AT:k=v,..." ---- *)
+
+type netem_action = {
+  at_time : float; (* seconds into the run *)
+  target : Pid.t option; (* None = every node *)
+  spec : Codec.netem_spec;
+}
+
+let netem_keys = [ "loss"; "latency"; "jitter"; "dup"; "reorder"; "peer" ]
+
+(* [range] mirrors the codec's decode-side validation so a spec that
+   parses here also encodes: `Excl - probability in [0,1); `Incl - in
+   [0,1]; `Min - nonnegative seconds. *)
+let float_field ~key ~range v =
+  match float_of_string_opt v with
+  | None -> Error (Printf.sprintf "bad value %S for netem key %S" v key)
+  | Some f ->
+    let ok, want =
+      match range with
+      | `Excl -> ((f >= 0.0 && f < 1.0), "[0,1)")
+      | `Incl -> ((f >= 0.0 && f <= 1.0), "[0,1]")
+      | `Min -> (f >= 0.0, ">= 0")
+    in
+    if ok && not (Float.is_nan f) then Ok f
+    else
+      Error
+        (Printf.sprintf "netem key %S out of range: %s (want %s)" key v want)
+
+let parse_netem_fields s =
+  let kvs = String.split_on_char ',' s |> List.map String.trim in
+  let empty =
+    { Codec.peer = None;
+      n_loss = 0.0;
+      n_latency = 0.0;
+      n_jitter = 0.0;
+      n_dup = 0.0;
+      n_reorder = 0.0 }
+  in
+  let parse_kv spec kv =
+    match String.index_opt kv '=' with
+    | None ->
+      Error (Printf.sprintf "malformed netem field %S (expected key=value)" kv)
+    | Some i ->
+      let key = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      if not (List.mem key netem_keys) then
+        Error
+          (Printf.sprintf "unknown netem key %S (valid keys: %s)" key
+             (String.concat ", " netem_keys))
+      else if key = "peer" then
+        let* p = pid_of ~what:"netem peer" v in
+        Ok { spec with Codec.peer = Some p }
+      else
+        let* f =
+          match key with
+          | "loss" -> float_field ~key ~range:`Excl v
+          | "latency" | "jitter" -> float_field ~key ~range:`Min v
+          | "dup" | "reorder" -> float_field ~key ~range:`Incl v
+          | _ -> assert false
+        in
+        Ok
+          (match key with
+          | "loss" -> { spec with Codec.n_loss = f }
+          | "latency" -> { spec with Codec.n_latency = f }
+          | "jitter" -> { spec with Codec.n_jitter = f }
+          | "dup" -> { spec with Codec.n_dup = f }
+          | "reorder" -> { spec with Codec.n_reorder = f }
+          | _ -> assert false)
+  in
+  if kvs = [] || List.for_all (fun kv -> kv = "") kvs then
+    Error "netem spec needs at least one key=value field"
+  else
+    List.fold_left
+      (fun acc kv ->
+        let* spec = acc in
+        if kv = "" then Ok spec else parse_kv spec kv)
+      (Ok empty) kvs
+
+let parse_netem_action s =
+  (* T:AT:k=v,... - split off the first two colon-fields; the remainder
+     is the key=value list (which contains no colons). *)
+  match String.index_opt s ':' with
+  | None ->
+    Error
+      (Printf.sprintf "malformed netem action %S (expected T:TARGET:k=v,...)"
+         s)
+  | Some i -> (
+    let t_s = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match String.index_opt rest ':' with
+    | None ->
+      Error
+        (Printf.sprintf "malformed netem action %S (expected T:TARGET:k=v,...)"
+           s)
+    | Some j ->
+      let at_s = String.sub rest 0 j in
+      let fields = String.sub rest (j + 1) (String.length rest - j - 1) in
+      let* at_time =
+        match float_of_string_opt t_s with
+        | Some f when f >= 0.0 && not (Float.is_nan f) -> Ok f
+        | _ -> Error (Printf.sprintf "bad netem action time %S" t_s)
+      in
+      let* target =
+        if at_s = "all" then Ok None
+        else if at_s = "" then
+          Error (Printf.sprintf "empty netem action target in %S" s)
+        else
+          let* p = pid_of ~what:"netem action target" at_s in
+          Ok (Some p)
+      in
+      let* spec =
+        Result.map_error
+          (fun e -> Printf.sprintf "netem action %S: %s" s e)
+          (parse_netem_fields fields)
+      in
+      Ok { at_time; target; spec })

@@ -1,0 +1,28 @@
+(** Command-line spec parsing shared by [gmp-node] and [gmp-cluster].
+
+    Fully validated at parse time: a malformed peer or netem flag dies
+    as a clean cmdliner error before any process is spawned, never as a
+    half-started cluster tripping over a bad key mid-run. *)
+
+open Gmp_base
+
+val parse_peer : string -> (Pid.t * Gmp_net.Endpoint.t, string) result
+(** ["PID:PORT"] (loopback) or ["PID:HOST:PORT"]. *)
+
+val parse_peers : string -> ((Pid.t * Gmp_net.Endpoint.t) list, string) result
+(** Comma-separated {!parse_peer} list; must be nonempty. *)
+
+type netem_action = {
+  at_time : float;  (** seconds into the run, [>= 0] *)
+  target : Pid.t option;  (** [None] = every node ("all") *)
+  spec : Codec.netem_spec;
+}
+
+val parse_netem_action : string -> (netem_action, string) result
+(** ["T:TARGET:k=v,..."] — retune fault injection at time [T] on
+    [TARGET] (a pid, or ["all"]). Keys: [loss] (in [\[0,1)]), [latency],
+    [jitter] (seconds, [>= 0]), [dup], [reorder] (in [\[0,1\]]), [peer]
+    (restrict to one incoming link). Unknown keys, malformed floats and
+    out-of-range values are all rejected with messages naming the
+    offending key; the ranges mirror the codec's decode-side validation,
+    so an action that parses also encodes. *)

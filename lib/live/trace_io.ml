@@ -36,21 +36,34 @@ let attach trace ~path =
       end);
   w
 
-let write_arq w ~pid counters =
-  (* One summary line per run, written at clean shutdown: ARQ and
-     fault-injection counters. Not a trace event - the reader skips it when
-     reassembling, [read_arq] extracts it. A SIGKILLed node simply has
-     none, which the harvest treats as "no counters". *)
+(* Summary lines are JSON objects without an "event" member, written at
+   clean shutdown. They are not trace events - the reader skips anything
+   event-less when reassembling, so new summary kinds can appear without
+   breaking old readers - and a SIGKILLed node simply has none, which the
+   harvest treats as "no summary". *)
+
+let write_summary w fields =
   if not w.closed then begin
-    output_string w.oc
-      (J.to_compact_string
-         (J.obj
-            [ ("arq", J.string (Pid.to_string pid));
-              ("counters", J.obj (List.map (fun (k, v) -> (k, J.int v)) counters))
-            ]));
+    output_string w.oc (J.to_compact_string (J.obj fields));
     output_char w.oc '\n';
     flush w.oc
   end
+
+let counters_json counters =
+  J.obj (List.map (fun (k, v) -> (k, J.int v)) counters)
+
+let write_arq w ~pid counters =
+  (* ARQ and fault-injection counters. [read_arq] extracts this line. *)
+  write_summary w
+    [ ("arq", J.string (Pid.to_string pid)); ("counters", counters_json counters) ]
+
+let write_transport w ~pid ~kind counters =
+  (* The transport's own counters (datagrams or connections/frames);
+     [read_transport] extracts this line. *)
+  write_summary w
+    [ ("transport", J.string (Pid.to_string pid));
+      ("kind", J.string kind);
+      ("counters", counters_json counters) ]
 
 let close w =
   if not w.closed then begin
@@ -226,15 +239,18 @@ let read_file path =
    with End_of_file -> close_in ic);
   let lines = List.rev !lines in
   let total = List.length lines in
-  let is_arq_line line =
+  (* Any parsed object without an "event" member is a summary line -
+     including kinds this reader has never heard of, so logs from newer
+     writers still reassemble. *)
+  let is_summary_line line =
     match J.of_string line with
-    | Ok j -> J.member "arq" j <> None
+    | Ok j -> J.to_obj_opt j <> None && J.member "event" j = None
     | Error _ -> false
   in
   let rec go i acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->
-      if is_arq_line line then go (i + 1) acc rest
+      if is_summary_line line then go (i + 1) acc rest
       else (
         match event_of_line line with
         | Ok e -> go (i + 1) (e :: acc) rest
@@ -244,9 +260,10 @@ let read_file path =
   in
   go 0 [] lines
 
-(* The counters summary of one node's log, if it shut down cleanly enough
-   to write one. Unreadable files and torn lines read as "no summary". *)
-let read_arq path =
+(* A counters summary of one node's log, if it shut down cleanly enough
+   to write one. Unreadable files and torn lines read as "no summary".
+   [extract] judges each parsed line; the last match wins. *)
+let scan_summary path extract =
   match
     let ic = open_in path in
     let found = ref None in
@@ -254,23 +271,33 @@ let read_arq path =
        while true do
          let line = input_line ic in
          match J.of_string line with
-         | Ok j when J.member "arq" j <> None -> (
-           match Option.bind (J.member "counters" j) J.to_obj_opt with
-           | None -> ()
-           | Some fields ->
-             found :=
-               Some
-                 (List.filter_map
-                    (fun (k, v) ->
-                      Option.map (fun n -> (k, n)) (J.to_int_opt v))
-                    fields))
-         | _ -> ()
+         | Ok j -> ( match extract j with None -> () | some -> found := some)
+         | Error _ -> ()
        done
      with End_of_file -> close_in ic);
     !found
   with
   | exception Sys_error _ -> None
   | r -> r
+
+let counters_of_json j =
+  Option.map
+    (List.filter_map (fun (k, v) ->
+         Option.map (fun n -> (k, n)) (J.to_int_opt v)))
+    (Option.bind (J.member "counters" j) J.to_obj_opt)
+
+let read_arq path =
+  scan_summary path (fun j ->
+      if J.member "arq" j <> None then counters_of_json j else None)
+
+let read_transport path =
+  scan_summary path (fun j ->
+      match
+        (J.member "transport" j, Option.bind (J.member "kind" j) J.to_string_opt)
+      with
+      | Some _, Some kind ->
+        Option.map (fun cs -> (kind, cs)) (counters_of_json j)
+      | _ -> None)
 
 (* ---- reassembly ---- *)
 

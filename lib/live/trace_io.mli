@@ -19,18 +19,30 @@ val write_arq : writer -> pid:Gmp_base.Pid.t -> (string * int) list -> unit
     [Node.counters]) as one summary line. Written at clean shutdown;
     {!read_file} skips it, {!read_arq} extracts it. *)
 
+val write_transport :
+  writer -> pid:Gmp_base.Pid.t -> kind:string -> (string * int) list -> unit
+(** Append the node's transport counters (from [Node.transport_counters])
+    as one summary line tagged with the transport kind. Written at clean
+    shutdown; {!read_file} skips it, {!read_transport} extracts it. *)
+
 val close : writer -> unit
 
 val event_of_line : string -> (Trace.event, string) result
 (** Parse one log line (inverse of [Export.json_of_event]). *)
 
 val read_file : string -> (Trace.event list, string) result
-(** All events of one node's log, in recorded order ({!write_arq} summary
-    lines are skipped). *)
+(** All events of one node's log, in recorded order. Summary lines — any
+    parsed object without an ["event"] member, including kinds this
+    reader has never heard of — are skipped, so logs written by newer
+    nodes still reassemble. *)
 
 val read_arq : string -> (string * int) list option
-(** The counters summary of one node's log, if present (a SIGKILLed node
-    writes none). *)
+(** The ARQ counters summary of one node's log, if present (a SIGKILLed
+    node writes none). *)
+
+val read_transport : string -> (string * (string * int) list) option
+(** The transport summary of one node's log, if present:
+    [(kind, counters)]. *)
 
 val reassemble : Trace.event list list -> Trace.t
 (** Merge per-node event lists into one trace ordered by

@@ -1,0 +1,68 @@
+(* A network endpoint: host:port, parsed and validated once at the edge.
+
+   The live runtime's address book used to be implicit - "a port on
+   loopback" - which made cross-host clusters unrepresentable. An endpoint
+   is the explicit replacement: a host (IPv4 literal or DNS name, resolved
+   by the transport layer, not here - this module stays pure so the
+   simulator side of gmp_net can depend on it) and a port. Validation is
+   syntactic: the charset of a legal hostname / IPv4 literal and the port
+   range. Whether the host actually resolves is the transport's business,
+   at bind/connect time. *)
+
+type t = { host : string; port : int }
+
+let make ~host ~port =
+  if port < 0 || port > 65535 then
+    invalid_arg (Printf.sprintf "Endpoint.make: port %d out of [0,65535]" port);
+  if host = "" then invalid_arg "Endpoint.make: empty host";
+  { host; port }
+
+let host t = t.host
+let port t = t.port
+let with_port t port = make ~host:t.host ~port
+let loopback ~port = make ~host:"127.0.0.1" ~port
+
+let equal a b = String.equal a.host b.host && Int.equal a.port b.port
+
+(* Hostname labels per RFC 1123: alphanumerics and hyphens, separated by
+   dots; an IPv4 literal is a special case of that charset, so one check
+   covers both. Anything else (spaces, brackets, a second colon) is a
+   malformed endpoint, reported before any socket is touched. *)
+let host_ok h =
+  h <> ""
+  && String.length h <= 253
+  && h.[0] <> '.'
+  && h.[String.length h - 1] <> '.'
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '.')
+       h
+
+let parse s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "bad endpoint %S (expected HOST:PORT)" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | None ->
+      Error (Printf.sprintf "bad endpoint %S: port %S is not a number" s port_s)
+    | Some port when port < 0 || port > 65535 ->
+      Error (Printf.sprintf "bad endpoint %S: port %d out of [0,65535]" s port)
+    | Some port ->
+      if host_ok host then Ok { host; port }
+      else Error (Printf.sprintf "bad endpoint %S: malformed host %S" s host))
+
+(* A bare port means loopback: the pre-endpoint address book's notation,
+   still the convenient one for single-host clusters. *)
+let parse_or_port s =
+  match int_of_string_opt s with
+  | Some port when port >= 0 && port <= 65535 -> Ok (loopback ~port)
+  | Some port -> Error (Printf.sprintf "port %d out of [0,65535]" port)
+  | None -> parse s
+
+let to_string t = Printf.sprintf "%s:%d" t.host t.port
+let pp ppf t = Fmt.pf ppf "%s:%d" t.host t.port

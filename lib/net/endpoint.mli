@@ -1,0 +1,37 @@
+(** A network endpoint: [host:port], parsed and validated once at the
+    edge.
+
+    The explicit replacement for the live runtime's implicit
+    "port-on-loopback" address book: a host (IPv4 literal or DNS name)
+    plus a port. This module is pure - syntactic validation only; name
+    resolution belongs to the transport that binds or connects. *)
+
+type t
+
+val make : host:string -> port:int -> t
+(** Raises [Invalid_argument] on an empty host or a port outside
+    [0,65535] (0 = "pick an ephemeral port" at bind time). *)
+
+val host : t -> string
+val port : t -> int
+
+val with_port : t -> int -> t
+(** The same host with another port (e.g. the ephemeral port actually
+    bound). *)
+
+val loopback : port:int -> t
+(** [127.0.0.1:port]. *)
+
+val equal : t -> t -> bool
+
+val parse : string -> (t, string) result
+(** Parse ["HOST:PORT"]. The host must be a legal hostname / IPv4 literal
+    (RFC 1123 charset), the port a number in [0,65535]; errors name the
+    offending part. *)
+
+val parse_or_port : string -> (t, string) result
+(** Like {!parse}, but a bare ["PORT"] means loopback - the pre-endpoint
+    notation, still convenient for single-host clusters. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

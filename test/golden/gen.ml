@@ -109,4 +109,10 @@ let () =
   List.iter (fun (name, msg) -> write dir name (Codec.encode_msg msg)) messages;
   List.iter
     (fun (name, frame) -> write dir name (Codec.encode_frame frame))
-    frames
+    frames;
+  (* The TCP stream encoding of a frame sequence is exactly the
+     concatenation of the frames' datagram bytes (the codec header is
+     self-delimiting, so framing adds no envelope) - pinned so a stream
+     decoder change cannot silently grow one. *)
+  write dir "stream_frames"
+    (String.concat "" (List.map (fun (_, f) -> Codec.encode_frame f) frames))

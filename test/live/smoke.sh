@@ -4,17 +4,21 @@
 # view, and pass the GMP checker on the reassembled trace (exit 0 from
 # gmp-cluster already implies zero violations).
 #
+# Usage: smoke.sh CLUSTER [udp|tcp] - the same scenarios run over either
+# transport (default udp).
+#
 # Wall-clock tests on shared CI machines are noisy, so timeouts are
 # generous and each scenario gets one retry before failing the job.
 set -u
 
 CLUSTER="$1"
+TRANSPORT="${2:-udp}"
 
 run_case() {
   desc="$1"; shift
   expect_view="$1"; shift
   for attempt in 1 2; do
-    out=$("$CLUSTER" "$@" --json 2>&1)
+    out=$("$CLUSTER" --transport "$TRANSPORT" "$@" --json 2>&1)
     code=$?
     if [ "$code" -eq 0 ]; then
       view=$(printf '%s' "$out" | sed -n 's/.*"final_view": \[\([^]]*\)\].*/\1/p' | tr -d '" ')
@@ -39,4 +43,4 @@ run_case "SIGKILL non-coordinator p2" "p0,p1,p3,p4" \
 run_case "SIGKILL coordinator p0" "p1,p2,p3,p4" \
   --nodes 5 --run-for 10 --kill 3:p0 || exit 1
 
-echo "live smoke passed"
+echo "live smoke passed ($TRANSPORT)"

@@ -12,11 +12,18 @@
 #   - retransmit_rounds bounded (exponential backoff engaged: a fixed
 #     0.25s rto with five nodes would burn thousands of rounds here)
 #
+# Usage: soak.sh CLUSTER [udp|tcp]. Over TCP the same weather is injected
+# at message ingress, and the gate additionally requires the transport
+# counters to show >= 1 reconnect: the SIGKILL tears down live
+# connections, so the survivors' ARQ retransmissions must have forced the
+# connection machinery through its reconnect path.
+#
 # Wall-clock tests on shared CI machines are noisy, so timeouts are
 # generous and each seed gets one retry before failing the job.
 set -u
 
 CLUSTER="$1"
+TRANSPORT="${2:-udp}"
 
 # Every surviving node's counter summary must show the weather and the
 # recovery machinery both engaged, without a retransmit storm.
@@ -59,10 +66,27 @@ check_arq() {
   return 0
 }
 
+# TCP only: the kill must have exercised reconnection somewhere in the
+# fleet. (UDP has no connections, so there is nothing to gate on.)
+check_transport() {
+  out="$1"
+  [ "$TRANSPORT" = "tcp" ] || return 0
+  reconnects=0
+  for v in $(printf '%s' "$out" | grep -o '"reconnects": [0-9]*' | grep -o '[0-9]*$'); do
+    reconnects=$((reconnects + v))
+  done
+  echo "transport: reconnects=$reconnects"
+  if [ "$reconnects" -lt 1 ]; then
+    echo "expected >= 1 TCP reconnect after SIGKILL+join, saw none" >&2
+    return 1
+  fi
+  return 0
+}
+
 run_seed() {
   seed="$1"
   for attempt in 1 2; do
-    out=$("$CLUSTER" --nodes 5 --run-for 14 \
+    out=$("$CLUSTER" --transport "$TRANSPORT" --nodes 5 --run-for 14 \
       --loss 0.1 --latency 0.02 --jitter 0.01 --dup 0.05 --reorder 0.1 \
       --netem-seed "$seed" \
       --kill 4:p2 --join 6:p7 \
@@ -72,7 +96,7 @@ run_seed() {
       view=$(printf '%s' "$out" | sed -n 's/.*"final_view": \[\([^]]*\)\].*/\1/p' | tr -d '" ')
       if [ "$view" != "p0,p1,p3,p4,p7" ]; then
         echo "attempt $attempt: seed $seed converged to [$view]" >&2
-      elif check_arq "$out"; then
+      elif check_arq "$out" && check_transport "$out"; then
         echo "ok: seed $seed -> [$view] (attempt $attempt)"
         return 0
       fi
@@ -89,4 +113,4 @@ run_seed() {
 run_seed 1 || exit 1
 run_seed 2 || exit 1
 
-echo "live soak passed"
+echo "live soak passed ($TRANSPORT)"

@@ -558,6 +558,178 @@ let test_reassemble_order () =
     (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
     "merged order" [ (0, 1); (1, 1); (1, 2); (0, 2) ] order
 
+(* ---- framing: the TCP stream decoder over the v2 codec ---- *)
+
+let frame_golden_names =
+  [ "frame_data"; "frame_ack"; "frame_ctrl_shutdown"; "frame_ctrl_blackhole";
+    "frame_ctrl_unblackhole"; "frame_ctrl_set_netem";
+    "frame_ctrl_set_netem_default"; "frame_ctrl_ack" ]
+
+let test_framing_stream_golden () =
+  (* The pinned stream bytes are the concatenation of the frame goldens;
+     one whole-stream feed must cut them back out exactly. *)
+  let stream = read_golden "stream_frames" in
+  check Alcotest.string "stream golden = concat of frame goldens"
+    (String.concat "" (List.map read_golden frame_golden_names))
+    stream;
+  let d = Framing.create () in
+  match Framing.feed_string d stream with
+  | Error e -> Alcotest.failf "poisoned on golden stream: %s" (result_of_error e)
+  | Ok frames ->
+    check
+      (Alcotest.list Alcotest.string)
+      "every frame extracted whole"
+      (List.map read_golden frame_golden_names)
+      frames;
+    check Alcotest.int "nothing pending" 0 (Framing.pending d);
+    check Alcotest.int "no partial feeds" 0 (Framing.partial_feeds d)
+
+let feed_in_chunks d stream sizes =
+  (* Feed [stream] in chunks cycling through [sizes]; collect frames. *)
+  let out = ref [] in
+  let n = String.length stream in
+  let pos = ref 0 and k = ref 0 in
+  while !pos < n do
+    let len = min (List.nth sizes (!k mod List.length sizes)) (n - !pos) in
+    (match Framing.feed_string d (String.sub stream !pos len) with
+    | Ok frames -> out := List.rev_append frames !out
+    | Error e -> Alcotest.failf "poisoned mid-stream: %s" (result_of_error e));
+    pos := !pos + len;
+    incr k
+  done;
+  List.rev !out
+
+let test_framing_split_across_reads () =
+  (* However the kernel slices the stream - byte-by-byte, primes, huge -
+     the same frames come out, and byte-level slicing must show partial
+     reads. *)
+  let stream = read_golden "stream_frames" in
+  let expect = List.map read_golden frame_golden_names in
+  List.iter
+    (fun sizes ->
+      let d = Framing.create () in
+      check
+        (Alcotest.list Alcotest.string)
+        "frames survive re-slicing" expect
+        (feed_in_chunks d stream sizes);
+      check Alcotest.int "all counted" (List.length expect) (Framing.frames d))
+    [ [ 1 ]; [ 2; 3; 5; 7; 11 ]; [ 64 ]; [ 1; 1024 ] ];
+  let d = Framing.create () in
+  ignore (feed_in_chunks d stream [ 1 ]);
+  check Alcotest.bool "byte-by-byte slicing shows partial feeds" true
+    (Framing.partial_feeds d > 0)
+
+let u32be n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.to_string b
+
+let test_framing_hostile_streams () =
+  let feed_err s =
+    let d = Framing.create () in
+    match Framing.feed_string d s with
+    | Ok _ -> Alcotest.failf "hostile stream %S accepted" s
+    | Error e ->
+      (* Poisoned: the same error again on any later feed, even a benign
+         one - the connection owner must close. *)
+      (match Framing.feed_string d (read_golden "frame_ack") with
+      | Error e' ->
+        check Alcotest.bool "stays poisoned with the same error" true (e = e')
+      | Ok _ -> Alcotest.fail "poisoned decoder accepted more bytes");
+      e
+  in
+  (match feed_err ("XY" ^ read_golden "frame_ack") with
+  | Codec.Bad_magic -> ()
+  | e -> Alcotest.failf "wanted Bad_magic, got %s" (result_of_error e));
+  (match feed_err ("GM\x7f" ^ u32be 1 ^ "z") with
+  | Codec.Unsupported_version 0x7f -> ()
+  | e -> Alcotest.failf "wanted Unsupported_version, got %s" (result_of_error e));
+  (match feed_err ("GM" ^ String.make 1 (Char.chr Codec.version) ^ u32be (Codec.max_frame + 1)) with
+  | Codec.Oversized _ -> ()
+  | e -> Alcotest.failf "wanted Oversized, got %s" (result_of_error e));
+  (* A truncated tail is not an error - just an incomplete frame. *)
+  let d = Framing.create () in
+  let ack = read_golden "frame_ack" in
+  (match Framing.feed_string d (String.sub ack 0 (String.length ack - 1)) with
+  | Ok [] -> check Alcotest.bool "bytes pending" true (Framing.pending d > 0)
+  | Ok _ -> Alcotest.fail "incomplete frame extracted"
+  | Error e -> Alcotest.failf "truncation poisoned: %s" (result_of_error e));
+  (* A sound header with a hostile body still comes out as one unit: body
+     judgment belongs to decode_frame, and must not kill the stream. *)
+  let evil = "GM" ^ String.make 1 (Char.chr Codec.version) ^ u32be 3 ^ "\xff\xff\xff" in
+  let d = Framing.create () in
+  match Framing.feed_string d (evil ^ ack) with
+  | Error e -> Alcotest.failf "hostile body poisoned the stream: %s" (result_of_error e)
+  | Ok frames ->
+    check Alcotest.int "both frames extracted" 2 (List.length frames);
+    check Alcotest.bool "hostile body rejected by the codec, not the stream"
+      true
+      (Result.is_error (Codec.decode_frame (List.nth frames 0)));
+    check Alcotest.bool "following frame unharmed" true
+      (Codec.decode_frame (List.nth frames 1) = Ok (Codec.Ack { src = p 4; ack_next = 17 }))
+
+(* ---- trace_io: summary lines and forward compatibility ---- *)
+
+let test_unknown_summary_line_skipped () =
+  (* Satellite: a reader must skip summary kinds it has never heard of
+     (any object without an "event" member), so logs written by newer
+     nodes still reassemble - even with the unknown line mid-file, where
+     torn-line tolerance cannot save it. *)
+  with_temp_file (fun path ->
+      let trace = Trace.create () in
+      let w = Trace_io.attach trace ~path in
+      let record (e : Trace.event) =
+        Trace.record trace ~owner:e.owner ~index:e.index ~time:e.time ~vc:e.vc
+          e.kind
+      in
+      record (List.nth sample_events 0);
+      Trace_io.write_arq w ~pid:(p 0) [ ("retransmits", 3) ];
+      record (List.nth sample_events 1);
+      Trace_io.close w;
+      (* Splice in a summary kind from the future, mid-file. *)
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines =
+        match List.rev !lines with
+        | first :: rest ->
+          first :: "{\"future_summary\":{\"x\":1},\"schema\":9}" :: rest
+        | [] -> []
+      in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      (match Trace_io.read_file path with
+      | Error m -> Alcotest.failf "unknown summary line broke the reader: %s" m
+      | Ok events -> check Alcotest.int "both events survive" 2 (List.length events));
+      check Alcotest.bool "arq summary still found" true
+        (Trace_io.read_arq path = Some [ ("retransmits", 3) ]))
+
+let test_transport_summary_roundtrip () =
+  with_temp_file (fun path ->
+      let trace = Trace.create () in
+      let w = Trace_io.attach trace ~path in
+      Trace_io.write_arq w ~pid:(p 2) [ ("retransmits", 1) ];
+      Trace_io.write_transport w ~pid:(p 2) ~kind:"tcp"
+        [ ("connects", 4); ("reconnects", 3) ];
+      Trace_io.close w;
+      check Alcotest.bool "transport summary extracted" true
+        (Trace_io.read_transport path
+        = Some ("tcp", [ ("connects", 4); ("reconnects", 3) ]));
+      check Alcotest.bool "arq unaffected" true
+        (Trace_io.read_arq path = Some [ ("retransmits", 1) ]);
+      match Trace_io.read_file path with
+      | Ok [] -> ()
+      | Ok _ -> Alcotest.fail "summary lines leaked into the event stream"
+      | Error m -> Alcotest.failf "read failed: %s" m)
+
 let suite =
   [ Alcotest.test_case "golden: covers every constructor" `Quick
       test_golden_covers_every_constructor;
@@ -582,4 +754,14 @@ let suite =
       Alcotest.test_case "trace_io: writer + torn last line" `Quick
         test_writer_and_torn_line;
       Alcotest.test_case "trace_io: reassembly order" `Quick
-        test_reassemble_order ]
+        test_reassemble_order;
+      Alcotest.test_case "framing: golden stream decodes whole" `Quick
+        test_framing_stream_golden;
+      Alcotest.test_case "framing: survives arbitrary read splits" `Quick
+        test_framing_split_across_reads;
+      Alcotest.test_case "framing: hostile streams poison, bodies don't" `Quick
+        test_framing_hostile_streams;
+      Alcotest.test_case "trace_io: unknown summary lines skipped" `Quick
+        test_unknown_summary_line_skipped;
+      Alcotest.test_case "trace_io: transport summary roundtrip" `Quick
+        test_transport_summary_roundtrip ]

@@ -23,6 +23,7 @@ let () =
       ("epistemic", Test_epistemic.suite);
       ("knowledge", Test_knowledge.suite);
       ("codec", Test_codec.suite);
+      ("transport", Test_transport.suite);
       ("netem", Test_netem.suite);
       ("live-trace", Test_live_trace.suite);
       ("scale", Test_scale.suite);

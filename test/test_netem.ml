@@ -145,12 +145,14 @@ let test_live_fifo_exactly_once () =
   let weather = Netem.of_latency ~loss:0.2 ~duplicate:0.2 ~reorder:0.3 ~jitter:0.01 0.01 in
   let rpid = p 1 and spid = p 0 in
   let recv =
-    Node.create ~rto:0.05 ~netem:weather ~netem_seed:7 ~pid:rpid ~port:0 ()
+    Node.create ~rto:0.05 ~netem:weather ~netem_seed:7 ~pid:rpid
+      ~bind:(Endpoint.loopback ~port:0) ()
   in
   let send =
     Node.create
-      ~peers:[ (rpid, Node.port recv) ]
-      ~rto:0.05 ~netem:weather ~netem_seed:8 ~pid:spid ~port:0 ()
+      ~peers:[ (rpid, Node.endpoint recv) ]
+      ~rto:0.05 ~netem:weather ~netem_seed:8 ~pid:spid
+      ~bind:(Endpoint.loopback ~port:0) ()
   in
   let got = ref [] in
   let rplat = Node.platform recv in
@@ -203,7 +205,10 @@ let test_backoff_caps_retransmit_storm () =
     port
   in
   let send =
-    Node.create ~peers:[ (p 9, dead_port) ] ~rto:0.05 ~pid:(p 0) ~port:0 ()
+    Node.create
+      ~peers:[ (p 9, Endpoint.loopback ~port:dead_port) ]
+      ~rto:0.05 ~pid:(p 0)
+      ~bind:(Endpoint.loopback ~port:0) ()
   in
   let splat = Node.platform send in
   splat.Gmp_platform.Platform.send ~dst:(p 9) ~category (app 0);
@@ -223,7 +228,8 @@ let test_ctrl_survives_loss () =
   let node =
     Node.create
       ~netem:(Netem.make ~loss:0.5 ())
-      ~netem_seed:1 ~pid:(p 0) ~port:0 ()
+      ~netem_seed:1 ~pid:(p 0)
+      ~bind:(Endpoint.loopback ~port:0) ()
   in
   let port = Node.port node in
   let d = Domain.spawn (fun () -> Node.run ~until:30.0 node) in
@@ -264,7 +270,9 @@ let test_live_group_checker_clean () =
   let nodes =
     List.map
       (fun pid ->
-        (pid, Node.create ~rto:0.1 ~netem:weather ~netem_seed:(Pid.id pid) ~pid ~port:0 ()))
+        ( pid,
+          Node.create ~rto:0.1 ~netem:weather ~netem_seed:(Pid.id pid) ~pid
+            ~bind:(Endpoint.loopback ~port:0) () ))
       initial
   in
   List.iter
@@ -272,7 +280,7 @@ let test_live_group_checker_clean () =
       List.iter
         (fun (peer, peer_node) ->
           if not (Pid.equal pid peer) then
-            Node.add_peer node peer ~port:(Node.port peer_node))
+            Node.add_peer node peer (Node.endpoint peer_node))
         nodes)
     nodes;
   let config =
