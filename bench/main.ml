@@ -543,7 +543,10 @@ let scale_run ~name ~n scenario =
          ("minor_words", J.float minor_words);
          ("minor_words_per_event", J.float words_per_event);
          ("checker_s", J.float checker_s);
-         ("violations", J.int (List.length violations)) ]
+         ("violations", J.int (List.length violations));
+         (* deterministic snapshot (counters, detection-latency histograms):
+            same seed, same cell -> byte-identical text, any jobs value *)
+         ("metrics", Gmp_obs.Obs.Snapshot.to_json (Group.metrics group)) ]
        @ baseline_fields)
   in
   { c_row = row; c_json = json; c_fails = fails; c_wall = wall }

@@ -18,6 +18,7 @@ open Gmp_base
 open Gmp_core
 open Cmdliner
 module J = Json
+module Obs = Gmp_obs.Obs
 
 (* ---- workload specs ---- *)
 
@@ -260,6 +261,7 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
   let node_bin = match node_bin with Some b -> b | None -> default_node_bin () in
   let ports = List.map (fun p -> (p, alloc_port transport)) all_pids in
   let ctrl = Gmp_live.Ctrl.create ~transport () in
+  let kill_times = ref [] in
   let harness_errors = ref [] in
   let note fmt = Printf.ksprintf (fun m -> harness_errors := m :: !harness_errors) fmt in
   let send_ctrl ~what ~port cmd =
@@ -305,6 +307,9 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
           (try Unix.kill proc.ospid Sys.sigkill
            with Unix.Unix_error _ -> note "kill %s failed" (Pid.to_string p));
           ignore (Unix.waitpid [] proc.ospid);
+          (* a SIGKILLed node logs no Crashed event; remember the wall
+             instant so the latency derivation has its t0 *)
+          kill_times := (p, Unix.gettimeofday ()) :: !kill_times;
           proc.killed <- true;
           proc.reaped <- true)
       | Join p ->
@@ -352,6 +357,27 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
           targets)
     timeline;
   sleep_until run_for;
+  (* Scrape each survivor's metrics registry over the same acked channel
+     before asking it to stop - a fallback snapshot in case its final
+     metrics line never lands in the log. The log's own line wins later;
+     a node that already quit simply yields nothing here, which is fine. *)
+  let scraped =
+    List.filter_map
+      (fun p ->
+        if p.killed || p.reaped then None
+        else
+          Option.bind
+            (Gmp_live.Ctrl.query ctrl ~attempts:20 ~host:bind_host
+               ~port:p.port)
+            (fun payload ->
+              match J.of_string payload with
+              | Error _ -> None
+              | Ok j -> (
+                match Obs.Snapshot.of_json j with
+                | Error _ -> None
+                | Ok snap -> Some (p.pid, snap))))
+      !procs
+  in
   (* Ask survivors to stop over the acked channel. A node that already
      exited on its own (protocol quit) never acks - that is not an error,
      so no [note] here; the nodes' own --run-for is the last resort. *)
@@ -432,6 +458,51 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
       !procs
   in
   let trace = Gmp_live.Trace_io.reassemble (List.map snd per_node) in
+  (* Per-node registry snapshots: a clean shutdown leaves a final metrics
+     line in the log (most complete, wins); a SIGKILLed node contributes
+     its last periodic line; the pre-shutdown scrape covers a node whose
+     log was lost. Detection latency is a cluster-level fact, derived from
+     the reassembled trace with the orchestrator's own kill instants as
+     the crash times (end-of-run SIGKILLs of stuck nodes are reaping, not
+     injected crashes, so [stuck] is deliberately absent). *)
+  let node_metrics =
+    List.filter_map
+      (fun p ->
+        match Gmp_live.Trace_io.read_metrics p.log_file with
+        | Some snap -> Some (p.pid, snap)
+        | None ->
+          Option.map (fun s -> (p.pid, s)) (List.assoc_opt p.pid scraped))
+      !procs
+  in
+  let metrics =
+    let latency = Obs.create () in
+    Latency.observe ~crashes:(List.rev !kill_times) latency trace;
+    try
+      Obs.Snapshot.merge_all
+        (Obs.snapshot latency :: List.map snd node_metrics)
+    with Invalid_argument m ->
+      note "metrics merge failed: %s" m;
+      Obs.snapshot latency
+  in
+  let latency_summary =
+    let dist name =
+      match Obs.Snapshot.find metrics name with
+      | Some (Obs.Snapshot.Histogram h) ->
+        let q p =
+          match Obs.Snapshot.quantile h p with
+          | Some v when Float.is_finite v -> J.float v
+          | _ -> J.null
+        in
+        J.obj
+          [ ("count", J.int (Obs.Snapshot.count h));
+            ("p50", q 0.5);
+            ("p99", q 0.99) ]
+      | _ -> J.obj [ ("count", J.int 0); ("p50", J.null); ("p99", J.null) ]
+    in
+    [ ( "crash_to_first_suspicion", dist Latency.crash_to_first_suspicion );
+      ("crash_to_view_installed", dist Latency.crash_to_view_installed);
+      ("join_to_installed", dist Latency.join_to_installed) ]
+  in
   let violations =
     Checker.check_run ~liveness trace ~initial ~surviving_views ~dead
       ~final_view
@@ -478,6 +549,8 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
                          :: ("kind", J.string kind)
                          :: List.map (fun (k, v) -> (k, J.int v)) cs))
                      transports) );
+              ("metrics", Obs.Snapshot.to_json metrics);
+              ("latency", J.obj latency_summary);
               ("harness_errors", J.list (List.map J.string harness_errors));
               ("logs", J.string dir);
               ("exit", J.int exit_code) ]))
@@ -503,6 +576,9 @@ let run_cluster n joiners run_for kills joins blackholes unblackholes netems
           Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
           cs)
       transports;
+    if Obs.Snapshot.metrics metrics <> [] then
+      Fmt.pr "cluster metrics (per-node registries merged):@.%a@."
+        Obs.Snapshot.pp metrics;
     List.iter (fun m -> Fmt.pr "harness error: %s@." m) harness_errors;
     (match violations with
     | [] -> Fmt.pr "checker: OK (GMP-0..GMP-5 hold on the live trace)@."

@@ -182,6 +182,15 @@ let log_term =
     & info [ "log" ] ~docv:"PATH"
         ~doc:"Event log (JSON lines, one per trace event, flushed per line).")
 
+let metrics_interval_term =
+  Arg.(
+    value & opt float 5.0
+    & info [ "metrics-interval" ] ~docv:"SECS"
+        ~doc:
+          "Period between metrics snapshot lines in the event log (0 \
+           disables them). A final snapshot is always written at clean \
+           shutdown; the periodic lines are what survives a SIGKILL.")
+
 let run_for_term =
   Arg.(
     value & opt (some float) None
@@ -200,7 +209,7 @@ let verbose_term =
 
 let main self transport port bind peers peer_list initial joiner contacts
     hb_interval hb_timeout rto rto_max loss latency jitter dup reorder
-    netem_seed log_path run_for join_retry verbose =
+    netem_seed log_path metrics_interval run_for join_retry verbose =
   let netem =
     try
       Ok
@@ -244,6 +253,15 @@ let main self transport port bind peers peer_list initial joiner contacts
     in
     if joiner then
       Member.start_join ~retry_interval:join_retry member ~contacts;
+    let platform = Gmp_live.Node.platform node in
+    let write_metrics () =
+      Gmp_live.Trace_io.write_metrics writer ~pid:self
+        ~at:(platform.Gmp_platform.Platform.now ())
+        (Gmp_live.Node.metrics node)
+    in
+    if metrics_interval > 0.0 then
+      platform.Gmp_platform.Platform.every ~interval:metrics_interval
+        write_metrics;
     log
       (Fmt.str "listening on %a (%s)" Endpoint.pp
          (Gmp_live.Node.endpoint node)
@@ -258,6 +276,7 @@ let main self transport port bind peers peer_list initial joiner contacts
     Gmp_live.Trace_io.write_transport writer ~pid:self
       ~kind:(Gmp_live.Node.transport_kind node)
       (Gmp_live.Node.transport_counters node);
+    write_metrics ();
     Gmp_live.Trace_io.close writer;
     Gmp_live.Node.close node;
     `Ok 0
@@ -276,7 +295,7 @@ let cmd =
        $ peers_term $ peer_list_term $ initial_term $ joiner_term
        $ contacts_term $ hb_interval_term $ hb_timeout_term $ rto_term
        $ rto_max_term $ loss_term $ latency_term $ jitter_term $ dup_term
-       $ reorder_term $ netem_seed_term $ log_term $ run_for_term
-       $ join_retry_term $ verbose_term))
+       $ reorder_term $ netem_seed_term $ log_term $ metrics_interval_term
+       $ run_for_term $ join_retry_term $ verbose_term))
 
 let () = exit (Cmd.eval' cmd)

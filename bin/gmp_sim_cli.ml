@@ -407,8 +407,20 @@ let explore_cmd =
              rebuild-and-replay oracle engine; both produce byte-identical \
              outcomes.")
   in
-  let go depth budget weaken expect_violation json jobs snapshots procs horizon
-      slack crashes suspicions isolations seed =
+  let replay_out_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay-out" ] ~docv:"FILE"
+          ~doc:
+            "On a violation, write the counterexample to $(docv) as JSON: \
+             the model parameters plus the minimal schedule, everything \
+             needed to replay the failure locally. Written only when a \
+             counterexample exists; a nightly deep-explore job uploads it \
+             as its failure artifact.")
+  in
+  let go depth budget weaken expect_violation json jobs snapshots replay_out
+      procs horizon slack crashes suspicions isolations seed =
     let base = if weaken then E.sensitivity ~seed () else E.assurance ~seed () in
     let opt v field = Option.value v ~default:field in
     let model =
@@ -442,6 +454,29 @@ let explore_cmd =
     let code =
       if found = expect_violation then 0 else if found then 2 else 3
     in
+    (match (replay_out, outcome.E.counterexample) with
+    | Some path, Some cx ->
+      let module J = Gmp_base.Json in
+      let doc =
+        J.obj
+          [ ("mode", J.string (if weaken then "sensitivity" else "assurance"));
+            ("seed", J.int seed);
+            ("n", J.int model.E.n);
+            ("depth", J.int depth);
+            ("budget", J.int budget);
+            ("injections", J.int cx.E.cx_injections);
+            ( "violations",
+              J.list (List.map Export.json_of_violation cx.E.cx_violations) );
+            ( "schedule",
+              J.list (List.map J.string (E.describe model cx.E.cx_choices)) )
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (J.to_compact_string doc);
+      output_char oc '\n';
+      close_out oc;
+      if not json then Fmt.pr "counterexample replay written to %s@." path
+    | _ -> ());
     if json then begin
       let module J = Gmp_base.Json in
       let s = outcome.E.stats in
@@ -499,9 +534,9 @@ let explore_cmd =
           (bounded model checking) and run the GMP safety checker on each.")
     Term.(
       const go $ depth_term $ budget_term $ weaken_term $ expect_violation_term
-      $ json_term $ jobs_term $ snapshots_term $ procs_term $ horizon_term
-      $ slack_term $ crashes_term $ suspicions_term $ isolations_term
-      $ seed_term)
+      $ json_term $ jobs_term $ snapshots_term $ replay_out_term $ procs_term
+      $ horizon_term $ slack_term $ crashes_term $ suspicions_term
+      $ isolations_term $ seed_term)
 
 (* ---- table1 ---- *)
 

@@ -36,6 +36,7 @@ type ctrl =
   | Blackhole of Pid.t
   | Unblackhole of Pid.t
   | Set_netem of netem_spec
+  | Get_metrics
 
 type frame =
   | Data of {
@@ -52,6 +53,10 @@ type frame =
          injects because the sender retries until acked. Commands are
          idempotent, so replays caused by a lost ack are harmless. *)
   | Ctrl_ack of { token : int }
+  | Metrics of { token : int; payload : string }
+      (* Reply to [Ctrl Get_metrics]: the queried node's registry snapshot
+         as compact JSON text. Doubles as the command's ack - the sender
+         retries Get_metrics until a Metrics frame with its token lands. *)
 
 type error =
   | Truncated of string
@@ -216,6 +221,7 @@ let add_ctrl buf = function
     add_f64 buf n_jitter;
     add_f64 buf n_dup;
     add_f64 buf n_reorder
+  | Get_metrics -> add_u8 buf 4
 
 let add_body buf = function
   | Data { src; chan_seq; vc; msg } ->
@@ -235,6 +241,10 @@ let add_body buf = function
   | Ctrl_ack { token } ->
     add_u8 buf 3;
     add_u32 buf token
+  | Metrics { token; payload } ->
+    add_u8 buf 4;
+    add_u32 buf token;
+    add_string buf payload
 
 let encode_msg msg =
   let buf = Buffer.create 64 in
@@ -415,6 +425,7 @@ let get_ctrl c =
     let n_dup = get_prob c "netem dup" in
     let n_reorder = get_prob c "netem reorder" in
     Set_netem { peer; n_loss; n_latency; n_jitter; n_dup; n_reorder }
+  | 4 -> Get_metrics
   | t -> raise (Fail (Malformed (Printf.sprintf "ctrl tag %d" t)))
 
 let get_body c =
@@ -434,6 +445,10 @@ let get_body c =
     let cmd = get_ctrl c in
     Ctrl { token; cmd }
   | 3 -> Ctrl_ack { token = get_u32 c "ctrl-ack token" }
+  | 4 ->
+    let token = get_u32 c "metrics token" in
+    let payload = get_string c "metrics payload" in
+    Metrics { token; payload }
   | t -> raise (Fail (Malformed (Printf.sprintf "frame kind %d" t)))
 
 let finish c v =

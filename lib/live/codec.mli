@@ -35,6 +35,9 @@ type ctrl =
   | Blackhole of Pid.t  (** silently drop all traffic from this peer *)
   | Unblackhole of Pid.t
   | Set_netem of netem_spec  (** retune fault injection at runtime *)
+  | Get_metrics
+      (** scrape the node's metrics registry; answered with {!Metrics}
+          rather than a bare [Ctrl_ack] *)
 
 type frame =
   | Data of {
@@ -50,6 +53,10 @@ type frame =
           same token after applying [cmd]; senders retry until acked, so
           fault commands survive the loss they inject *)
   | Ctrl_ack of { token : int }
+  | Metrics of { token : int; payload : string }
+      (** reply to [Ctrl Get_metrics]: the node's registry snapshot as
+          compact JSON text; carries the request's token, so it doubles as
+          the ack the retrying sender waits for *)
 
 type error =
   | Truncated of string

@@ -10,6 +10,11 @@
    up. Tokens only pair acks with commands - the node keeps no dedup
    state, which idempotence makes safe.
 
+   Queries ride the same machinery with a richer reply: [Get_metrics] is
+   answered by a [Metrics] frame carrying the snapshot, whose token match
+   IS the ack. Both legs therefore share one retry loop parameterized by
+   an accept predicate over decoded frames.
+
    The client speaks whichever transport the cluster runs: datagrams to a
    UDP node, framed streams to a TCP one (cached per target, reconnected
    on any error - the retry loop that already absorbs loss absorbs
@@ -61,24 +66,27 @@ let resolve ~host ~port =
 
 (* ---- UDP leg ---- *)
 
-(* Drain everything queued on the socket; true iff an ack for [token] was
-   among it. Anything else (stray acks from earlier commands, garbage) is
+(* Drain everything queued on the socket; the first frame [accept] takes
+   wins. Anything else (stray acks from earlier commands, garbage) is
    discarded. *)
-let rec udp_drain t sock ~token acked =
+let rec udp_drain t sock ~accept found =
   match Unix.recvfrom sock t.buf 0 (Bytes.length t.buf) [] with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-    acked
+    found
   | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNREFUSED), _, _) ->
-    udp_drain t sock ~token acked
+    udp_drain t sock ~accept found
   | n, _ ->
-    let acked =
-      match Codec.decode_frame (Bytes.sub_string t.buf 0 n) with
-      | Ok (Codec.Ctrl_ack { token = tk }) -> acked || tk = token
-      | Ok _ | Error _ -> acked
+    let found =
+      match found with
+      | Some _ -> found
+      | None -> (
+        match Codec.decode_frame (Bytes.sub_string t.buf 0 n) with
+        | Ok frame -> accept frame
+        | Error _ -> None)
     in
-    udp_drain t sock ~token acked
+    udp_drain t sock ~accept found
 
-let udp_attempt t sock ~addr ~token ~interval bytes =
+let udp_attempt t sock ~addr ~accept ~interval bytes =
   (try
      ignore
        (Unix.sendto sock (Bytes.of_string bytes) 0 (String.length bytes) []
@@ -87,15 +95,19 @@ let udp_attempt t sock ~addr ~token ~interval bytes =
    with Unix.Unix_error _ -> ());
   let deadline = Unix.gettimeofday () +. interval in
   let rec wait () =
-    if udp_drain t sock ~token false then true
-    else
+    match udp_drain t sock ~accept None with
+    | Some _ as r -> r
+    | None -> (
       let remaining = deadline -. Unix.gettimeofday () in
-      if remaining <= 0.0 then false
+      if remaining <= 0.0 then None
       else
         match Unix.select [ sock ] [] [] remaining with
-        | [ _ ], _, _ -> if udp_drain t sock ~token false then true else wait ()
-        | _ -> false
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        | [ _ ], _, _ -> (
+          match udp_drain t sock ~accept None with
+          | Some _ as r -> r
+          | None -> wait ())
+        | _ -> None
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ())
   in
   wait ()
 
@@ -155,20 +167,20 @@ let tcp_write c ~deadline bytes =
     | exception Unix.Unix_error (_, _, _) -> raise Conn_dead
   done
 
-(* Read until the matching ack or the deadline; raises [Conn_dead] on
-   EOF, read errors or a desynchronized stream. *)
-let tcp_wait_ack t c ~token ~deadline =
-  let saw_ack frames =
-    List.exists
+(* Read until a frame [accept] takes or the deadline; raises [Conn_dead]
+   on EOF, read errors or a desynchronized stream. *)
+let tcp_wait t c ~accept ~deadline =
+  let scan frames =
+    List.find_map
       (fun raw ->
         match Codec.decode_frame raw with
-        | Ok (Codec.Ctrl_ack { token = tk }) -> tk = token
-        | Ok _ | Error _ -> false)
+        | Ok frame -> accept frame
+        | Error _ -> None)
       frames
   in
   let rec wait () =
     let remaining = deadline -. Unix.gettimeofday () in
-    if remaining <= 0.0 then false
+    if remaining <= 0.0 then None
     else
       match Unix.select [ c.cfd ] [] [] remaining with
       | [ _ ], _, _ -> (
@@ -176,7 +188,8 @@ let tcp_wait_ack t c ~token ~deadline =
         | 0 -> raise Conn_dead
         | n -> (
           match Framing.feed c.dec t.buf ~off:0 ~len:n with
-          | Ok frames -> if saw_ack frames then true else wait ()
+          | Ok frames -> (
+            match scan frames with Some _ as r -> r | None -> wait ())
           | Error _ -> raise Conn_dead)
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
           ->
@@ -188,35 +201,59 @@ let tcp_wait_ack t c ~token ~deadline =
   in
   wait ()
 
-let tcp_attempt conns t ~host ~port ~token ~interval bytes =
+let tcp_attempt conns t ~host ~port ~accept ~interval bytes =
   match tcp_conn conns ~host ~port ~timeout:interval with
-  | None -> false
+  | None -> None
   | Some c -> (
     let deadline = Unix.gettimeofday () +. interval in
     try
       tcp_write c ~deadline bytes;
-      tcp_wait_ack t c ~token ~deadline
+      tcp_wait t c ~accept ~deadline
     with Conn_dead ->
       drop_conn conns (host, port) c;
-      false)
+      None)
 
 (* ---- the retry loop both legs share ---- *)
 
 let default_attempts = 50
 let default_interval = 0.1
 
-let send ?(attempts = default_attempts) ?(interval = default_interval)
-    ?(host = "127.0.0.1") t ~port cmd =
-  if attempts <= 0 then invalid_arg "Ctrl.send: non-positive attempts";
-  if interval <= 0.0 then invalid_arg "Ctrl.send: non-positive interval";
-  let token = t.next_token land 0xFFFFFFFF in
-  t.next_token <- token + 1;
-  let bytes = Codec.encode_frame (Codec.Ctrl { token; cmd }) in
+let request ~attempts ~interval ~host t ~port ~accept bytes =
+  if attempts <= 0 then invalid_arg "Ctrl: non-positive attempts";
+  if interval <= 0.0 then invalid_arg "Ctrl: non-positive interval";
   let one () =
     match t.wire with
     | Udp_wire sock ->
-      udp_attempt t sock ~addr:(resolve ~host ~port) ~token ~interval bytes
-    | Tcp_wire conns -> tcp_attempt conns t ~host ~port ~token ~interval bytes
+      udp_attempt t sock ~addr:(resolve ~host ~port) ~accept ~interval bytes
+    | Tcp_wire conns -> tcp_attempt conns t ~host ~port ~accept ~interval bytes
   in
-  let rec attempt k = if k <= 0 then false else one () || attempt (k - 1) in
+  let rec attempt k =
+    if k <= 0 then None
+    else match one () with Some _ as r -> r | None -> attempt (k - 1)
+  in
   attempt attempts
+
+let fresh_token t =
+  let token = t.next_token land 0xFFFFFFFF in
+  t.next_token <- token + 1;
+  token
+
+let send ?(attempts = default_attempts) ?(interval = default_interval)
+    ?(host = "127.0.0.1") t ~port cmd =
+  let token = fresh_token t in
+  let bytes = Codec.encode_frame (Codec.Ctrl { token; cmd }) in
+  let accept = function
+    | Codec.Ctrl_ack { token = tk } when tk = token -> Some ()
+    | _ -> None
+  in
+  request ~attempts ~interval ~host t ~port ~accept bytes <> None
+
+let query ?(attempts = default_attempts) ?(interval = default_interval)
+    ?(host = "127.0.0.1") t ~port =
+  let token = fresh_token t in
+  let bytes = Codec.encode_frame (Codec.Ctrl { token; cmd = Codec.Get_metrics }) in
+  let accept = function
+    | Codec.Metrics { token = tk; payload } when tk = token -> Some payload
+    | _ -> None
+  in
+  request ~attempts ~interval ~host t ~port ~accept bytes

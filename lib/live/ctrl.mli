@@ -32,4 +32,17 @@ val send :
     the command; [false] = no ack within the budget (node dead, or loss
     beyond the retries). *)
 
+val query :
+  ?attempts:int ->
+  ?interval:float ->
+  ?host:string ->
+  t ->
+  port:int ->
+  string option
+(** Scrape the node's metrics registry: send {!Codec.Get_metrics} with
+    the same retry discipline as {!send}, awaiting the {!Codec.Metrics}
+    reply whose token match doubles as the ack. Returns the snapshot as
+    compact JSON text ([Gmp_obs.Obs.Snapshot.of_json] parses it), or
+    [None] if no reply survived the budget. *)
+
 val close : t -> unit

@@ -52,13 +52,22 @@ module Stats = Gmp_platform.Stats
 module Netem = Gmp_net.Netem
 module Endpoint = Gmp_net.Endpoint
 module Rng = Gmp_sim.Rng
+module Obs = Gmp_obs.Obs
+
+type out_entry = {
+  e_seq : int;
+  e_bytes : string; (* encoded frame *)
+  e_sent_at : float;
+  mutable e_clean : bool; (* never retransmitted: rtt-sampleable (Karn) *)
+}
 
 type out_chan = {
   mutable next_seq : int;
   mutable base : int; (* lowest unacked seq *)
-  unacked : (int * string) Queue.t; (* (seq, encoded frame) *)
+  unacked : out_entry Queue.t;
   mutable rtimer : Timers.entry option;
   mutable cur_rto : float; (* current backoff value, in [rto, rto_max] *)
+  mutable quiet_rounds : int; (* retransmit rounds since last ack progress *)
 }
 
 type in_chan = { mutable next_expected : int }
@@ -99,8 +108,28 @@ type t = {
   netem_seed : int;
   link_rngs : Rng.t Pid.Tbl.t;
   ctrl_rng : Rng.t;
+  registry : Obs.registry;
+  h_rtt : Obs.histogram; (* clean-sample ack round-trips, wall seconds *)
+  h_backoff : Obs.histogram; (* retransmit rounds per recovered quiet spell *)
   log : string -> unit;
 }
+
+(* Canonical metric names — the one vocabulary shared by the registry,
+   the JSONL summary lines and the orchestrator's reports. *)
+let counters t =
+  [ ("arq.data_frames_sent", t.ctr.data_frames_sent);
+    ("arq.retransmits", t.ctr.retransmissions);
+    ("arq.retransmit_rounds", t.ctr.retransmit_rounds);
+    ("arq.dups_suppressed", t.ctr.dups_suppressed);
+    ("arq.out_of_window_drops", t.ctr.out_of_window_drops);
+    ("netem.dropped", t.ctr.netem_dropped);
+    ("netem.duplicated", t.ctr.netem_duplicated);
+    ("netem.reordered", t.ctr.netem_reordered) ]
+
+let transport_counters t =
+  List.map
+    (fun (k, v) -> ("transport." ^ k, v))
+    (t.transport.Transport.counters ())
 
 let default_rto = 0.25
 let default_rto_max_factor = 16.0
@@ -127,6 +156,7 @@ let create ?(peers = []) ?(transport = Transport.Udp) ?tcp_config
   let transport =
     Transport.make ?tcp_config ~kind:transport ~bind ~now ~log ()
   in
+  let registry = Obs.create () in
   let t =
     { pid;
       transport;
@@ -158,8 +188,17 @@ let create ?(peers = []) ?(transport = Transport.Udp) ?tcp_config
       netem_seed;
       link_rngs = Pid.Tbl.create 16;
       ctrl_rng = Rng.create (Netem.link_seed ~seed:netem_seed ~self:pid ~peer:pid);
+      registry;
+      h_rtt = Obs.histogram registry "arq.rtt";
+      h_backoff = Obs.histogram ~buckets:Obs.round_buckets registry
+          "arq.backoff_rounds";
       log }
   in
+  (* The pre-existing counter families ride along as snapshot views; their
+     keys are already canonical, so the empty prefix passes them through. *)
+  Obs.register_views registry ~prefix:"" (fun () -> counters t);
+  Obs.register_views registry ~prefix:"" (fun () -> transport_counters t);
+  Stats.register_views t.stats registry;
   List.iter (fun (p, ep) -> t.transport.Transport.add_peer p ep) peers;
   t
 
@@ -174,20 +213,11 @@ let clock t = Vector_clock.Mutable.snapshot t.vc
 let blackholed t = t.blackholed
 let netem t = t.netem_default
 let transport_kind t = t.transport.Transport.kind
-let transport_counters t = t.transport.Transport.counters ()
+let registry t = t.registry
+let metrics t = Obs.snapshot t.registry
 
 let idle t =
   Pid.Tbl.fold (fun _ c acc -> acc && Queue.is_empty c.unacked) t.out_chans true
-
-let counters t =
-  [ ("data_frames_sent", t.ctr.data_frames_sent);
-    ("retransmits", t.ctr.retransmissions);
-    ("retransmit_rounds", t.ctr.retransmit_rounds);
-    ("dups_suppressed", t.ctr.dups_suppressed);
-    ("out_of_window_drops", t.ctr.out_of_window_drops);
-    ("netem_dropped", t.ctr.netem_dropped);
-    ("netem_duplicated", t.ctr.netem_duplicated);
-    ("netem_reordered", t.ctr.netem_reordered) ]
 
 let set_netem t ?peer model =
   match peer with
@@ -221,7 +251,8 @@ let out_chan t dst =
         base = 0;
         unacked = Queue.create ();
         rtimer = None;
-        cur_rto = t.rto }
+        cur_rto = t.rto;
+        quiet_rounds = 0 }
     in
     Pid.Tbl.replace t.out_chans dst c;
     c
@@ -244,10 +275,12 @@ let rec arm_rtimer t dst c =
              c.rtimer <- None;
              if t.alive && not (Queue.is_empty c.unacked) then begin
                t.ctr.retransmit_rounds <- t.ctr.retransmit_rounds + 1;
+               c.quiet_rounds <- c.quiet_rounds + 1;
                Queue.iter
-                 (fun (_, bytes) ->
+                 (fun e ->
                    t.ctr.retransmissions <- t.ctr.retransmissions + 1;
-                   sendto t ~dst bytes)
+                   e.e_clean <- false;
+                   sendto t ~dst e.e_bytes)
                  c.unacked;
                (* No ack progress this round: back off (capped), so a dead
                   or badly lossy link costs O(log) sends per quiet period,
@@ -268,7 +301,9 @@ let transmit t ~dst msg =
            vc = Vector_clock.Mutable.snapshot t.vc;
            msg })
   in
-  Queue.add (seq, bytes) c.unacked;
+  Queue.add
+    { e_seq = seq; e_bytes = bytes; e_sent_at = now t; e_clean = true }
+    c.unacked;
   t.ctr.data_frames_sent <- t.ctr.data_frames_sent + 1;
   sendto t ~dst bytes;
   if c.rtimer = None then arm_rtimer t dst c
@@ -278,9 +313,14 @@ let handle_ack t ~src ~ack_next =
   | None -> ()
   | Some c ->
     while
-      (not (Queue.is_empty c.unacked)) && fst (Queue.peek c.unacked) < ack_next
+      (not (Queue.is_empty c.unacked))
+      && (Queue.peek c.unacked).e_seq < ack_next
     do
-      ignore (Queue.pop c.unacked : int * string)
+      let e = Queue.pop c.unacked in
+      (* Sample the ack round-trip only for frames never retransmitted:
+         after a retransmission the ack cannot be attributed to one flight
+         (Karn's rule). *)
+      if e.e_clean then Obs.observe t.h_rtt (now t -. e.e_sent_at)
     done;
     if ack_next > c.base then begin
       (* Ack progress: the link is passing traffic again - reset the
@@ -288,6 +328,10 @@ let handle_ack t ~src ~ack_next =
          prompt instead of waiting out a capped timeout. *)
       c.base <- ack_next;
       c.cur_rto <- t.rto;
+      if c.quiet_rounds > 0 then begin
+        Obs.observe t.h_backoff (float_of_int c.quiet_rounds);
+        c.quiet_rounds <- 0
+      end;
       if Queue.is_empty c.unacked then cancel_rtimer c
       else arm_rtimer t src c
     end
@@ -419,6 +463,7 @@ let handle_data t ~(origin : Transport.origin) ~src ~chan_seq ~sender_vc msg =
   end
 
 let apply_ctrl t = function
+  | Codec.Get_metrics -> () (* handled in dispatch: replies Metrics, not ack *)
   | Codec.Shutdown -> t.stopping <- true
   | Codec.Blackhole p ->
     t.blackholed <- Pid.Set.add p t.blackholed;
@@ -451,13 +496,22 @@ let handle_frame t ~(origin : Transport.origin) = function
   | Codec.Ack { src; ack_next } ->
     if t.alive && not (Pid.Set.mem src t.blackholed) then
       handle_ack t ~src ~ack_next
+  | Codec.Ctrl { token; cmd = Codec.Get_metrics } ->
+    (* A query, not a mutation: the reply carries the snapshot and doubles
+       as the ack (same token), so the scrape rides the same retry loop as
+       the fault commands and survives the same weather. *)
+    let payload =
+      Json.to_compact_string (Obs.Snapshot.to_json (Obs.snapshot t.registry))
+    in
+    origin.reply (Codec.encode_frame (Codec.Metrics { token; payload }))
   | Codec.Ctrl { token; cmd } ->
     (* Apply, then ack straight back along the arrival path. The ack is
        the applied-receipt: a sender that got it knows the command took
        effect; one that did not retries the (idempotent) command. *)
     apply_ctrl t cmd;
     origin.reply (Codec.encode_frame (Codec.Ctrl_ack { token }))
-  | Codec.Ctrl_ack _ -> () (* orchestrator-bound; noise to a node *)
+  | Codec.Ctrl_ack _ | Codec.Metrics _ ->
+    () (* orchestrator-bound; noise to a node *)
 
 (* ---- netem ingress: the shared fault-injection seam ---- *)
 
@@ -491,7 +545,8 @@ let ingress t ~(origin : Transport.origin) frame =
     match frame with
     | Codec.Data { src; _ } | Codec.Ack { src; _ } ->
       (link_model t src, lazy (link_rng t src))
-    | Codec.Ctrl _ | Codec.Ctrl_ack _ -> (t.netem_default, lazy t.ctrl_rng)
+    | Codec.Ctrl _ | Codec.Ctrl_ack _ | Codec.Metrics _ ->
+      (t.netem_default, lazy t.ctrl_rng)
   in
   if Netem.is_none model then handle_frame t ~origin frame
   else

@@ -85,18 +85,31 @@ val idle : t -> bool
     so far is known delivered. *)
 
 val counters : t -> (string * int) list
-(** ARQ and fault-injection counters, in a stable order:
-    [data_frames_sent] (first transmissions), [retransmits],
-    [retransmit_rounds] (retransmit-timer fires), [dups_suppressed],
-    [out_of_window_drops], [netem_dropped], [netem_duplicated],
-    [netem_reordered]. *)
+(** ARQ and fault-injection counters under their canonical registry
+    names, in a stable order: [arq.data_frames_sent] (first
+    transmissions), [arq.retransmits], [arq.retransmit_rounds]
+    (retransmit-timer fires), [arq.dups_suppressed],
+    [arq.out_of_window_drops], [netem.dropped], [netem.duplicated],
+    [netem.reordered]. *)
 
 val transport_kind : t -> string
 (** ["udp"] or ["tcp"]. *)
 
 val transport_counters : t -> (string * int) list
 (** The transport's own counters (datagrams or connections/frames),
+    each under its canonical [transport.]-prefixed registry name,
     reported alongside {!counters} in the JSONL summary. *)
+
+val registry : t -> Gmp_obs.Obs.registry
+(** The node's metrics registry: {!counters}, {!transport_counters} and
+    the per-category {!stats} table as snapshot views, plus [arq.rtt]
+    (wall-clock ack round-trips of never-retransmitted frames — Karn's
+    sampling rule) and [arq.backoff_rounds] (retransmit rounds per
+    recovered quiet spell) histograms. *)
+
+val metrics : t -> Gmp_obs.Obs.Snapshot.t
+(** [Obs.snapshot (registry t)] — also what a [Get_metrics] control frame
+    returns over the wire. *)
 
 val clock : t -> Gmp_causality.Vector_clock.t
 val blackholed : t -> Pid.Set.t

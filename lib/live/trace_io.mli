@@ -25,6 +25,16 @@ val write_transport :
     as one summary line tagged with the transport kind. Written at clean
     shutdown; {!read_file} skips it, {!read_transport} extracts it. *)
 
+val write_metrics :
+  writer ->
+  pid:Gmp_base.Pid.t ->
+  at:float ->
+  Gmp_obs.Obs.Snapshot.t ->
+  unit
+(** Append a full registry snapshot as one summary line stamped with the
+    node's clock. Written periodically and at clean shutdown; {!read_file}
+    skips it, {!read_metrics} extracts the last (most complete) one. *)
+
 val close : writer -> unit
 
 val event_of_line : string -> (Trace.event, string) result
@@ -38,11 +48,17 @@ val read_file : string -> (Trace.event list, string) result
 
 val read_arq : string -> (string * int) list option
 (** The ARQ counters summary of one node's log, if present (a SIGKILLed
-    node writes none). *)
+    node writes none). Keys are canonicalized to the registry's stable
+    names ([arq.*] / [netem.*]), including when reading logs written
+    before the schemes were unified. *)
 
 val read_transport : string -> (string * (string * int) list) option
 (** The transport summary of one node's log, if present:
-    [(kind, counters)]. *)
+    [(kind, counters)], keys canonicalized to [transport.*]. *)
+
+val read_metrics : string -> Gmp_obs.Obs.Snapshot.t option
+(** The last metrics snapshot line of one node's log, if any parses (a
+    SIGKILLed node keeps its last periodic line, if an interval was on). *)
 
 val reassemble : Trace.event list list -> Trace.t
 (** Merge per-node event lists into one trace ordered by

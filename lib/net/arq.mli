@@ -20,6 +20,7 @@ val create :
   ?rto:float ->
   ?rto_of:(src:Pid.t -> dst:Pid.t -> float option) ->
   ?fifo:bool ->
+  ?registry:Gmp_obs.Obs.registry ->
   engine:Gmp_sim.Engine.t ->
   rng:Gmp_sim.Rng.t ->
   delay:Delay.t ->
@@ -29,7 +30,13 @@ val create :
     [rto_of] overrides the retransmission timeout per ordered channel; it
     is consulted at every (re)transmission and falls back to [rto] on
     [None]. Keyed by the {e sender}, so a member's [Config.tuning]
-    ([arq_rto]) maps directly onto its outgoing channels. *)
+    ([arq_rto]) maps directly onto its outgoing channels.
+
+    With [registry], the channel layer publishes [arq.datagrams_sent],
+    [arq.datagrams_lost] and [arq.retransmits] as snapshot views, and
+    records virtual-clock ack round-trips into an [arq.rtt] histogram —
+    sampling only datagrams never retransmitted (Karn's rule), since a
+    sample spanning a retransmission cannot be attributed to one flight. *)
 
 val set_handler : 'm t -> (dst:Pid.t -> src:Pid.t -> 'm -> unit) -> unit
 (** Upper-layer delivery: exactly once, per-channel FIFO. *)

@@ -160,6 +160,18 @@ let snapshot t =
       (category, sent t ~category, delivered t ~category, dropped t ~category))
     (categories t)
 
+let register_views t reg =
+  (* One flat view over the whole table: keys only exist once a category
+     records something, so the family's key set is runtime data — exactly
+     what Obs list-valued views are for. *)
+  Gmp_obs.Obs.register_views reg ~prefix:"msg" (fun () ->
+      List.concat_map
+        (fun (category, s, d, x) ->
+          [ (category ^ ".sent", s);
+            (category ^ ".delivered", d);
+            (category ^ ".dropped", x) ])
+        (snapshot t))
+
 let pp ppf t =
   let row ppf (category, s, d, x) =
     Fmt.pf ppf "%-18s sent=%-6d delivered=%-6d dropped=%d" category s d x

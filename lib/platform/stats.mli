@@ -54,6 +54,12 @@ val snapshot : t -> (string * int * int * int) list
 (** [(category, sent, delivered, dropped)] rows. *)
 
 val reset : t -> unit
+
+val register_views : t -> Gmp_obs.Obs.registry -> unit
+(** Expose the whole table to a metrics registry as
+    [msg.<category>.sent] / [.delivered] / [.dropped] snapshot views;
+    the recording path is untouched. *)
+
 val pp : t Fmt.t
 
 type checkpoint

@@ -11,6 +11,7 @@ type t = {
   config : Config.t;
   initial : Pid.t list;
   mutable members : Member.t Pid.Map.t; (* all ever spawned *)
+  registry : Gmp_obs.Obs.registry;
 }
 
 let create ?(config = Config.default) ?delay ?(seed = 1) ~n () =
@@ -29,13 +30,32 @@ let create ?(config = Config.default) ?delay ?(seed = 1) ~n () =
         Pid.Map.add pid m acc)
       Pid.Map.empty initial
   in
-  { runtime; trace; config; initial; members }
+  let registry = Gmp_obs.Obs.create () in
+  Gmp_net.Stats.register_views (Runtime.stats runtime) registry;
+  let eng = Runtime.engine runtime in
+  Gmp_obs.Obs.register_view registry "sim.events_fired" (fun () ->
+      Gmp_sim.Engine.fired_events eng);
+  Gmp_obs.Obs.register_view registry "sim.peak_heap_entries" (fun () ->
+      Gmp_sim.Engine.peak_queue_length eng);
+  { runtime; trace; config; initial; members; registry }
 
 let runtime t = t.runtime
 let engine t = Runtime.engine t.runtime
 let network t = Runtime.network t.runtime
 let trace t = t.trace
 let stats t = Runtime.stats t.runtime
+let registry t = t.registry
+
+(* The persistent registry holds only views (closures over live counters),
+   so snapshotting it is idempotent; latency histograms are re-derived from
+   the trace into a throwaway registry each call, keeping [metrics]
+   callable at any point of a run without double-counting. *)
+let metrics t =
+  let latency = Gmp_obs.Obs.create () in
+  Gmp_core.Latency.observe latency t.trace;
+  Gmp_obs.Obs.Snapshot.merge
+    (Gmp_obs.Obs.snapshot t.registry)
+    (Gmp_obs.Obs.snapshot latency)
 let initial t = t.initial
 let pids t = List.map fst (Pid.Map.bindings t.members)
 
@@ -209,6 +229,7 @@ let to_json ?(include_trace = true) t =
         | None -> J.null );
       ("protocol_messages", J.int (protocol_messages t));
       ("stats", Export.json_of_stats (stats t));
+      ("metrics", Gmp_obs.Obs.Snapshot.to_json (metrics t));
       ("violations", J.list (List.map Export.json_of_violation violations));
       ( "trace",
         if include_trace then Export.json_of_trace t.trace else J.null )

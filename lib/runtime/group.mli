@@ -65,6 +65,16 @@ val agreed_view : t -> (int * Pid.t list) option
 val protocol_messages : t -> int
 (** Messages sent in the protocol categories (§7.2 accounting). *)
 
+val registry : t -> Gmp_obs.Obs.registry
+(** The group's metrics registry. Pre-wired with [msg.*] views over
+    {!stats}, [sim.events_fired] and [sim.peak_heap_entries]; harness
+    extensions (e.g. {!Gmp_net.Arq.create}[ ~registry]) hang more off it. *)
+
+val metrics : t -> Gmp_obs.Obs.Snapshot.t
+(** Registry snapshot merged with [latency.*] histograms derived from the
+    current trace ({!Gmp_core.Latency.observe}). Idempotent — safe to call
+    repeatedly; deterministic for a given seed and schedule. *)
+
 val fingerprint : t -> int
 (** Hash of all members' protocol state plus the network's adversarial
     state, for the explorer's state pruning. *)

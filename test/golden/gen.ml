@@ -95,7 +95,11 @@ let frames : (string * Codec.frame) list =
                 n_jitter = 0.0;
                 n_dup = 0.0;
                 n_reorder = 0.0 } } );
-    ("frame_ctrl_ack", Codec.Ctrl_ack { token = 12345 }) ]
+    ("frame_ctrl_ack", Codec.Ctrl_ack { token = 12345 });
+    ( "frame_ctrl_get_metrics",
+      Codec.Ctrl { token = 0xCAFE; cmd = Codec.Get_metrics } );
+    ( "frame_metrics",
+      Codec.Metrics { token = 0xCAFE; payload = "{\"arq.retransmits\":3}" } ) ]
 
 let write dir name bytes =
   let path = Filename.concat dir (name ^ ".bin") in

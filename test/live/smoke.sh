@@ -7,6 +7,10 @@
 # Usage: smoke.sh CLUSTER [udp|tcp] - the same scenarios run over either
 # transport (default udp).
 #
+# When GMP_LIVE_DIR is set (CI does), per-node logs and the JSON summary
+# of every attempt are kept under it, so a failing job uploads the
+# evidence instead of a verdict.
+#
 # Wall-clock tests on shared CI machines are noisy, so timeouts are
 # generous and each scenario gets one retry before failing the job.
 set -u
@@ -17,9 +21,19 @@ TRANSPORT="${2:-udp}"
 run_case() {
   desc="$1"; shift
   expect_view="$1"; shift
+  slug=$(printf '%s' "$desc" | tr -c 'a-zA-Z0-9' '-')
   for attempt in 1 2; do
-    out=$("$CLUSTER" --transport "$TRANSPORT" "$@" --json 2>&1)
+    keep_args=""
+    if [ -n "${GMP_LIVE_DIR:-}" ]; then
+      rundir="$GMP_LIVE_DIR/smoke-$TRANSPORT-$slug-attempt$attempt"
+      mkdir -p "$rundir"
+      keep_args="--dir $rundir --keep-logs"
+    fi
+    out=$("$CLUSTER" --transport "$TRANSPORT" "$@" $keep_args --json 2>&1)
     code=$?
+    if [ -n "${GMP_LIVE_DIR:-}" ]; then
+      printf '%s\n' "$out" > "$rundir/summary.json"
+    fi
     if [ "$code" -eq 0 ]; then
       view=$(printf '%s' "$out" | sed -n 's/.*"final_view": \[\([^]]*\)\].*/\1/p' | tr -d '" ')
       if [ "$view" = "$expect_view" ]; then

@@ -111,7 +111,8 @@ let test_golden_frames () =
       | Error e -> Alcotest.failf "%s: decode failed: %s" name (result_of_error e))
     [ "frame_data"; "frame_ack"; "frame_ctrl_shutdown"; "frame_ctrl_blackhole";
       "frame_ctrl_unblackhole"; "frame_ctrl_set_netem";
-      "frame_ctrl_set_netem_default"; "frame_ctrl_ack" ]
+      "frame_ctrl_set_netem_default"; "frame_ctrl_ack";
+      "frame_ctrl_get_metrics"; "frame_metrics" ]
 
 (* ---- fuzzed round-trips ---- *)
 
@@ -563,7 +564,8 @@ let test_reassemble_order () =
 let frame_golden_names =
   [ "frame_data"; "frame_ack"; "frame_ctrl_shutdown"; "frame_ctrl_blackhole";
     "frame_ctrl_unblackhole"; "frame_ctrl_set_netem";
-    "frame_ctrl_set_netem_default"; "frame_ctrl_ack" ]
+    "frame_ctrl_set_netem_default"; "frame_ctrl_ack";
+    "frame_ctrl_get_metrics"; "frame_metrics" ]
 
 let test_framing_stream_golden () =
   (* The pinned stream bytes are the concatenation of the frame goldens;
@@ -709,22 +711,25 @@ let test_unknown_summary_line_skipped () =
       (match Trace_io.read_file path with
       | Error m -> Alcotest.failf "unknown summary line broke the reader: %s" m
       | Ok events -> check Alcotest.int "both events survive" 2 (List.length events));
+      (* An old-style key reads back under its canonical registry name. *)
       check Alcotest.bool "arq summary still found" true
-        (Trace_io.read_arq path = Some [ ("retransmits", 3) ]))
+        (Trace_io.read_arq path = Some [ ("arq.retransmits", 3) ]))
 
 let test_transport_summary_roundtrip () =
   with_temp_file (fun path ->
       let trace = Trace.create () in
       let w = Trace_io.attach trace ~path in
-      Trace_io.write_arq w ~pid:(p 2) [ ("retransmits", 1) ];
+      Trace_io.write_arq w ~pid:(p 2) [ ("arq.retransmits", 1) ];
       Trace_io.write_transport w ~pid:(p 2) ~kind:"tcp"
-        [ ("connects", 4); ("reconnects", 3) ];
+        [ ("connects", 4); ("transport.reconnects", 3) ];
       Trace_io.close w;
+      (* Keys canonicalize to transport.* whether or not the writer
+         already prefixed them. *)
       check Alcotest.bool "transport summary extracted" true
         (Trace_io.read_transport path
-        = Some ("tcp", [ ("connects", 4); ("reconnects", 3) ]));
+        = Some ("tcp", [ ("transport.connects", 4); ("transport.reconnects", 3) ]));
       check Alcotest.bool "arq unaffected" true
-        (Trace_io.read_arq path = Some [ ("retransmits", 1) ]);
+        (Trace_io.read_arq path = Some [ ("arq.retransmits", 1) ]);
       match Trace_io.read_file path with
       | Ok [] -> ()
       | Ok _ -> Alcotest.fail "summary lines leaked into the event stream"

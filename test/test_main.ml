@@ -22,6 +22,7 @@ let () =
       ("explore", Test_explore.suite);
       ("epistemic", Test_epistemic.suite);
       ("knowledge", Test_knowledge.suite);
+      ("obs", Test_obs.suite);
       ("codec", Test_codec.suite);
       ("transport", Test_transport.suite);
       ("netem", Test_netem.suite);

@@ -180,12 +180,12 @@ let test_live_fifo_exactly_once () =
   check (Alcotest.list int) "FIFO exactly-once through the weather"
     (List.init n Fun.id) (List.rev !got);
   let counter node name = List.assoc name (Node.counters node) in
-  check bool "loss actually happened" true (counter recv "netem_dropped" > 0);
-  check bool "retransmission engaged" true (counter send "retransmits" > 0);
+  check bool "loss actually happened" true (counter recv "netem.dropped" > 0);
+  check bool "retransmission engaged" true (counter send "arq.retransmits" > 0);
   check bool "sender paid more than one round" true
-    (counter send "retransmit_rounds" > 0);
+    (counter send "arq.retransmit_rounds" > 0);
   check bool "duplicates were suppressed, not delivered" true
-    (counter recv "dups_suppressed" > 0 || counter recv "netem_duplicated" = 0);
+    (counter recv "arq.dups_suppressed" > 0 || counter recv "netem.duplicated" = 0);
   Node.close send;
   Node.close recv
 
@@ -213,7 +213,7 @@ let test_backoff_caps_retransmit_storm () =
   let splat = Node.platform send in
   splat.Gmp_platform.Platform.send ~dst:(p 9) ~category (app 0);
   Node.run ~until:3.0 send;
-  let rounds = List.assoc "retransmit_rounds" (Node.counters send) in
+  let rounds = List.assoc "arq.retransmit_rounds" (Node.counters send) in
   (* Fixed rto would fire ~60 rounds in 3 s; the doubling schedule
      0.05,0.1,...,0.8 (cap 16x) admits at most ~10. *)
   check bool
@@ -256,7 +256,42 @@ let test_ctrl_survives_loss () =
   check bool "earlier command undone" false
     (Pid.Set.mem (p 9) (Node.blackholed node));
   check bool "the control plane really was lossy" true
-    (List.assoc "netem_dropped" (Node.counters node) > 0);
+    (List.assoc "netem.dropped" (Node.counters node) > 0);
+  Node.close node
+
+let test_get_metrics_survives_loss () =
+  (* The metrics scrape rides the same retry loop as commands: the
+     Metrics reply's token match is the ack, so a snapshot must come back
+     through 50% loss, parse as a registry snapshot, and carry the
+     canonical counter names. *)
+  let node =
+    Node.create
+      ~netem:(Netem.make ~loss:0.5 ())
+      ~netem_seed:1 ~pid:(p 0)
+      ~bind:(Endpoint.loopback ~port:0) ()
+  in
+  let port = Node.port node in
+  let d = Domain.spawn (fun () -> Node.run ~until:30.0 node) in
+  let ctrl = Ctrl.create () in
+  let payload = Ctrl.query ctrl ~attempts:100 ~interval:0.03 ~port in
+  check bool "snapshot came back through the loss" true (payload <> None);
+  (match payload with
+  | None -> ()
+  | Some text -> (
+    match Gmp_base.Json.of_string text with
+    | Error m -> Alcotest.failf "scrape payload is not JSON: %s" m
+    | Ok j -> (
+      match Gmp_obs.Obs.Snapshot.of_json j with
+      | Error m -> Alcotest.failf "scrape payload is not a snapshot: %s" m
+      | Ok snap ->
+        check bool "canonical counters present" true
+          (match Gmp_obs.Obs.Snapshot.find snap "arq.data_frames_sent" with
+          | Some (Gmp_obs.Obs.Snapshot.Counter _) -> true
+          | _ -> false))));
+  check bool "shutdown acked" true
+    (Ctrl.send ctrl ~attempts:100 ~interval:0.03 ~port Codec.Shutdown);
+  Domain.join d;
+  Ctrl.close ctrl;
   Node.close node
 
 (* ---- live: a three-member group through the weather ---- *)
@@ -345,5 +380,7 @@ let suite =
       test_backoff_caps_retransmit_storm;
     Alcotest.test_case "live: ctrl survives 50% loss" `Slow
       test_ctrl_survives_loss;
+    Alcotest.test_case "live: metrics scrape survives 50% loss" `Slow
+      test_get_metrics_survives_loss;
     Alcotest.test_case "live: 3-member group is checker-clean" `Slow
       test_live_group_checker_clean ]

@@ -161,7 +161,7 @@ let test_udp_wire_byte_identity () =
     (Bytes.sub_string buf 0 n);
   check string "transport kind" "udp" (Node.transport_kind node);
   check bool "datagrams_sent counted" true
-    (List.assoc "datagrams_sent" (Node.transport_counters node) >= 1);
+    (List.assoc "transport.datagrams_sent" (Node.transport_counters node) >= 1);
   Unix.close raw;
   Node.close node
 
@@ -209,11 +209,11 @@ let test_tcp_fifo_exchange () =
     (List.init n Fun.id) (List.rev !got);
   let counter node name = List.assoc name (Node.transport_counters node) in
   check string "kind" "tcp" (Node.transport_kind send);
-  check bool "sender connected" true (counter send "connects" >= 1);
-  check bool "sender framed traffic out" true (counter send "frames_sent" >= n);
-  check bool "receiver accepted" true (counter recv "accepts" >= 1);
+  check bool "sender connected" true (counter send "transport.connects" >= 1);
+  check bool "sender framed traffic out" true (counter send "transport.frames_sent" >= n);
+  check bool "receiver accepted" true (counter recv "transport.accepts" >= 1);
   check bool "receiver framed traffic in" true
-    (counter recv "frames_received" >= n);
+    (counter recv "transport.frames_received" >= n);
   Node.close send;
   Node.close recv
 
@@ -247,11 +247,11 @@ let test_tcp_reconnect_with_backoff () =
   (* A first stretch alone: nothing is listening on late_port. *)
   Node.run ~until:1.0 send;
   let counter node name = List.assoc name (Node.transport_counters node) in
-  check bool "connects were attempted" true (counter send "connects" >= 2);
+  check bool "connects were attempted" true (counter send "transport.connects" >= 2);
   check bool "attempts beyond the first count as reconnects" true
-    (counter send "reconnects" >= 1);
+    (counter send "transport.reconnects" >= 1);
   check bool "each failed before establishing" true
-    (counter send "conn_failures" >= 1);
+    (counter send "transport.conn_failures" >= 1);
   (* Now the peer appears on exactly that endpoint. *)
   let recv =
     Node.create ~transport:Transport.Tcp ~rto:0.05 ~pid:rpid
@@ -323,11 +323,11 @@ let test_tcp_half_open_detection () =
   done;
   let deadline = Unix.gettimeofday () +. 5.0 in
   let counter name = List.assoc name (Node.transport_counters send) in
-  while counter "half_open_drops" = 0 && Unix.gettimeofday () < deadline do
+  while counter "transport.half_open_drops" = 0 && Unix.gettimeofday () < deadline do
     accept_pending ();
     Node.run ~until:0.1 send
   done;
-  check bool "half-open stream was killed" true (counter "half_open_drops" >= 1);
+  check bool "half-open stream was killed" true (counter "transport.half_open_drops" >= 1);
   Node.close send;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) !accepted;
   Unix.close listener
